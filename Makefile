@@ -1,0 +1,39 @@
+# elevprivacy build targets.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench bench-full experiments experiments-quick clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+## bench runs every experiment benchmark at smoke scale plus the substrate
+## micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+## bench-full runs the experiment benchmarks at the laptop scale that
+## EXPERIMENTS.md records (tens of minutes).
+bench-full:
+	ELEVPRIVACY_BENCH_SCALE=full $(GO) test -bench=. -benchmem .
+
+## experiments regenerates every paper table and figure.
+experiments:
+	$(GO) run ./cmd/experiments
+
+experiments-quick:
+	$(GO) run ./cmd/experiments -quick
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,138 @@
+package elevprivacy_test
+
+// The benchmark harness regenerates every table and figure of the paper
+// (plus the DESIGN.md ablations) and times substrate hot paths.
+//
+// Experiment benches default to the smoke-scale configuration so that
+// `go test -bench=. -benchmem` finishes in minutes; set
+// ELEVPRIVACY_BENCH_SCALE=full to run the laptop-scale configuration the
+// EXPERIMENTS.md numbers were produced with (tens of minutes).
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"elevprivacy/internal/experiments"
+)
+
+// benchConfig picks the experiment scale from the environment.
+func benchConfig() experiments.Config {
+	if os.Getenv("ELEVPRIVACY_BENCH_SCALE") == "full" {
+		return experiments.Default()
+	}
+	return experiments.Quick()
+}
+
+// runExperiment executes one experiment per benchmark iteration and
+// reports the first numeric cell of the last row as a headline metric.
+func runExperiment(b *testing.B, run func(experiments.Config) (*experiments.Table, error)) {
+	b.Helper()
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		table, err := run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", table)
+			reportHeadline(b, table)
+		}
+	}
+}
+
+// reportHeadline exposes the last row's last numeric cell as a metric so
+// `-bench` output carries the reproduced value.
+func reportHeadline(b *testing.B, table *experiments.Table) {
+	b.Helper()
+	if len(table.Rows) == 0 {
+		return
+	}
+	last := table.Rows[len(table.Rows)-1]
+	for i := len(last) - 1; i >= 0; i-- {
+		if v, err := strconv.ParseFloat(last[i], 64); err == nil {
+			b.ReportMetric(v, "headline")
+			return
+		}
+	}
+}
+
+func BenchmarkFigure1Survey(b *testing.B) {
+	runExperiment(b, experiments.Figure1Survey)
+}
+
+func BenchmarkTable1UserDataset(b *testing.B) {
+	runExperiment(b, experiments.Table1UserDataset)
+}
+
+func BenchmarkTable2CityDataset(b *testing.B) {
+	runExperiment(b, experiments.Table2CityDataset)
+}
+
+func BenchmarkTable3BoroughDataset(b *testing.B) {
+	runExperiment(b, experiments.Table3BoroughDataset)
+}
+
+func BenchmarkTable4TM1Text(b *testing.B) {
+	runExperiment(b, experiments.Table4TM1Text)
+}
+
+func BenchmarkFigure8TM2Text(b *testing.B) {
+	runExperiment(b, experiments.Figure8TM2Text)
+}
+
+func BenchmarkTable5TM3Text(b *testing.B) {
+	runExperiment(b, experiments.Table5TM3Text)
+}
+
+func BenchmarkFigure9TM2OverlapSim(b *testing.B) {
+	runExperiment(b, experiments.Figure9TM2OverlapSim)
+}
+
+func BenchmarkTable6TM3OverlapSim(b *testing.B) {
+	runExperiment(b, experiments.Table6TM3OverlapSim)
+}
+
+func BenchmarkTable7ImageMethods(b *testing.B) {
+	runExperiment(b, experiments.Table7ImageMethods)
+}
+
+func BenchmarkTable8FineTuneEpochs(b *testing.B) {
+	runExperiment(b, experiments.Table8FineTuneEpochs)
+}
+
+func BenchmarkTable9FineTuneTM2(b *testing.B) {
+	runExperiment(b, experiments.Table9FineTuneTM2)
+}
+
+func BenchmarkAblationNGramOrder(b *testing.B) {
+	runExperiment(b, experiments.AblationNGramOrder)
+}
+
+func BenchmarkAblationDiscretization(b *testing.B) {
+	runExperiment(b, experiments.AblationDiscretization)
+}
+
+func BenchmarkAblationImageSize(b *testing.B) {
+	runExperiment(b, experiments.AblationImageSize)
+}
+
+func BenchmarkAblationFeatureThreshold(b *testing.B) {
+	runExperiment(b, experiments.AblationFeatureThreshold)
+}
+
+func BenchmarkAblationForestSize(b *testing.B) {
+	runExperiment(b, experiments.AblationForestSize)
+}
+
+func BenchmarkExtensionDefenses(b *testing.B) {
+	runExperiment(b, experiments.ExtensionDefenses)
+}
+
+func BenchmarkExtensionSpectralBaseline(b *testing.B) {
+	runExperiment(b, experiments.ExtensionSpectralBaseline)
+}
+
+func BenchmarkExtensionConfusionAnalysis(b *testing.B) {
+	runExperiment(b, experiments.ExtensionConfusionAnalysis)
+}

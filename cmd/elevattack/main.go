@@ -1,0 +1,100 @@
+// Command elevattack trains and evaluates one of the paper's three threat
+// models from the command line.
+//
+// Usage:
+//
+//	elevattack -tm 1                         # TM-1: region from history
+//	elevattack -tm 2 -city SF                # TM-2: borough given the city
+//	elevattack -tm 3 -classifier mlp         # TM-3: city, no prior
+//	elevattack -tm 3 -rep image -mode weighted
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"elevprivacy"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "elevattack:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		tm         = flag.Int("tm", 3, "threat model: 1 (user history), 2 (borough given city), 3 (city)")
+		city       = flag.String("city", "NYC", "TM-2 city (name or abbreviation)")
+		classifier = flag.String("classifier", "mlp", "text classifier: svm, rfc, or mlp")
+		rep        = flag.String("rep", "text", "representation: text or image")
+		mode       = flag.String("mode", "weighted", "image training mode: unweighted, weighted, or finetune")
+		scale      = flag.Float64("scale", 0.05, "fraction of the paper's dataset sizes")
+		folds      = flag.Int("folds", 10, "cross-validation folds (text representation)")
+		epochs     = flag.Int("epochs", 16, "CNN epochs (image representation)")
+		seed       = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	dcfg := elevprivacy.DatasetConfig{
+		Scale:          *scale,
+		ProfileSamples: 80,
+		MinPerClass:    10,
+		Seed:           *seed,
+	}
+
+	var (
+		d   *elevprivacy.Dataset
+		err error
+	)
+	switch *tm {
+	case 1:
+		d, err = elevprivacy.NewUserSpecificDataset(dcfg)
+	case 2:
+		d, err = elevprivacy.NewBoroughDataset(*city, dcfg)
+	case 3:
+		d, err = elevprivacy.NewCityLevelDataset(dcfg)
+	default:
+		return fmt.Errorf("unknown threat model %d", *tm)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("threat model TM-%d, %d samples, %d classes, representation %s\n",
+		*tm, d.Len(), len(d.Labels()), *rep)
+
+	switch *rep {
+	case "text":
+		cfg := elevprivacy.DefaultTextAttackConfig(elevprivacy.ClassifierKind(*classifier))
+		cfg.Seed = *seed
+		m, err := elevprivacy.CrossValidateText(d, cfg, *folds)
+		if err != nil {
+			return err
+		}
+		printMetrics(fmt.Sprintf("%s, %d-fold CV", *classifier, *folds), m)
+	case "image":
+		cfg := elevprivacy.DefaultImageAttackConfig(elevprivacy.TrainMode(*mode))
+		cfg.Epochs = *epochs
+		cfg.Seed = *seed
+		m, err := elevprivacy.EvaluateImageAttack(d, cfg, 0.2)
+		if err != nil {
+			return err
+		}
+		printMetrics(fmt.Sprintf("CNN (%s loss), 80/20 split", *mode), m)
+	default:
+		return fmt.Errorf("unknown representation %q", *rep)
+	}
+	return nil
+}
+
+func printMetrics(setting string, m elevprivacy.Metrics) {
+	fmt.Printf("%s\n", setting)
+	fmt.Printf("  accuracy    %6.2f%%\n", m.Accuracy*100)
+	fmt.Printf("  precision   %6.2f%%\n", m.Precision*100)
+	fmt.Printf("  recall      %6.2f%%\n", m.Recall*100)
+	fmt.Printf("  F1          %6.2f%%\n", m.F1*100)
+	fmt.Printf("  specificity %6.2f%%\n", m.Specificity*100)
+}

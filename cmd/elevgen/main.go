@@ -1,0 +1,128 @@
+// Command elevgen synthesizes the paper's three datasets and writes them
+// to disk: the user-specific dataset as GPX activity files (the paper's
+// intermediate format) and the mined city/borough datasets as JSON.
+//
+// Usage:
+//
+//	elevgen -out ./data                 # all three datasets, laptop scale
+//	elevgen -out ./data -scale 1.0      # full paper-size datasets
+//	elevgen -out ./data -dataset city   # one dataset only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"elevprivacy"
+	"elevprivacy/internal/gpx"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "elevgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out     = flag.String("out", "data", "output directory")
+		scale   = flag.Float64("scale", 0.05, "fraction of the paper's class sizes (1.0 = Tables I-III)")
+		samples = flag.Int("samples", 100, "elevation samples per mined profile")
+		seed    = flag.Int64("seed", 1, "random seed")
+		which   = flag.String("dataset", "all", "dataset to generate: user, city, borough, or all")
+	)
+	flag.Parse()
+
+	cfg := elevprivacy.DatasetConfig{
+		Scale:          *scale,
+		ProfileSamples: *samples,
+		MinPerClass:    8,
+		Seed:           *seed,
+	}
+
+	if *which == "user" || *which == "all" {
+		if err := writeUserGPX(filepath.Join(*out, "user-specific"), cfg); err != nil {
+			return err
+		}
+	}
+	if *which == "city" || *which == "all" {
+		d, err := elevprivacy.NewCityLevelDataset(cfg)
+		if err != nil {
+			return err
+		}
+		if err := writeJSON(filepath.Join(*out, "city-level.json"), d); err != nil {
+			return err
+		}
+	}
+	if *which == "borough" || *which == "all" {
+		for _, city := range elevprivacy.BoroughCities(elevprivacy.World()) {
+			d, err := elevprivacy.NewBoroughDataset(city.Abbrev, cfg)
+			if err != nil {
+				return err
+			}
+			name := fmt.Sprintf("borough-%s.json", city.Abbrev)
+			if err := writeJSON(filepath.Join(*out, name), d); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeUserGPX writes every simulated activity as its own GPX file, the
+// format the paper converts all collected activities to.
+func writeUserGPX(dir string, cfg elevprivacy.DatasetConfig) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	d, err := elevprivacy.NewUserSpecificDataset(cfg)
+	if err != nil {
+		return err
+	}
+	start := time.Date(2019, 6, 1, 7, 0, 0, 0, time.UTC)
+	for i := range d.Samples {
+		s := &d.Samples[i]
+		doc, err := gpx.FromActivity(s.ID, "run", s.Path, s.Elevations,
+			start.Add(time.Duration(i)*24*time.Hour), 10)
+		if err != nil {
+			return fmt.Errorf("building gpx for %s: %w", s.ID, err)
+		}
+		f, err := os.Create(filepath.Join(dir, s.ID+".gpx"))
+		if err != nil {
+			return err
+		}
+		if err := gpx.Write(f, doc); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("writing %s: %w", s.ID, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d GPX activities to %s\n", d.Len(), dir)
+	return nil
+}
+
+// writeJSON dumps a dataset as a JSON array.
+func writeJSON(path string, d *elevprivacy.Dataset) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := elevprivacy.SaveDatasetJSON(f, d); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("encoding %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d samples to %s\n", d.Len(), path)
+	return nil
+}

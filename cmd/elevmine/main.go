@@ -1,0 +1,176 @@
+// Command elevmine runs the paper's Fig. 4 mining pipeline end to end over
+// HTTP: it stands up the segment-explore service and the elevation API as
+// real servers, populates the segment store from the synthetic world, then
+// sweeps each city boundary with the grid miner and reports what it
+// recovered.
+//
+// Usage:
+//
+//	elevmine                       # mine every city at laptop scale
+//	elevmine -city SF -grid 12     # one city, finer grid
+//	elevmine -serve :8080,:8081    # keep both services listening instead
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"elevprivacy/internal/dem"
+	"elevprivacy/internal/elevsvc"
+	"elevprivacy/internal/geo"
+	"elevprivacy/internal/segments"
+	"elevprivacy/internal/terrain"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "elevmine:", err)
+		os.Exit(1)
+	}
+}
+
+// worldSource routes elevation queries to the containing city's terrain.
+type worldSource struct {
+	cities []*terrain.City
+	fields []*terrain.Terrain
+}
+
+func newWorldSource(cities []*terrain.City) (*worldSource, error) {
+	ws := &worldSource{cities: cities}
+	for _, c := range cities {
+		tr, err := c.Terrain()
+		if err != nil {
+			return nil, err
+		}
+		ws.fields = append(ws.fields, tr)
+	}
+	return ws, nil
+}
+
+// ElevationAt implements dem.Source over the whole world.
+func (ws *worldSource) ElevationAt(p geo.LatLng) (float64, error) {
+	for i, c := range ws.cities {
+		// Borough boxes may poke outside the city box (e.g. Baltimore), so
+		// route by an expanded boundary.
+		if c.Bounds.Expand(0.5, 0.5).Contains(p) {
+			return ws.fields[i].ElevationAt(p)
+		}
+	}
+	return 0, fmt.Errorf("%w: %v not covered by any city", dem.ErrOutOfBounds, p)
+}
+
+func run() error {
+	var (
+		cityFlag = flag.String("city", "", "mine a single city (name or abbreviation; default all)")
+		perCity  = flag.Int("segments", 120, "synthetic segments created per city")
+		grid     = flag.Int("grid", 8, "miner grid divisions per side")
+		samples  = flag.Int("samples", 100, "elevation samples per profile")
+		seed     = flag.Int64("seed", 1, "random seed")
+		serve    = flag.String("serve", "", "comma-separated listen addrs for segment,elevation services (keeps serving)")
+	)
+	flag.Parse()
+
+	world := terrain.World()
+	cities := world
+	if *cityFlag != "" {
+		c, err := terrain.CityByName(world, *cityFlag)
+		if err != nil {
+			return err
+		}
+		cities = []*terrain.City{c}
+	}
+
+	// Populate the segment store.
+	store := segments.NewStore()
+	rng := rand.New(rand.NewSource(*seed))
+	for _, c := range cities {
+		if err := store.Populate(c.Bounds, *perCity, c.Abbrev, segments.DefaultPopulateConfig(), rng); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("segment store: %d segments across %d cities\n", store.Len(), len(cities))
+
+	source, err := newWorldSource(world)
+	if err != nil {
+		return err
+	}
+
+	if *serve != "" {
+		return serveForever(*serve, store, source)
+	}
+
+	// In-process servers over real TCP.
+	segLis, segURL, err := listen()
+	if err != nil {
+		return err
+	}
+	elevLis, elevURL, err := listen()
+	if err != nil {
+		return err
+	}
+	segSrv := &http.Server{Handler: segments.NewServer(store).Handler(), ReadHeaderTimeout: 5 * time.Second}
+	elevSrv := &http.Server{Handler: elevsvc.NewServer(source).Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = segSrv.Serve(segLis) }()
+	go func() { _ = elevSrv.Serve(elevLis) }()
+	defer func() {
+		_ = segSrv.Close()
+		_ = elevSrv.Close()
+	}()
+
+	miner := segments.NewMiner(
+		segments.NewClient(segURL, nil),
+		elevsvc.NewClient(elevURL, nil),
+	)
+	miner.GridRows = *grid
+	miner.GridCols = *grid
+	miner.Samples = *samples
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	var total int
+	for _, c := range cities {
+		start := time.Now()
+		mined, err := miner.MineBoundary(ctx, c.Name, c.Bounds)
+		if err != nil {
+			return fmt.Errorf("mining %s: %w", c.Name, err)
+		}
+		total += len(mined)
+		fmt.Printf("%-18s mined %4d/%d segments in %v\n",
+			c.Name, len(mined), *perCity, time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Printf("total mined: %d segments (grid %dx%d, top-%d per cell)\n",
+		total, *grid, *grid, segments.ExploreLimit)
+	return nil
+}
+
+// listen opens a loopback listener and returns its base URL.
+func listen() (net.Listener, string, error) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	return lis, "http://" + lis.Addr().String(), nil
+}
+
+// serveForever runs both services on fixed addresses until interrupted.
+func serveForever(addrs string, store *segments.Store, source dem.Source) error {
+	parts := strings.Split(addrs, ",")
+	if len(parts) != 2 {
+		return fmt.Errorf("-serve wants two comma-separated addresses, got %q", addrs)
+	}
+	errc := make(chan error, 2)
+	segSrv := &http.Server{Addr: parts[0], Handler: segments.NewServer(store).Handler(), ReadHeaderTimeout: 5 * time.Second}
+	elevSrv := &http.Server{Addr: parts[1], Handler: elevsvc.NewServer(source).Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { errc <- segSrv.ListenAndServe() }()
+	go func() { errc <- elevSrv.ListenAndServe() }()
+	fmt.Printf("segment service on %s, elevation service on %s\n", parts[0], parts[1])
+	return <-errc
+}

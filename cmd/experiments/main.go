@@ -1,0 +1,69 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic world and prints them as aligned text.
+//
+// Usage:
+//
+//	experiments                  # run everything at the default scale
+//	experiments -quick           # smoke-scale run (minutes)
+//	experiments -run tm3-text    # one experiment by name
+//	experiments -list            # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"elevprivacy/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		quick = flag.Bool("quick", false, "smoke-scale configuration (minutes instead of tens of minutes)")
+		list  = flag.Bool("list", false, "list experiment names and exit")
+		only  = flag.String("run", "", "run a single experiment by name")
+		seed  = flag.Int64("seed", 1, "global random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-28s %s\n", r.Name, r.ID)
+		}
+		return nil
+	}
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	cfg.Seed = *seed
+
+	runners := experiments.All()
+	if *only != "" {
+		r, err := experiments.ByName(*only)
+		if err != nil {
+			return err
+		}
+		runners = []experiments.Runner{r}
+	}
+
+	for _, r := range runners {
+		start := time.Now()
+		table, err := r.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s (%s): %w", r.ID, r.Name, err)
+		}
+		fmt.Println(table)
+		fmt.Printf("(%s completed in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+// Package elevprivacy is a reproduction of "Understanding the Potential
+// Risks of Sharing Elevation Information on Fitness Applications"
+// (Meteriz, Yıldıran, Kim, Mohaisen — ICDCS 2020).
+//
+// The library demonstrates, end to end, that the elevation profile of a
+// workout — the signal fitness apps let users share while hiding the route
+// map — suffices to infer the user's location at city or borough
+// granularity. It contains every substrate the attack needs:
+//
+//   - a synthetic ten-city world with per-city terrain signatures
+//     (internal/terrain) served through SRTM-style DEM rasters
+//     (internal/dem) and an HTTP elevation API (internal/elevsvc);
+//   - a fitness-service segment store with the top-10 ExploreSegments API
+//     and the grid-sweep miner of the paper's Fig. 4 (internal/segments);
+//   - an athlete simulator reproducing the user-specific dataset's
+//     properties (internal/activity), plus GPX I/O (internal/gpx);
+//   - the paper's two elevation-profile representations: n-gram bag-of-
+//     words text features (internal/textrep) and colored line-graph images
+//     (internal/imagerep);
+//   - from-scratch SVM, random forest, MLP, and CNN classifiers
+//     (internal/ml/...), with class-weighted loss and fine-tuning rounds;
+//   - the evaluation harness: k-fold CV, accuracy/precision/recall/F1/
+//     specificity, overlap simulation (internal/eval, internal/dataset).
+//
+// This package is the public facade: build the paper's datasets, train
+// text-like or image-like attacks under the three threat models, and
+// evaluate them the way the paper's tables do.
+//
+// Threat models (paper §II-A):
+//
+//   - TM-1: the adversary knows the target's workout history and
+//     identifies the region of a new activity (user-specific dataset).
+//   - TM-2: the adversary knows the target's city and identifies the
+//     borough (borough-level dataset, one model per city).
+//   - TM-3: the adversary identifies the city with no prior knowledge
+//     (city-level dataset).
+package elevprivacy
+
+import (
+	"fmt"
+
+	"elevprivacy/internal/dataset"
+	"elevprivacy/internal/eval"
+	"elevprivacy/internal/terrain"
+)
+
+// Re-exported core types. These aliases make the internal implementation
+// types part of the public API surface.
+type (
+	// Dataset is a labeled collection of elevation-profile samples.
+	Dataset = dataset.Dataset
+	// Sample is one labeled elevation profile.
+	Sample = dataset.Sample
+	// Metrics bundles accuracy, macro precision/recall/F1, and specificity.
+	Metrics = eval.Metrics
+	// City describes one synthetic city: terrain signature, mining
+	// boundary, boroughs, and paper sample sizes.
+	City = terrain.City
+	// Borough is a named sub-region of a City.
+	Borough = terrain.Borough
+)
+
+// World returns the paper's ten-city world (Table II order).
+func World() []*City { return terrain.World() }
+
+// AthleteWorld returns the four user-specific regions (Table I).
+func AthleteWorld() []*City { return terrain.AthleteWorld() }
+
+// CityByName finds a city by full name or abbreviation.
+func CityByName(world []*City, name string) (*City, error) {
+	return terrain.CityByName(world, name)
+}
+
+// BoroughCities returns the six cities with borough decompositions
+// (Table III order: LA, MIA, NJ, NYC, SF, WDC).
+func BoroughCities(world []*City) []*City { return terrain.BoroughCities(world) }
+
+// DatasetConfig controls dataset synthesis.
+type DatasetConfig struct {
+	// Scale multiplies the paper's per-class sample sizes (1.0 = Tables
+	// I-III exactly). Smaller values keep the class ratios.
+	Scale float64
+	// ProfileSamples is the elevation sample count per mined profile.
+	ProfileSamples int
+	// MinPerClass floors scaled class sizes.
+	MinPerClass int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultDatasetConfig reproduces the paper's dataset shapes at full size.
+func DefaultDatasetConfig() DatasetConfig {
+	c := dataset.DefaultBuildConfig()
+	return DatasetConfig{
+		Scale:          c.Scale,
+		ProfileSamples: c.ProfileSamples,
+		MinPerClass:    c.MinPerClass,
+		Seed:           c.Seed,
+	}
+}
+
+func (c DatasetConfig) build() dataset.BuildConfig {
+	return dataset.BuildConfig{
+		ProfileSamples: c.ProfileSamples,
+		Scale:          c.Scale,
+		MinPerClass:    c.MinPerClass,
+		Seed:           c.Seed,
+	}
+}
+
+// NewUserSpecificDataset synthesizes the Table I dataset: the simulated
+// athlete's labeled activity history (TM-1).
+func NewUserSpecificDataset(cfg DatasetConfig) (*Dataset, error) {
+	return dataset.BuildUserSpecific(cfg.build())
+}
+
+// NewCityLevelDataset synthesizes the Table II dataset over the ten-city
+// world (TM-3).
+func NewCityLevelDataset(cfg DatasetConfig) (*Dataset, error) {
+	return dataset.BuildCityLevel(terrain.World(), cfg.build())
+}
+
+// NewBoroughDataset synthesizes one city's Table III borough dataset
+// (TM-2). The city is named by full name or abbreviation.
+func NewBoroughDataset(cityName string, cfg DatasetConfig) (*Dataset, error) {
+	city, err := terrain.CityByName(terrain.World(), cityName)
+	if err != nil {
+		return nil, err
+	}
+	if len(city.Boroughs) == 0 {
+		return nil, fmt.Errorf("elevprivacy: city %s has no borough decomposition", city.Name)
+	}
+	return dataset.BuildBoroughLevel(city, cfg.build())
+}
+
+// SimulateOverlap rebuilds a mined dataset with ~30 % additional
+// near-duplicate samples per class, reproducing the paper's §IV-A1 overlap
+// simulation. rngSeed drives the perturbations.
+func SimulateOverlap(d *Dataset, rngSeed int64) (*Dataset, error) {
+	return dataset.SimulateOverlapSeeded(d, dataset.DefaultOverlapConfig(), rngSeed)
+}

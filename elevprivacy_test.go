@@ -1,0 +1,277 @@
+package elevprivacy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// smallCfg builds laptop-scale datasets with the paper's class ratios.
+func smallCfg(seed int64) DatasetConfig {
+	return DatasetConfig{
+		Scale:          0.03,
+		ProfileSamples: 60,
+		MinPerClass:    14,
+		Seed:           seed,
+	}
+}
+
+func TestNewCityLevelDatasetShape(t *testing.T) {
+	d, err := NewCityLevelDataset(smallCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := d.Labels()
+	if len(labels) != 10 {
+		t.Fatalf("labels = %v", labels)
+	}
+	counts := d.CountByLabel()
+	// NYC (2437 × 0.03 = 73) must dominate Tampa (83 × 0.03 -> floor 14).
+	if counts["New York City"] <= counts["Tampa"] {
+		t.Errorf("class ratio lost: %v", counts)
+	}
+}
+
+func TestNewUserSpecificDatasetShape(t *testing.T) {
+	d, err := NewUserSpecificDataset(smallCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Labels()); got != 4 {
+		t.Fatalf("labels = %v", d.Labels())
+	}
+}
+
+func TestNewBoroughDatasetShape(t *testing.T) {
+	d, err := NewBoroughDataset("SF", smallCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Labels()); got != 4 {
+		t.Fatalf("SF boroughs = %v", d.Labels())
+	}
+	if _, err := NewBoroughDataset("CS", smallCfg(3)); err == nil {
+		t.Error("borough dataset for borough-less city accepted")
+	}
+	if _, err := NewBoroughDataset("Atlantis", smallCfg(3)); err == nil {
+		t.Error("unknown city accepted")
+	}
+}
+
+// TestTM3TextAttackBeatsChanceByFar is the headline reproduction check:
+// city prediction from elevation profiles alone must approach the paper's
+// accuracy band (80-94 %), and certainly demolish the 10 % chance level.
+func TestTM3TextAttackBeatsChanceByFar(t *testing.T) {
+	raw, err := NewCityLevelDataset(smallCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper balances classes for the TM-3 table (fixed S per class).
+	d, err := raw.Balanced(14, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []ClassifierKind{ClassifierSVM, ClassifierRandomForest, ClassifierMLP} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			m, err := CrossValidateText(d, DefaultTextAttackConfig(kind), 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: accuracy=%.3f recall=%.3f f1=%.3f", kind, m.Accuracy, m.Recall, m.F1)
+			// RFC is the weakest of the three in the paper as well
+			// (Table V); it gets a lower bar at this dataset scale.
+			minAcc := 0.55
+			if kind == ClassifierRandomForest {
+				minAcc = 0.45
+			}
+			if m.Accuracy < minAcc {
+				t.Errorf("%s accuracy = %f; want well above 0.10 chance", kind, m.Accuracy)
+			}
+		})
+	}
+}
+
+// TestTM1TextAttack reproduces the user-specific attack: the paper reports
+// 86.8-98.5 % accuracy thanks to overlapped personal routes.
+func TestTM1TextAttack(t *testing.T) {
+	d, err := NewUserSpecificDataset(DatasetConfig{
+		Scale: 0.12, ProfileSamples: 60, MinPerClass: 14, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := CrossValidateText(d, DefaultTextAttackConfig(ClassifierSVM), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("TM-1 SVM accuracy=%.3f", m.Accuracy)
+	if m.Accuracy < 0.70 {
+		t.Errorf("TM-1 accuracy = %f, want high (paper: 0.87-0.99)", m.Accuracy)
+	}
+}
+
+func TestTrainTextAttackPredicts(t *testing.T) {
+	d, err := NewCityLevelDataset(smallCfg(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	attack, err := TrainTextAttack(d, DefaultTextAttackConfig(ClassifierRandomForest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(attack.Labels()); got != 10 {
+		t.Fatalf("attack labels = %d", got)
+	}
+	// Training-set prediction should mostly hit.
+	var correct int
+	for _, s := range d.Samples[:50] {
+		pred, err := attack.PredictLocation(s.Elevations)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred == s.Label {
+			correct++
+		}
+	}
+	if correct < 35 {
+		t.Errorf("train-set correct = %d/50", correct)
+	}
+	if _, err := attack.PredictLocation(nil); err == nil {
+		t.Error("empty profile accepted")
+	}
+}
+
+// TestOverlapSimulationBoostsAccuracy reproduces the paper's §IV-A1
+// finding: adding 30 % near-duplicate samples raises CV accuracy.
+func TestOverlapSimulationBoostsAccuracy(t *testing.T) {
+	d, err := NewCityLevelDataset(smallCfg(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Use a subset of confusable flat cities to leave headroom.
+	sub := d.Filter("Miami", "Tampa", "New Jersey")
+
+	base, err := CrossValidateText(sub, DefaultTextAttackConfig(ClassifierMLP), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simulated, err := SimulateOverlap(sub, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boosted, err := CrossValidateText(simulated, DefaultTextAttackConfig(ClassifierMLP), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("overlap sim: %.3f -> %.3f", base.Accuracy, boosted.Accuracy)
+	if boosted.Accuracy < base.Accuracy-0.05 {
+		t.Errorf("overlap simulation should not hurt: %f -> %f", base.Accuracy, boosted.Accuracy)
+	}
+}
+
+func TestTrainImageAttackWeighted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CNN training on a TM-2-sized dataset is slow")
+	}
+	d, err := NewBoroughDataset("SF", DatasetConfig{
+		Scale: 0.12, ProfileSamples: 60, MinPerClass: 30, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultImageAttackConfig(TrainWeighted)
+	cfg.Epochs = 30
+	m, err := EvaluateImageAttack(d, cfg, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("TM-2 SF image (weighted): accuracy=%.3f", m.Accuracy)
+	// 4 boroughs: chance is 0.25. Boroughs of one city share terrain, so
+	// this is the paper's hardest setting (its SF numbers: 0.65-0.79).
+	if m.Accuracy < 0.3 {
+		t.Errorf("weighted CNN accuracy = %f, want above chance", m.Accuracy)
+	}
+}
+
+// TestImageAttackTM3Separable checks the image pipeline separates cities
+// (the color channel encodes the elevation interval, which is the main
+// inter-city signal).
+func TestImageAttackTM3Separable(t *testing.T) {
+	d, err := NewCityLevelDataset(DatasetConfig{
+		Scale: 0.008, ProfileSamples: 60, MinPerClass: 12, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three very different cities.
+	sub := d.Filter("Colorado Springs", "Miami", "San Francisco")
+	cfg := DefaultImageAttackConfig(TrainUnweighted)
+	cfg.Epochs = 60
+	m, err := EvaluateImageAttack(sub, cfg, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("3-city image attack: accuracy=%.3f", m.Accuracy)
+	if m.Accuracy < 0.6 {
+		t.Errorf("image attack accuracy = %f", m.Accuracy)
+	}
+}
+
+func TestTrainImageAttackFineTune(t *testing.T) {
+	d, err := NewUserSpecificDataset(DatasetConfig{
+		Scale: 0.05, ProfileSamples: 50, MinPerClass: 10, Seed: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultImageAttackConfig(TrainFineTune)
+	cfg.Epochs = 4
+	cfg.MaxRounds = 3
+	attack, err := TrainImageAttack(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attack.Labels()) != 4 {
+		t.Fatalf("labels = %v", attack.Labels())
+	}
+	if _, err := attack.PredictLocation(d.Samples[0].Elevations); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainImageAttackValidation(t *testing.T) {
+	d, err := NewBoroughDataset("SF", DatasetConfig{
+		Scale: 0.01, ProfileSamples: 30, MinPerClass: 8, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultImageAttackConfig("nonsense")
+	bad.Epochs = 1
+	if _, err := TrainImageAttack(d, bad); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	zero := DefaultImageAttackConfig(TrainWeighted)
+	zero.Epochs = 0
+	if _, err := TrainImageAttack(d, zero); err == nil {
+		t.Error("0 epochs accepted")
+	}
+	if _, err := TrainImageAttack(&Dataset{}, DefaultImageAttackConfig(TrainWeighted)); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestTrainTextAttackValidation(t *testing.T) {
+	if _, err := TrainTextAttack(&Dataset{}, DefaultTextAttackConfig(ClassifierSVM)); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	d, err := NewBoroughDataset("SF", DatasetConfig{
+		Scale: 0.01, ProfileSamples: 30, MinPerClass: 8, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TrainTextAttack(d, TextAttackConfig{Classifier: "nope", NGram: 8, MinFrequency: 1}); err == nil {
+		t.Error("unknown classifier accepted")
+	}
+}

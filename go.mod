@@ -1,0 +1,3 @@
+module elevprivacy
+
+go 1.22

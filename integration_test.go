@@ -1,0 +1,128 @@
+package elevprivacy_test
+
+// Integration test: the complete pipeline of the paper's Fig. 2/Fig. 4
+// over real HTTP — populate a fitness service with user-created segments,
+// grid-mine two cities through the ExploreSegments API, fetch elevation
+// profiles from the elevation API, build the labeled dataset, and run the
+// location-inference attack.
+
+import (
+	"context"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"elevprivacy"
+	"elevprivacy/internal/dataset"
+	"elevprivacy/internal/elevsvc"
+	"elevprivacy/internal/geo"
+	"elevprivacy/internal/segments"
+	"elevprivacy/internal/terrain"
+)
+
+// multiCitySource routes elevation queries to the containing city terrain.
+type multiCitySource struct {
+	cities []*terrain.City
+	fields []*terrain.Terrain
+}
+
+func (m *multiCitySource) ElevationAt(p geo.LatLng) (float64, error) {
+	for i, c := range m.cities {
+		if c.Bounds.Expand(0.5, 0.5).Contains(p) {
+			return m.fields[i].ElevationAt(p)
+		}
+	}
+	// Fall back to the first city's field; queries only come from within
+	// the mined boundaries in this test.
+	return m.fields[0].ElevationAt(p)
+}
+
+func TestEndToEndMiningAttack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end mining is slow")
+	}
+
+	world := terrain.World()
+	var cities []*terrain.City
+	for _, ab := range []string{"CS", "MIA"} { // maximally separable pair
+		c, err := terrain.CityByName(world, ab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cities = append(cities, c)
+	}
+
+	// Fitness service: user-created segments in both cities.
+	store := segments.NewStore()
+	rng := rand.New(rand.NewSource(42))
+	for _, c := range cities {
+		if err := store.Populate(c.Bounds, 120, c.Abbrev, segments.DefaultPopulateConfig(), rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	src := &multiCitySource{cities: cities}
+	for _, c := range cities {
+		tr, err := c.Terrain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		src.fields = append(src.fields, tr)
+	}
+
+	segSrv := httptest.NewServer(segments.NewServer(store, segments.WithLogf(t.Logf)).Handler())
+	defer segSrv.Close()
+	elevSrv := httptest.NewServer(elevsvc.NewServer(src, elevsvc.WithLogf(t.Logf)).Handler())
+	defer elevSrv.Close()
+
+	// The paper's grid miner, over the wire.
+	miner := segments.NewMiner(
+		segments.NewClient(segSrv.URL, segSrv.Client()),
+		elevsvc.NewClient(elevSrv.URL, elevSrv.Client()),
+	)
+	miner.Samples = 60
+	miner.GridRows, miner.GridCols = 10, 10
+
+	classes := map[string]geo.BBox{}
+	for _, c := range cities {
+		classes[c.Name] = c.Bounds
+	}
+	mined, err := miner.MineClasses(context.Background(), classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := (*elevprivacy.Dataset)(dataset.FromMined(mined))
+	counts := d.CountByLabel()
+	t.Logf("mined dataset: %v", counts)
+	for _, c := range cities {
+		if counts[c.Name] < 20 {
+			t.Fatalf("city %s mined only %d segments", c.Name, counts[c.Name])
+		}
+	}
+
+	// Attack the mined dataset.
+	m, err := elevprivacy.CrossValidateText(d,
+		elevprivacy.DefaultTextAttackConfig(elevprivacy.ClassifierSVM), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("end-to-end mined-data attack accuracy: %.3f", m.Accuracy)
+	if m.Accuracy < 0.9 {
+		t.Errorf("CS-vs-Miami from mined data should be nearly perfect, got %.3f", m.Accuracy)
+	}
+
+	// And a trained attack can place a fresh profile mined from one city.
+	attack, err := elevprivacy.TrainTextAttack(d,
+		elevprivacy.DefaultTextAttackConfig(elevprivacy.ClassifierSVM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := attack.PredictLocation(mined[0].Elevations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred != mined[0].Label {
+		t.Errorf("fresh profile predicted %q, actual %q", pred, mined[0].Label)
+	}
+}

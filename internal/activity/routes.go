@@ -1,0 +1,161 @@
+// Package activity synthesizes the human side of the datasets: plausible
+// workout routes and the voluntary athlete whose recorded history forms the
+// paper's user-specific dataset (Table I).
+//
+// Routes are bearing-persistent random walks bounded to a region, with
+// shapes matching how people actually train: wandering runs, loops, and
+// out-and-back courses. The athlete model adds the behaviours the paper's
+// survey documents — activities start at home/school/work anchors and
+// favorite routes are repeated with small day-to-day jitter, which is what
+// produces the ~35 % route overlap the paper measures.
+package activity
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"elevprivacy/internal/geo"
+)
+
+// RouteGenerator produces synthetic workout routes inside a boundary.
+// It is deterministic given its *rand.Rand.
+type RouteGenerator struct {
+	bounds geo.BBox
+	rng    *rand.Rand
+}
+
+// StepMeters is the spacing between consecutive route vertices.
+const StepMeters = 60
+
+// NewRouteGenerator creates a generator confined to bounds.
+func NewRouteGenerator(bounds geo.BBox, rng *rand.Rand) (*RouteGenerator, error) {
+	if !bounds.Valid() || bounds.AreaDeg2() == 0 {
+		return nil, fmt.Errorf("activity: invalid bounds %v", bounds)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("activity: nil rng")
+	}
+	return &RouteGenerator{bounds: bounds, rng: rng}, nil
+}
+
+// RandomPoint returns a uniform point within the generator's bounds, kept
+// off the extreme edges so a route has room to move.
+func (g *RouteGenerator) RandomPoint() geo.LatLng {
+	margin := 0.08
+	dLat := g.bounds.NE.Lat - g.bounds.SW.Lat
+	dLng := g.bounds.NE.Lng - g.bounds.SW.Lng
+	return geo.LatLng{
+		Lat: g.bounds.SW.Lat + dLat*(margin+(1-2*margin)*g.rng.Float64()),
+		Lng: g.bounds.SW.Lng + dLng*(margin+(1-2*margin)*g.rng.Float64()),
+	}
+}
+
+// Wander generates a bearing-persistent random walk of the given length
+// starting at a random point.
+func (g *RouteGenerator) Wander(lengthMeters float64) geo.Path {
+	return g.WanderFrom(g.RandomPoint(), lengthMeters)
+}
+
+// WanderFrom generates a bearing-persistent random walk from start. The walk
+// turns smoothly (Gaussian bearing increments) and steers back toward the
+// boundary center when it strays outside.
+func (g *RouteGenerator) WanderFrom(start geo.LatLng, lengthMeters float64) geo.Path {
+	steps := int(math.Max(2, lengthMeters/StepMeters))
+	path := make(geo.Path, 0, steps+1)
+	path = append(path, start)
+
+	bearing := g.rng.Float64() * 360
+	cur := start
+	for i := 0; i < steps; i++ {
+		bearing += g.rng.NormFloat64() * 18
+		next := cur.Destination(bearing, StepMeters)
+		if !g.bounds.Contains(next) {
+			// Turn toward the center and step again.
+			bearing = cur.BearingDegrees(g.bounds.Center())
+			next = cur.Destination(bearing, StepMeters)
+			if !g.bounds.Contains(next) {
+				next = cur // stuck at a corner; stand still this step
+			}
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return path
+}
+
+// Loop generates a closed training loop around center with the given mean
+// radius; the radius wobbles so the loop is organic rather than circular.
+func (g *RouteGenerator) Loop(center geo.LatLng, radiusMeters float64) geo.Path {
+	const vertices = 48
+	phase := g.rng.Float64() * 2 * math.Pi
+	wobbleA := 0.12 + 0.1*g.rng.Float64()
+	wobbleB := 0.05 + 0.08*g.rng.Float64()
+	path := make(geo.Path, 0, vertices+1)
+	for i := 0; i <= vertices; i++ {
+		theta := 2 * math.Pi * float64(i) / vertices
+		r := radiusMeters * (1 + wobbleA*math.Sin(3*theta+phase) + wobbleB*math.Sin(5*theta-phase))
+		p := center.Destination(theta*180/math.Pi, r)
+		if !g.bounds.Contains(p) {
+			p = clampTo(g.bounds, p)
+		}
+		path = append(path, p)
+	}
+	return path
+}
+
+// OutAndBack generates a course that goes halfMeters along a meandering
+// bearing and returns by the same way, the classic training route shape.
+func (g *RouteGenerator) OutAndBack(start geo.LatLng, bearing, halfMeters float64) geo.Path {
+	steps := int(math.Max(2, halfMeters/StepMeters))
+	out := make(geo.Path, 0, 2*steps+1)
+	out = append(out, start)
+	cur := start
+	b := bearing
+	for i := 0; i < steps; i++ {
+		b += g.rng.NormFloat64() * 8
+		next := cur.Destination(b, StepMeters)
+		if !g.bounds.Contains(next) {
+			b = cur.BearingDegrees(g.bounds.Center())
+			next = cur.Destination(b, StepMeters)
+			if !g.bounds.Contains(next) {
+				next = cur
+			}
+		}
+		out = append(out, next)
+		cur = next
+	}
+	// Return leg: the same vertices reversed, skipping the turnaround point.
+	for i := len(out) - 2; i >= 0; i-- {
+		out = append(out, out[i])
+	}
+	return out
+}
+
+// Jitter returns a copy of path with every vertex displaced by a Gaussian
+// offset of the given scale — the same route on a different day (GPS noise
+// plus small detours). The first point keeps a smaller jitter so the route
+// still starts "at the door".
+func (g *RouteGenerator) Jitter(path geo.Path, meters float64) geo.Path {
+	out := make(geo.Path, 0, len(path))
+	for i, p := range path {
+		scale := meters
+		if i == 0 {
+			scale = meters / 3
+		}
+		q := p.Destination(g.rng.Float64()*360, math.Abs(g.rng.NormFloat64())*scale)
+		if !g.bounds.Contains(q) {
+			q = p
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// clampTo projects p onto the closed box.
+func clampTo(b geo.BBox, p geo.LatLng) geo.LatLng {
+	return geo.LatLng{
+		Lat: math.Max(b.SW.Lat, math.Min(b.NE.Lat, p.Lat)),
+		Lng: math.Max(b.SW.Lng, math.Min(b.NE.Lng, p.Lng)),
+	}
+}

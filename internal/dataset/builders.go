@@ -1,0 +1,161 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"elevprivacy/internal/activity"
+	"elevprivacy/internal/geo"
+	"elevprivacy/internal/terrain"
+)
+
+// BuildConfig controls direct (in-process) dataset synthesis. The same
+// datasets can be produced end-to-end over HTTP with segments.Miner; the
+// direct builders exercise identical route generation and terrain sampling
+// without the network hop and are what the experiment harness uses.
+type BuildConfig struct {
+	// ProfileSamples is the number of elevation values per mined profile
+	// (the elevation API sampling resolution). User-specific activities are
+	// instead sampled densely at every route vertex.
+	ProfileSamples int
+	// Scale multiplies every class's paper sample size; 1.0 reproduces
+	// Tables I-III exactly, smaller values produce laptop-scale datasets
+	// with the same class ratios.
+	Scale float64
+	// MinPerClass floors the scaled class size so tiny classes survive
+	// scaling.
+	MinPerClass int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultBuildConfig reproduces the paper's dataset shapes at full size.
+func DefaultBuildConfig() BuildConfig {
+	return BuildConfig{
+		ProfileSamples: 100,
+		Scale:          1.0,
+		MinPerClass:    8,
+		Seed:           1,
+	}
+}
+
+// scaled returns the class size after scaling.
+func (c BuildConfig) scaled(target int) int {
+	n := int(float64(target)*c.Scale + 0.5)
+	if n < c.MinPerClass {
+		n = c.MinPerClass
+	}
+	return n
+}
+
+// validate reports the first problem with the config.
+func (c BuildConfig) validate() error {
+	if c.ProfileSamples < 2 {
+		return fmt.Errorf("dataset: ProfileSamples must be >= 2, got %d", c.ProfileSamples)
+	}
+	if c.Scale <= 0 {
+		return fmt.Errorf("dataset: Scale must be positive, got %g", c.Scale)
+	}
+	return nil
+}
+
+// BuildUserSpecific synthesizes the Table I user-specific dataset: the
+// simulated athlete's activity history, labeled by region, densely sampled.
+func BuildUserSpecific(cfg BuildConfig) (*Dataset, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	regions := terrain.AthleteWorld()
+	counts := map[string]int{}
+	for _, r := range regions {
+		counts[r.Name] = cfg.scaled(r.TargetSegments)
+	}
+	acts, err := activity.SimulateAthlete(regions, counts, activity.DefaultAthleteConfig(), cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: user-specific build: %w", err)
+	}
+	return FromActivities(acts), nil
+}
+
+// BuildCityLevel synthesizes the Table II city-level dataset: per city,
+// segment-shaped routes inside the city boundary with elevation profiles
+// sampled from the city's terrain at ProfileSamples points.
+func BuildCityLevel(world []*terrain.City, cfg BuildConfig) (*Dataset, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	d := &Dataset{}
+	for ci, city := range world {
+		if err := appendClassSamples(d, city, city.Name, city.Bounds,
+			cfg.scaled(city.TargetSegments), cfg, cfg.Seed+int64(ci)*1000); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// BuildBoroughLevel synthesizes one city's borough-level dataset
+// (Table III): per borough, routes confined to the borough boundary,
+// labeled with the borough name, all sampled from the SAME city terrain —
+// which is exactly why borough classification is harder than city
+// classification.
+func BuildBoroughLevel(city *terrain.City, cfg BuildConfig) (*Dataset, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(city.Boroughs) == 0 {
+		return nil, fmt.Errorf("dataset: city %s has no boroughs", city.Name)
+	}
+	d := &Dataset{}
+	for bi, b := range city.Boroughs {
+		if err := appendClassSamples(d, city, b.Name, b.Bounds,
+			cfg.scaled(b.TargetSegments), cfg, cfg.Seed+int64(bi)*1000+7); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// appendClassSamples generates n segment routes inside bounds on the city's
+// terrain and appends them to d with the given label.
+func appendClassSamples(d *Dataset, city *terrain.City, label string, bounds geo.BBox, n int, cfg BuildConfig, seed int64) error {
+	tr, err := city.Terrain()
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	gen, err := activity.NewRouteGenerator(bounds, rng)
+	if err != nil {
+		return fmt.Errorf("dataset: class %q: %w", label, err)
+	}
+
+	for i := 0; i < n; i++ {
+		length := 800 + rng.Float64()*3200
+		var path geo.Path
+		switch rng.Intn(3) {
+		case 0:
+			path = gen.Loop(gen.RandomPoint(), length/6.3)
+		case 1:
+			path = gen.OutAndBack(gen.RandomPoint(), rng.Float64()*360, length/2)
+		default:
+			path = gen.Wander(length)
+		}
+
+		pts := path.Resample(cfg.ProfileSamples)
+		elevs := make([]float64, 0, len(pts))
+		for _, p := range pts {
+			e, err := tr.ElevationAt(p)
+			if err != nil {
+				return fmt.Errorf("dataset: class %q elevation: %w", label, err)
+			}
+			elevs = append(elevs, e)
+		}
+		d.Samples = append(d.Samples, Sample{
+			ID:         fmt.Sprintf("%s-%05d", label, i),
+			Label:      label,
+			Elevations: elevs,
+			Path:       path,
+		})
+	}
+	return nil
+}

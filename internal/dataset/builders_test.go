@@ -1,0 +1,170 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"elevprivacy/internal/terrain"
+)
+
+// worldForTest returns a trimmed 3-city world for fast builder tests.
+func worldForTest() []*terrain.City {
+	world := terrain.World()
+	out := []*terrain.City{}
+	for _, ab := range []string{"CS", "MIA", "SF"} {
+		c, err := terrain.CityByName(world, ab)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func smallCfg() BuildConfig {
+	return BuildConfig{ProfileSamples: 40, Scale: 0.02, MinPerClass: 10, Seed: 1}
+}
+
+func TestBuildConfigValidation(t *testing.T) {
+	cfg := smallCfg()
+	cfg.ProfileSamples = 1
+	if _, err := BuildCityLevel(worldForTest(), cfg); err == nil {
+		t.Error("ProfileSamples=1 accepted")
+	}
+	cfg = smallCfg()
+	cfg.Scale = 0
+	if _, err := BuildCityLevel(worldForTest(), cfg); err == nil {
+		t.Error("Scale=0 accepted")
+	}
+}
+
+func TestBuildCityLevelShape(t *testing.T) {
+	d, err := BuildCityLevel(worldForTest(), smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := d.CountByLabel()
+	if len(counts) != 3 {
+		t.Fatalf("labels = %v", counts)
+	}
+	// SF target 743 at scale 0.02 => 15; CS 369 => 10 (min floor); MIA 94 => 10.
+	if counts["San Francisco"] != 15 {
+		t.Errorf("SF = %d, want 15", counts["San Francisco"])
+	}
+	if counts["Colorado Springs"] != 10 || counts["Miami"] != 10 {
+		t.Errorf("floored classes = %v", counts)
+	}
+	for _, s := range d.Samples {
+		if len(s.Elevations) != 40 {
+			t.Fatalf("%s: %d elevations, want 40", s.ID, len(s.Elevations))
+		}
+		if len(s.Path) < 2 {
+			t.Fatalf("%s: path too short", s.ID)
+		}
+	}
+}
+
+// TestBuildCityLevelElevationSignatures verifies the class separability the
+// attack depends on: Colorado Springs profiles are high, Miami's near sea
+// level.
+func TestBuildCityLevelElevationSignatures(t *testing.T) {
+	d, err := BuildCityLevel(worldForTest(), smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanOf := func(label string) float64 {
+		var sum float64
+		var n int
+		for _, s := range d.Samples {
+			if s.Label != label {
+				continue
+			}
+			for _, e := range s.Elevations {
+				sum += e
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	cs := meanOf("Colorado Springs")
+	mia := meanOf("Miami")
+	if cs < 1500 {
+		t.Errorf("CS mean elevation = %f, want > 1500", cs)
+	}
+	if mia > 20 {
+		t.Errorf("Miami mean elevation = %f, want < 20", mia)
+	}
+}
+
+func TestBuildBoroughLevel(t *testing.T) {
+	world := terrain.World()
+	sf, err := terrain.CityByName(world, "SF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallCfg()
+	d, err := BuildBoroughLevel(sf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := d.CountByLabel()
+	if len(counts) != 4 {
+		t.Fatalf("SF borough labels = %v", counts)
+	}
+	// SF's biggest borough (South West, 743) scales to 15.
+	if counts["South West"] != 15 {
+		t.Errorf("South West = %d, want 15", counts["South West"])
+	}
+
+	// Cities without boroughs are rejected.
+	cs, _ := terrain.CityByName(world, "CS")
+	if _, err := BuildBoroughLevel(cs, cfg); err == nil {
+		t.Error("borough build for borough-less city accepted")
+	}
+}
+
+func TestBuildUserSpecific(t *testing.T) {
+	cfg := BuildConfig{ProfileSamples: 10, Scale: 0.03, MinPerClass: 5, Seed: 2}
+	d, err := BuildUserSpecific(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := d.CountByLabel()
+	// Table I: WDC 366 -> 11, ORL 232 -> 7, NYC 120 -> 5(floor 4->5), SD 18 -> 5.
+	if counts["Washington DC"] != 11 {
+		t.Errorf("WDC = %d, want 11", counts["Washington DC"])
+	}
+	if counts["San Diego"] != 5 {
+		t.Errorf("SD = %d, want 5 (floored)", counts["San Diego"])
+	}
+	// Dense sampling: elevations match path vertex count, not ProfileSamples.
+	for _, s := range d.Samples {
+		if len(s.Elevations) != len(s.Path) {
+			t.Fatalf("%s: %d elevations for %d vertices", s.ID, len(s.Elevations), len(s.Path))
+		}
+	}
+}
+
+func TestBuildersDeterministic(t *testing.T) {
+	a, err := BuildCityLevel(worldForTest(), smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildCityLevel(worldForTest(), smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Samples {
+		if a.Samples[i].ID != b.Samples[i].ID {
+			t.Fatalf("IDs diverge at %d", i)
+		}
+		for j := range a.Samples[i].Elevations {
+			if math.Abs(a.Samples[i].Elevations[j]-b.Samples[i].Elevations[j]) > 0 {
+				t.Fatalf("elevations diverge at %d/%d", i, j)
+			}
+		}
+	}
+}

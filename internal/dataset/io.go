@@ -1,0 +1,136 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"io/fs"
+	"path"
+	"sort"
+
+	"elevprivacy/internal/geo"
+	"elevprivacy/internal/gpx"
+)
+
+// sampleJSON is the on-disk form of one sample (the format cmd/elevgen
+// writes and downstream tooling reads).
+type sampleJSON struct {
+	ID         string    `json:"id"`
+	Label      string    `json:"label"`
+	Elevations []float64 `json:"elevations"`
+	Polyline   string    `json:"polyline,omitempty"`
+}
+
+// SaveJSON writes the dataset as a JSON array. Paths are stored as encoded
+// polylines when present.
+func SaveJSON(w io.Writer, d *Dataset) error {
+	out := make([]sampleJSON, 0, d.Len())
+	for i := range d.Samples {
+		s := &d.Samples[i]
+		sj := sampleJSON{
+			ID:         s.ID,
+			Label:      s.Label,
+			Elevations: s.Elevations,
+		}
+		if len(s.Path) > 0 {
+			sj.Polyline = geo.EncodePolyline(s.Path)
+		}
+		out = append(out, sj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("dataset: encoding json: %w", err)
+	}
+	return nil
+}
+
+// LoadJSON reads a dataset written by SaveJSON.
+func LoadJSON(r io.Reader) (*Dataset, error) {
+	var in []sampleJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("dataset: decoding json: %w", err)
+	}
+	d := &Dataset{Samples: make([]Sample, 0, len(in))}
+	for i, sj := range in {
+		if sj.ID == "" || sj.Label == "" {
+			return nil, fmt.Errorf("dataset: sample %d missing id or label", i)
+		}
+		if len(sj.Elevations) == 0 {
+			return nil, fmt.Errorf("dataset: sample %s has no elevations", sj.ID)
+		}
+		s := Sample{ID: sj.ID, Label: sj.Label, Elevations: sj.Elevations}
+		if sj.Polyline != "" {
+			p, err := geo.DecodePolyline(sj.Polyline)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: sample %s polyline: %w", sj.ID, err)
+			}
+			s.Path = p
+		}
+		d.Samples = append(d.Samples, s)
+	}
+	return d, nil
+}
+
+// LoadGPXDir implements the paper's §III-A1 labeling pipeline over a
+// directory of GPX activity files: each track's tight bounding rectangle
+// is clustered by center distance, and the activity is labeled with its
+// region's identity ("R0", "R1", ...). thresholdMeters is the paper's
+// center-distance threshold for joining an existing region.
+//
+// Files are processed in sorted name order so labeling is deterministic.
+func LoadGPXDir(fsys fs.FS, dir string, thresholdMeters float64) (*Dataset, error) {
+	if thresholdMeters <= 0 {
+		return nil, fmt.Errorf("dataset: threshold must be positive, got %g", thresholdMeters)
+	}
+	entries, err := fs.ReadDir(fsys, dir)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && path.Ext(e.Name()) == ".gpx" {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("dataset: no .gpx files in %s", dir)
+	}
+	sort.Strings(names)
+
+	clusterer := geo.NewRegionClusterer(thresholdMeters)
+	d := &Dataset{Samples: make([]Sample, 0, len(names))}
+	for _, name := range names {
+		f, err := fsys.Open(path.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("dataset: opening %s: %w", name, err)
+		}
+		doc, err := gpx.Read(f)
+		_ = f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("dataset: parsing %s: %w", name, err)
+		}
+		for ti, trk := range doc.Tracks {
+			trail := trk.Path()
+			rect, ok := trail.Bounds()
+			if !ok {
+				continue // empty track
+			}
+			region := clusterer.Assign(rect)
+			id := name
+			if ti > 0 {
+				id = fmt.Sprintf("%s#%d", name, ti)
+			}
+			d.Samples = append(d.Samples, Sample{
+				ID:         id,
+				Label:      region.ID,
+				Elevations: trk.Elevations(),
+				Path:       trail,
+			})
+		}
+	}
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("dataset: no non-empty tracks in %s", dir)
+	}
+	return d, nil
+}

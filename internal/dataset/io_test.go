@@ -1,0 +1,212 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/fstest"
+	"time"
+
+	"elevprivacy/internal/geo"
+	"elevprivacy/internal/gpx"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	d := &Dataset{Samples: []Sample{
+		{
+			ID: "a1", Label: "Miami",
+			Elevations: []float64{2.5, 3.25, 2.75},
+			Path:       geo.Path{{Lat: 25.77, Lng: -80.19}, {Lat: 25.78, Lng: -80.18}},
+		},
+		{
+			ID: "a2", Label: "Duluth",
+			Elevations: []float64{240, 251},
+			// no path
+		},
+	}}
+
+	var buf bytes.Buffer
+	if err := SaveJSON(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("len = %d", back.Len())
+	}
+	if back.Samples[0].Label != "Miami" || back.Samples[1].ID != "a2" {
+		t.Errorf("metadata lost: %+v", back.Samples)
+	}
+	for i, v := range d.Samples[0].Elevations {
+		if back.Samples[0].Elevations[i] != v {
+			t.Errorf("elevation %d = %f, want %f", i, back.Samples[0].Elevations[i], v)
+		}
+	}
+	// Polyline round trip is quantized to 1e-5 degrees.
+	if math.Abs(back.Samples[0].Path[0].Lat-25.77) > 1e-5 {
+		t.Errorf("path lost: %v", back.Samples[0].Path)
+	}
+	if back.Samples[1].Path != nil {
+		t.Error("pathless sample acquired a path")
+	}
+}
+
+func TestLoadJSONValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"not json", "{"},
+		{"missing label", `[{"id":"x","elevations":[1]}]`},
+		{"missing id", `[{"label":"x","elevations":[1]}]`},
+		{"empty elevations", `[{"id":"x","label":"y","elevations":[]}]`},
+		{"bad polyline", `[{"id":"x","label":"y","elevations":[1],"polyline":""}]`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := LoadJSON(strings.NewReader(tc.in)); err == nil {
+				t.Error("accepted")
+			}
+		})
+	}
+}
+
+// gpxFile renders a single-track GPX document to bytes.
+func gpxFile(t *testing.T, name string, pts geo.Path, elevs []float64) []byte {
+	t.Helper()
+	doc, err := gpx.FromActivity(name, "run", pts, elevs, time.Time{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gpx.Write(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// routeNear builds a short path around a center point.
+func routeNear(center geo.LatLng) geo.Path {
+	return geo.Path{
+		center,
+		center.Destination(45, 500),
+		center.Destination(90, 900),
+	}
+}
+
+func TestLoadGPXDirLabelsByRegion(t *testing.T) {
+	dc := geo.LatLng{Lat: 38.9, Lng: -77.03}
+	orlando := geo.LatLng{Lat: 28.54, Lng: -81.38}
+
+	fsys := fstest.MapFS{
+		// Two DC activities (the second slightly shifted) and one Orlando.
+		"acts/run-a.gpx": &fstest.MapFile{Data: gpxFile(t, "run-a", routeNear(dc), []float64{50, 52, 54})},
+		"acts/run-b.gpx": &fstest.MapFile{Data: gpxFile(t, "run-b", routeNear(dc.Destination(10, 800)), []float64{51, 53, 55})},
+		"acts/run-c.gpx": &fstest.MapFile{Data: gpxFile(t, "run-c", routeNear(orlando), []float64{28, 29, 30})},
+		"acts/notes.txt": &fstest.MapFile{Data: []byte("ignore me")},
+	}
+
+	d, err := LoadGPXDir(fsys, "acts", 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("len = %d, want 3", d.Len())
+	}
+	counts := d.CountByLabel()
+	if len(counts) != 2 {
+		t.Fatalf("regions = %v, want 2 (DC cluster + Orlando)", counts)
+	}
+	// The two DC activities share a region.
+	byID := map[string]string{}
+	for i := range d.Samples {
+		byID[d.Samples[i].ID] = d.Samples[i].Label
+	}
+	if byID["run-a.gpx"] != byID["run-b.gpx"] {
+		t.Errorf("DC activities labeled differently: %v", byID)
+	}
+	if byID["run-c.gpx"] == byID["run-a.gpx"] {
+		t.Errorf("Orlando activity joined the DC region: %v", byID)
+	}
+	// Elevations survive.
+	for i := range d.Samples {
+		if len(d.Samples[i].Elevations) != 3 {
+			t.Errorf("%s: %d elevations", d.Samples[i].ID, len(d.Samples[i].Elevations))
+		}
+	}
+}
+
+func TestLoadGPXDirDeterministicLabels(t *testing.T) {
+	center := geo.LatLng{Lat: 40, Lng: -74}
+	fsys := fstest.MapFS{
+		"a/1.gpx": &fstest.MapFile{Data: gpxFile(t, "1", routeNear(center), []float64{1, 2, 3})},
+		"a/2.gpx": &fstest.MapFile{Data: gpxFile(t, "2", routeNear(center), []float64{1, 2, 3})},
+	}
+	d1, err := LoadGPXDir(fsys, "a", 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := LoadGPXDir(fsys, "a", 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d1.Samples {
+		if d1.Samples[i].Label != d2.Samples[i].Label {
+			t.Fatal("labels not deterministic")
+		}
+	}
+	if d1.Samples[0].Label != "R0" {
+		t.Errorf("first region = %q, want R0", d1.Samples[0].Label)
+	}
+}
+
+func TestLoadGPXDirValidation(t *testing.T) {
+	fsys := fstest.MapFS{
+		"empty/readme.md": &fstest.MapFile{Data: []byte("no gpx here")},
+	}
+	if _, err := LoadGPXDir(fsys, "empty", 5000); err == nil {
+		t.Error("gpx-less directory accepted")
+	}
+	if _, err := LoadGPXDir(fsys, "missing", 5000); err == nil {
+		t.Error("missing directory accepted")
+	}
+	if _, err := LoadGPXDir(fsys, "empty", 0); err == nil {
+		t.Error("zero threshold accepted")
+	}
+
+	bad := fstest.MapFS{
+		"acts/broken.gpx": &fstest.MapFile{Data: []byte("<gpx><trk>")},
+	}
+	if _, err := LoadGPXDir(bad, "acts", 5000); err == nil {
+		t.Error("malformed gpx accepted")
+	}
+}
+
+// TestGPXEndToEndAttack ties the loader to the attack surface: GPX in,
+// labeled dataset out, ready for TrainTextAttack (exercised at the facade
+// level elsewhere).
+func TestGPXEndToEndAttack(t *testing.T) {
+	dc := geo.LatLng{Lat: 38.9, Lng: -77.03}
+	fsys := fstest.MapFS{}
+	for i := 0; i < 6; i++ {
+		name := "acts/run" + string(rune('0'+i)) + ".gpx"
+		center := dc
+		elevs := []float64{50, 52, 51}
+		if i >= 3 {
+			center = geo.LatLng{Lat: 28.54, Lng: -81.38}
+			elevs = []float64{28, 29, 28}
+		}
+		fsys[name] = &fstest.MapFile{Data: gpxFile(t, name, routeNear(center), elevs)}
+	}
+	d, err := LoadGPXDir(fsys, "acts", 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := d.CountByLabel()
+	if counts["R0"] != 3 || counts["R1"] != 3 {
+		t.Errorf("region counts = %v", counts)
+	}
+}

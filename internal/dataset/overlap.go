@@ -1,0 +1,105 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OverlapConfig tunes SimulateOverlap.
+type OverlapConfig struct {
+	// ExtraFrac is the fraction of additional near-duplicate samples added
+	// per class. The paper's TM-3 simulation grows classes by ~30 %
+	// (e.g. 743 -> 966 samples) to reach a 35 % overlap ratio.
+	ExtraFrac float64
+	// ElevationNoise is the per-sample Gaussian noise (meters) applied to a
+	// duplicated profile — the same route on another day.
+	ElevationNoise float64
+	// MinKeepFrac is the minimum fraction of the source profile retained
+	// when the duplicate is cropped (people cut routes short or extend
+	// them; the shared portion is what overlaps).
+	MinKeepFrac float64
+	// PathJitterMeters displaces duplicated path vertices so the overlap
+	// statistic reflects near- but not exact-duplicates.
+	PathJitterMeters float64
+}
+
+// DefaultOverlapConfig reproduces the paper's simulated-overlap datasets.
+func DefaultOverlapConfig() OverlapConfig {
+	return OverlapConfig{
+		ExtraFrac:        0.30,
+		ElevationNoise:   0.4,
+		MinKeepFrac:      0.80,
+		PathJitterMeters: 20,
+	}
+}
+
+// SimulateOverlap rebuilds a mined dataset with overlapped samples, the
+// paper's §IV-A1 simulation: each class gains ExtraFrac×n near-duplicate
+// samples, each a cropped, noise-perturbed copy of a random existing sample
+// of the class. The returned dataset is a fresh copy; d is not modified.
+func SimulateOverlap(d *Dataset, cfg OverlapConfig, rng *rand.Rand) (*Dataset, error) {
+	if cfg.ExtraFrac < 0 {
+		return nil, fmt.Errorf("dataset: negative ExtraFrac %g", cfg.ExtraFrac)
+	}
+	if cfg.MinKeepFrac <= 0 || cfg.MinKeepFrac > 1 {
+		return nil, fmt.Errorf("dataset: MinKeepFrac must be in (0,1], got %g", cfg.MinKeepFrac)
+	}
+
+	out := d.Clone()
+	byLabel := d.indexByLabel()
+	for _, label := range d.Labels() {
+		idx := byLabel[label]
+		extra := int(float64(len(idx))*cfg.ExtraFrac + 0.5)
+		for k := 0; k < extra; k++ {
+			src := d.Samples[idx[rng.Intn(len(idx))]]
+			dup, err := perturbCopy(src, k, cfg, rng)
+			if err != nil {
+				return nil, err
+			}
+			out.Samples = append(out.Samples, dup)
+		}
+	}
+	return out, nil
+}
+
+// perturbCopy derives a near-duplicate of src: a cropped window of the
+// elevation profile with Gaussian noise, plus a jittered path.
+func perturbCopy(src Sample, k int, cfg OverlapConfig, rng *rand.Rand) (Sample, error) {
+	n := len(src.Elevations)
+	if n < 4 {
+		return Sample{}, fmt.Errorf("dataset: sample %s too short to perturb (%d values)", src.ID, n)
+	}
+	keep := cfg.MinKeepFrac + rng.Float64()*(1-cfg.MinKeepFrac)
+	span := int(float64(n) * keep)
+	if span < 2 {
+		span = 2
+	}
+	start := 0
+	if n > span {
+		start = rng.Intn(n - span)
+	}
+
+	elevs := make([]float64, span)
+	for i := 0; i < span; i++ {
+		elevs[i] = src.Elevations[start+i] + rng.NormFloat64()*cfg.ElevationNoise
+	}
+
+	dup := Sample{
+		ID:         fmt.Sprintf("%s-dup%d", src.ID, k),
+		Label:      src.Label,
+		Elevations: elevs,
+	}
+	if len(src.Path) > 0 {
+		dup.Path = src.Path.Clone()
+		for i := range dup.Path {
+			dup.Path[i] = dup.Path[i].Destination(rng.Float64()*360, rng.Float64()*cfg.PathJitterMeters)
+		}
+	}
+	return dup, nil
+}
+
+// SimulateOverlapSeeded is SimulateOverlap with an explicit seed instead of
+// a caller-managed RNG.
+func SimulateOverlapSeeded(d *Dataset, cfg OverlapConfig, seed int64) (*Dataset, error) {
+	return SimulateOverlap(d, cfg, rand.New(rand.NewSource(seed)))
+}

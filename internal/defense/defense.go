@@ -1,0 +1,230 @@
+// Package defense implements the countermeasures the paper's conclusion
+// proposes as future work: transformations a fitness platform could apply
+// to a shared elevation profile so it still "demonstrates the roughness of
+// the route" while frustrating location inference.
+//
+// Each Defense transforms the elevation series a user would share. The
+// package also provides the utility metrics (total gain, roughness) that
+// quantify how much workout-relevant information a defense preserves, so
+// the privacy/utility trade-off can be measured end to end.
+package defense
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"elevprivacy/internal/dataset"
+)
+
+// Defense transforms the elevation profile a user shares.
+type Defense interface {
+	// Name identifies the defense in reports.
+	Name() string
+	// Apply returns the defended profile. It must not modify the input.
+	Apply(elevations []float64, rng *rand.Rand) []float64
+}
+
+// Noop shares the profile unchanged (the baseline).
+type Noop struct{}
+
+// Name implements Defense.
+func (Noop) Name() string { return "none" }
+
+// Apply implements Defense.
+func (Noop) Apply(elevations []float64, _ *rand.Rand) []float64 {
+	return append([]float64(nil), elevations...)
+}
+
+// GaussianNoise perturbs every sample with N(0, Sigma²) noise.
+type GaussianNoise struct {
+	// SigmaMeters is the noise standard deviation.
+	SigmaMeters float64
+}
+
+// Name implements Defense.
+func (g GaussianNoise) Name() string { return fmt.Sprintf("noise σ=%gm", g.SigmaMeters) }
+
+// Apply implements Defense.
+func (g GaussianNoise) Apply(elevations []float64, rng *rand.Rand) []float64 {
+	out := make([]float64, len(elevations))
+	for i, v := range elevations {
+		out[i] = v + rng.NormFloat64()*g.SigmaMeters
+	}
+	return out
+}
+
+// Quantizer rounds elevations to a coarse grid, destroying the fine
+// vocabulary the n-gram attack feeds on.
+type Quantizer struct {
+	// StepMeters is the quantization step.
+	StepMeters float64
+}
+
+// Name implements Defense.
+func (q Quantizer) Name() string { return fmt.Sprintf("quantize %gm", q.StepMeters) }
+
+// Apply implements Defense.
+func (q Quantizer) Apply(elevations []float64, _ *rand.Rand) []float64 {
+	out := make([]float64, len(elevations))
+	if q.StepMeters <= 0 {
+		copy(out, elevations)
+		return out
+	}
+	for i, v := range elevations {
+		out[i] = math.Round(v/q.StepMeters) * q.StepMeters
+	}
+	return out
+}
+
+// ZeroBaseline shares the profile relative to its own minimum, removing
+// the absolute altitude that separates cities while keeping every climb
+// and descent intact — the highest-utility defense here.
+type ZeroBaseline struct{}
+
+// Name implements Defense.
+func (ZeroBaseline) Name() string { return "zero-baseline" }
+
+// Apply implements Defense.
+func (ZeroBaseline) Apply(elevations []float64, _ *rand.Rand) []float64 {
+	out := make([]float64, len(elevations))
+	if len(elevations) == 0 {
+		return out
+	}
+	minV := elevations[0]
+	for _, v := range elevations {
+		minV = math.Min(minV, v)
+	}
+	for i, v := range elevations {
+		out[i] = v - minV
+	}
+	return out
+}
+
+// SummaryStats is the paper's proposed defense: replace the profile with a
+// handful of route statistics (total gain, total loss, range, roughness)
+// that convey difficulty without the elevation sequence.
+type SummaryStats struct{}
+
+// Name implements Defense.
+func (SummaryStats) Name() string { return "summary-stats" }
+
+// Apply implements Defense. The returned "profile" is the four statistics;
+// attacks see only these numbers.
+func (SummaryStats) Apply(elevations []float64, _ *rand.Rand) []float64 {
+	if len(elevations) == 0 {
+		return nil
+	}
+	return []float64{
+		TotalGain(elevations),
+		TotalLoss(elevations),
+		Range(elevations),
+		Roughness(elevations),
+	}
+}
+
+// ApplyToDataset returns a copy of d with every sample's elevation profile
+// defended. Paths are dropped: a defended share contains no trajectory.
+func ApplyToDataset(d *dataset.Dataset, def Defense, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	out := &dataset.Dataset{Samples: make([]dataset.Sample, 0, d.Len())}
+	for i := range d.Samples {
+		s := d.Samples[i]
+		out.Samples = append(out.Samples, dataset.Sample{
+			ID:         s.ID,
+			Label:      s.Label,
+			Elevations: def.Apply(s.Elevations, rng),
+		})
+	}
+	return out
+}
+
+// --- Utility metrics ---
+
+// TotalGain is the summed positive elevation change, the headline "how
+// hard was this route" statistic.
+func TotalGain(elevations []float64) float64 {
+	var gain float64
+	for i := 1; i < len(elevations); i++ {
+		if d := elevations[i] - elevations[i-1]; d > 0 {
+			gain += d
+		}
+	}
+	return gain
+}
+
+// TotalLoss is the summed negative elevation change (as a positive value).
+func TotalLoss(elevations []float64) float64 {
+	var loss float64
+	for i := 1; i < len(elevations); i++ {
+		if d := elevations[i] - elevations[i-1]; d < 0 {
+			loss -= d
+		}
+	}
+	return loss
+}
+
+// Range is max minus min elevation.
+func Range(elevations []float64) float64 {
+	if len(elevations) == 0 {
+		return 0
+	}
+	minV, maxV := elevations[0], elevations[0]
+	for _, v := range elevations {
+		minV = math.Min(minV, v)
+		maxV = math.Max(maxV, v)
+	}
+	return maxV - minV
+}
+
+// Roughness is the standard deviation of successive elevation changes,
+// the "technicality" measure users want to convey.
+func Roughness(elevations []float64) float64 {
+	if len(elevations) < 2 {
+		return 0
+	}
+	n := len(elevations) - 1
+	var mean float64
+	for i := 1; i < len(elevations); i++ {
+		mean += elevations[i] - elevations[i-1]
+	}
+	mean /= float64(n)
+	var variance float64
+	for i := 1; i < len(elevations); i++ {
+		d := elevations[i] - elevations[i-1] - mean
+		variance += d * d
+	}
+	return math.Sqrt(variance / float64(n))
+}
+
+// GainError measures utility loss: the mean relative error of the
+// defended profiles' total gain versus the originals'. The defense that
+// produced the shares decides how a reader recovers the gain (SummaryStats
+// carries it verbatim as its first statistic; every other defense's gain
+// is recomputed from the shared series).
+func GainError(original, defended *dataset.Dataset, def Defense) (float64, error) {
+	if original.Len() != defended.Len() {
+		return 0, fmt.Errorf("defense: dataset sizes differ: %d vs %d", original.Len(), defended.Len())
+	}
+	if original.Len() == 0 {
+		return 0, fmt.Errorf("defense: empty datasets")
+	}
+	_, isSummary := def.(SummaryStats)
+
+	var sum float64
+	for i := range original.Samples {
+		trueGain := TotalGain(original.Samples[i].Elevations)
+		shared := defended.Samples[i].Elevations
+		var gotGain float64
+		if isSummary {
+			if len(shared) > 0 {
+				gotGain = shared[0]
+			}
+		} else {
+			gotGain = TotalGain(shared)
+		}
+		denom := math.Max(trueGain, 1)
+		sum += math.Abs(gotGain-trueGain) / denom
+	}
+	return sum / float64(original.Len()), nil
+}

@@ -1,0 +1,237 @@
+package defense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"elevprivacy/internal/dataset"
+)
+
+var profile = []float64{100, 102, 105, 103, 108, 112, 110, 115}
+
+func TestNoopCopies(t *testing.T) {
+	d := Noop{}
+	out := d.Apply(profile, nil)
+	if len(out) != len(profile) {
+		t.Fatalf("len = %d", len(out))
+	}
+	out[0] = 999
+	if profile[0] == 999 {
+		t.Error("Noop shares backing array")
+	}
+}
+
+func TestGaussianNoisePerturbsEverySample(t *testing.T) {
+	d := GaussianNoise{SigmaMeters: 3}
+	rng := rand.New(rand.NewSource(1))
+	out := d.Apply(profile, rng)
+	var moved int
+	for i := range out {
+		if out[i] != profile[i] {
+			moved++
+		}
+		if math.Abs(out[i]-profile[i]) > 20 {
+			t.Errorf("sample %d moved %f m with σ=3", i, math.Abs(out[i]-profile[i]))
+		}
+	}
+	if moved < len(profile)-1 {
+		t.Errorf("only %d samples perturbed", moved)
+	}
+}
+
+func TestQuantizer(t *testing.T) {
+	d := Quantizer{StepMeters: 10}
+	out := d.Apply(profile, nil)
+	for i, v := range out {
+		if math.Mod(v, 10) != 0 {
+			t.Errorf("sample %d = %f not on the 10 m grid", i, v)
+		}
+		if math.Abs(v-profile[i]) > 5 {
+			t.Errorf("sample %d moved more than half a step", i)
+		}
+	}
+	// Non-positive step degrades to a copy.
+	same := Quantizer{StepMeters: 0}.Apply(profile, nil)
+	for i := range same {
+		if same[i] != profile[i] {
+			t.Error("zero step modified data")
+		}
+	}
+}
+
+func TestZeroBaseline(t *testing.T) {
+	out := (ZeroBaseline{}).Apply(profile, nil)
+	minV := out[0]
+	for _, v := range out {
+		minV = math.Min(minV, v)
+	}
+	if minV != 0 {
+		t.Errorf("min = %f, want 0", minV)
+	}
+	// Shape preserved: successive differences identical.
+	for i := 1; i < len(out); i++ {
+		want := profile[i] - profile[i-1]
+		if math.Abs((out[i]-out[i-1])-want) > 1e-12 {
+			t.Errorf("difference %d changed", i)
+		}
+	}
+	if got := (ZeroBaseline{}).Apply(nil, nil); len(got) != 0 {
+		t.Error("empty profile mishandled")
+	}
+}
+
+func TestZeroBaselineInvariantProperty(t *testing.T) {
+	// Adding any constant offset produces an identical defended profile:
+	// exactly the property that kills inter-city separability.
+	f := func(raw []float64, offset float64) bool {
+		sig := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 {
+				sig = append(sig, v)
+			}
+		}
+		if len(sig) == 0 || math.IsNaN(offset) || math.Abs(offset) > 1e6 {
+			return true
+		}
+		shifted := make([]float64, len(sig))
+		for i, v := range sig {
+			shifted[i] = v + offset
+		}
+		a := (ZeroBaseline{}).Apply(sig, nil)
+		b := (ZeroBaseline{}).Apply(shifted, nil)
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummaryStats(t *testing.T) {
+	out := (SummaryStats{}).Apply(profile, nil)
+	if len(out) != 4 {
+		t.Fatalf("summary length = %d, want 4", len(out))
+	}
+	if math.Abs(out[0]-TotalGain(profile)) > 1e-12 {
+		t.Errorf("gain stat = %f", out[0])
+	}
+	if math.Abs(out[2]-Range(profile)) > 1e-12 {
+		t.Errorf("range stat = %f", out[2])
+	}
+	if got := (SummaryStats{}).Apply(nil, nil); got != nil {
+		t.Error("empty profile should produce nil")
+	}
+}
+
+func TestUtilityMetrics(t *testing.T) {
+	sig := []float64{10, 15, 12, 20}
+	if g := TotalGain(sig); math.Abs(g-13) > 1e-12 { // +5, +8
+		t.Errorf("TotalGain = %f, want 13", g)
+	}
+	if l := TotalLoss(sig); math.Abs(l-3) > 1e-12 {
+		t.Errorf("TotalLoss = %f, want 3", l)
+	}
+	if r := Range(sig); math.Abs(r-10) > 1e-12 {
+		t.Errorf("Range = %f, want 10", r)
+	}
+	if r := Roughness([]float64{0, 1, 2, 3}); r != 0 { // constant slope
+		t.Errorf("constant-slope roughness = %f, want 0", r)
+	}
+	if r := Roughness([]float64{5}); r != 0 {
+		t.Errorf("single-sample roughness = %f", r)
+	}
+	if r := Range(nil); r != 0 {
+		t.Errorf("empty range = %f", r)
+	}
+}
+
+func testDataset() *dataset.Dataset {
+	return &dataset.Dataset{Samples: []dataset.Sample{
+		{ID: "a", Label: "x", Elevations: []float64{10, 14, 12, 18}},
+		{ID: "b", Label: "y", Elevations: []float64{1800, 1810, 1805, 1820}},
+	}}
+}
+
+func TestApplyToDataset(t *testing.T) {
+	d := testDataset()
+	out := ApplyToDataset(d, ZeroBaseline{}, 1)
+	if out.Len() != 2 {
+		t.Fatalf("len = %d", out.Len())
+	}
+	if out.Samples[0].Label != "x" || out.Samples[1].ID != "b" {
+		t.Error("labels/IDs lost")
+	}
+	// Both profiles now start from a zero baseline.
+	for _, s := range out.Samples {
+		minV := s.Elevations[0]
+		for _, v := range s.Elevations {
+			minV = math.Min(minV, v)
+		}
+		if minV != 0 {
+			t.Errorf("%s min = %f", s.ID, minV)
+		}
+		if s.Path != nil {
+			t.Error("defended share must not carry a trajectory")
+		}
+	}
+	// Source untouched.
+	if d.Samples[1].Elevations[0] != 1800 {
+		t.Error("ApplyToDataset modified the source")
+	}
+}
+
+func TestGainError(t *testing.T) {
+	d := testDataset()
+	// Noop preserves gain exactly.
+	noop := ApplyToDataset(d, Noop{}, 1)
+	e, err := GainError(d, noop, Noop{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e > 1e-12 {
+		t.Errorf("noop gain error = %f", e)
+	}
+	// SummaryStats also carries the exact gain.
+	summ := ApplyToDataset(d, SummaryStats{}, 1)
+	e, err = GainError(d, summ, SummaryStats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e > 1e-12 {
+		t.Errorf("summary gain error = %f", e)
+	}
+	// Heavy quantization distorts gain.
+	quant := ApplyToDataset(d, Quantizer{StepMeters: 50}, 1)
+	e, err = GainError(d, quant, Quantizer{StepMeters: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e == 0 {
+		t.Error("50 m quantization should distort total gain")
+	}
+
+	if _, err := GainError(d, &dataset.Dataset{}, Noop{}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := GainError(&dataset.Dataset{}, &dataset.Dataset{}, Noop{}); err == nil {
+		t.Error("empty datasets accepted")
+	}
+}
+
+func TestDefenseNames(t *testing.T) {
+	defs := []Defense{Noop{}, GaussianNoise{SigmaMeters: 2}, Quantizer{StepMeters: 5}, ZeroBaseline{}, SummaryStats{}}
+	seen := map[string]bool{}
+	for _, d := range defs {
+		name := d.Name()
+		if name == "" || seen[name] {
+			t.Errorf("bad or duplicate name %q", name)
+		}
+		seen[name] = true
+	}
+}

@@ -1,0 +1,93 @@
+package dem
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"elevprivacy/internal/geo"
+)
+
+// Source is anything that can answer point elevation queries. Raster,
+// Mosaic, and terrain synthesizers all implement it.
+type Source interface {
+	// ElevationAt returns the elevation in meters at p, or an error when p
+	// is outside coverage.
+	ElevationAt(p geo.LatLng) (float64, error)
+}
+
+var (
+	_ Source = (*Raster)(nil)
+	_ Source = (*Mosaic)(nil)
+)
+
+// Mosaic stitches 1°×1° tiles into a single Source, resolving each query to
+// the tile containing it. It is safe for concurrent use.
+type Mosaic struct {
+	mu    sync.RWMutex
+	tiles map[[2]int]*Tile
+}
+
+// NewMosaic returns an empty mosaic.
+func NewMosaic() *Mosaic {
+	return &Mosaic{tiles: make(map[[2]int]*Tile)}
+}
+
+// Add registers a tile, replacing any previous tile for the same cell.
+func (m *Mosaic) Add(t *Tile) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tiles[[2]int{t.SWLat, t.SWLng}] = t
+}
+
+// Tile returns the tile whose cell contains p, if present.
+func (m *Mosaic) Tile(p geo.LatLng) (*Tile, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	t, ok := m.tiles[cellOf(p)]
+	return t, ok
+}
+
+// Len returns the number of registered tiles.
+func (m *Mosaic) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.tiles)
+}
+
+// ElevationAt resolves p to its covering tile and interpolates there.
+func (m *Mosaic) ElevationAt(p geo.LatLng) (float64, error) {
+	t, ok := m.Tile(p)
+	if !ok {
+		return 0, fmt.Errorf("%w: no tile for %v", ErrOutOfBounds, p)
+	}
+	return t.ElevationAt(p)
+}
+
+// SampleAlong resamples the path to n points and queries each one.
+func (m *Mosaic) SampleAlong(path geo.Path, n int) ([]float64, error) {
+	return SampleAlong(m, path, n)
+}
+
+// SampleAlong is the generic path sampler over any Source: it resamples the
+// path to n evenly spaced points and returns their elevations.
+func SampleAlong(src Source, path geo.Path, n int) ([]float64, error) {
+	pts := path.Resample(n)
+	if pts == nil {
+		return nil, fmt.Errorf("dem: empty path or non-positive sample count")
+	}
+	out := make([]float64, 0, n)
+	for _, p := range pts {
+		e, err := src.ElevationAt(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// cellOf returns the integer-degree cell key containing p.
+func cellOf(p geo.LatLng) [2]int {
+	return [2]int{int(math.Floor(p.Lat)), int(math.Floor(p.Lng))}
+}

@@ -1,0 +1,145 @@
+package dem
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"elevprivacy/internal/geo"
+)
+
+func flatTile(t *testing.T, swLat, swLng int, elev int16) *Tile {
+	t.Helper()
+	tile, err := NewTile(swLat, swLng, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tile.Fill(func(lat, lng float64) float64 { return float64(elev) })
+	return tile
+}
+
+func TestMosaicRouting(t *testing.T) {
+	m := NewMosaic()
+	m.Add(flatTile(t, 38, -78, 100))
+	m.Add(flatTile(t, 38, -77, 200))
+	m.Add(flatTile(t, 39, -78, 300))
+
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", m.Len())
+	}
+
+	tests := []struct {
+		p    geo.LatLng
+		want float64
+	}{
+		{geo.LatLng{Lat: 38.5, Lng: -77.5}, 100},
+		{geo.LatLng{Lat: 38.5, Lng: -76.5}, 200},
+		{geo.LatLng{Lat: 39.5, Lng: -77.5}, 300},
+	}
+	for _, tc := range tests {
+		got, err := m.ElevationAt(tc.p)
+		if err != nil {
+			t.Fatalf("ElevationAt(%v): %v", tc.p, err)
+		}
+		if math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("ElevationAt(%v) = %f, want %f", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestMosaicMissingTile(t *testing.T) {
+	m := NewMosaic()
+	m.Add(flatTile(t, 38, -78, 100))
+	_, err := m.ElevationAt(geo.LatLng{Lat: 50.5, Lng: 10.5})
+	if !errors.Is(err, ErrOutOfBounds) {
+		t.Errorf("err = %v, want ErrOutOfBounds", err)
+	}
+}
+
+func TestMosaicReplaceTile(t *testing.T) {
+	m := NewMosaic()
+	m.Add(flatTile(t, 38, -78, 100))
+	m.Add(flatTile(t, 38, -78, 500))
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after replacement", m.Len())
+	}
+	got, err := m.ElevationAt(geo.LatLng{Lat: 38.5, Lng: -77.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 500 {
+		t.Errorf("elevation = %f, want 500 (replaced)", got)
+	}
+}
+
+func TestMosaicNegativeCoordinateCells(t *testing.T) {
+	m := NewMosaic()
+	m.Add(flatTile(t, -35, 18, 42))
+	got, err := m.ElevationAt(geo.LatLng{Lat: -34.2, Lng: 18.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Errorf("elevation = %f, want 42", got)
+	}
+	// cellOf must floor, not truncate: -34.2 is in cell -35.
+	if cell := cellOf(geo.LatLng{Lat: -34.2, Lng: 18.6}); cell != [2]int{-35, 18} {
+		t.Errorf("cellOf = %v, want [-35 18]", cell)
+	}
+}
+
+func TestMosaicSampleAlongCrossingTiles(t *testing.T) {
+	m := NewMosaic()
+	m.Add(flatTile(t, 38, -78, 100))
+	m.Add(flatTile(t, 38, -77, 200))
+
+	path := geo.Path{
+		{Lat: 38.5, Lng: -77.9},
+		{Lat: 38.5, Lng: -76.1},
+	}
+	samples, err := m.SampleAlong(path, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samples[0] != 100 || samples[9] != 200 {
+		t.Errorf("endpoints = %f, %f; want 100, 200", samples[0], samples[9])
+	}
+	// Samples must be one of the two tile levels (flat tiles).
+	for i, s := range samples {
+		if s != 100 && s != 200 {
+			t.Errorf("sample %d = %f, want 100 or 200", i, s)
+		}
+	}
+}
+
+func TestMosaicConcurrentAccess(t *testing.T) {
+	m := NewMosaic()
+	m.Add(flatTile(t, 38, -78, 100))
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			m.Add(flatTile(t, 38+i%3, -78, int16(i)))
+		}(i)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				_, _ = m.ElevationAt(geo.LatLng{Lat: 38.5, Lng: -77.5})
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestGenericSampleAlongErrors(t *testing.T) {
+	m := NewMosaic()
+	if _, err := SampleAlong(m, nil, 10); err == nil {
+		t.Error("empty path should error")
+	}
+	if _, err := SampleAlong(m, geo.Path{{Lat: 1, Lng: 1}}, 0); err == nil {
+		t.Error("n=0 should error")
+	}
+}

@@ -1,0 +1,181 @@
+package dem
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+
+	"elevprivacy/internal/geo"
+)
+
+// TileServer serves SRTM .hgt tiles over HTTP, the way public SRTM mirrors
+// distribute elevation data: GET /tiles/N38W078.hgt returns the raw
+// big-endian payload. Tiles are rasterized on demand from any Source and
+// cached.
+type TileServer struct {
+	source Source
+	size   int
+	logf   func(string, ...any)
+
+	mu    sync.Mutex
+	cache map[string][]byte
+}
+
+// TileServerOption configures a TileServer.
+type TileServerOption func(*TileServer)
+
+// WithTileLogf overrides the server's log function.
+func WithTileLogf(logf func(string, ...any)) TileServerOption {
+	return func(s *TileServer) { s.logf = logf }
+}
+
+// NewTileServer creates a server rasterizing size×size tiles from source.
+// Use SRTM3Size for realistic tiles or a smaller size for tests.
+func NewTileServer(source Source, size int, opts ...TileServerOption) (*TileServer, error) {
+	if size < 2 {
+		return nil, fmt.Errorf("dem: tile size %d", size)
+	}
+	s := &TileServer{
+		source: source,
+		size:   size,
+		logf:   log.Printf,
+		cache:  map[string][]byte{},
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s, nil
+}
+
+// Handler returns the HTTP routing for the tile mirror.
+func (s *TileServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /tiles/{name}", s.handleTile)
+	return mux
+}
+
+// handleTile serves one .hgt payload, rasterizing and caching on first use.
+func (s *TileServer) handleTile(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	stem, ok := strings.CutSuffix(name, ".hgt")
+	if !ok {
+		http.Error(w, "tile names end in .hgt", http.StatusBadRequest)
+		return
+	}
+	swLat, swLng, err := ParseTileName(stem)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	payload, err := s.tileBytes(stem, swLat, swLng)
+	if err != nil {
+		s.logf("dem: rasterizing %s: %v", stem, err)
+		http.Error(w, "tile unavailable", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if _, err := w.Write(payload); err != nil {
+		s.logf("dem: writing %s: %v", stem, err)
+	}
+}
+
+// tileBytes rasterizes (or recalls) the named tile's .hgt payload.
+func (s *TileServer) tileBytes(stem string, swLat, swLng int) ([]byte, error) {
+	s.mu.Lock()
+	payload, ok := s.cache[stem]
+	s.mu.Unlock()
+	if ok {
+		return payload, nil
+	}
+
+	tile, err := NewTile(swLat, swLng, s.size)
+	if err != nil {
+		return nil, err
+	}
+	var sampled int
+	tile.Fill(func(lat, lng float64) float64 {
+		e, err := s.source.ElevationAt(geo.LatLng{Lat: lat, Lng: lng})
+		if err != nil {
+			return float64(Void)
+		}
+		sampled++
+		return e
+	})
+	if sampled == 0 {
+		return nil, fmt.Errorf("dem: tile %s entirely outside source coverage", stem)
+	}
+
+	var sb strings.Builder
+	sb.Grow(2 * s.size * s.size)
+	if err := tile.WriteHGT(&sb); err != nil {
+		return nil, err
+	}
+	payload = []byte(sb.String())
+
+	s.mu.Lock()
+	s.cache[stem] = payload
+	s.mu.Unlock()
+	return payload, nil
+}
+
+// FetchTile downloads and parses one tile from an SRTM-style mirror.
+func FetchTile(ctx context.Context, httpc *http.Client, baseURL, stem string) (*Tile, error) {
+	swLat, swLng, err := ParseTileName(stem)
+	if err != nil {
+		return nil, err
+	}
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/tiles/"+stem+".hgt", nil)
+	if err != nil {
+		return nil, fmt.Errorf("dem: building request: %w", err)
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("dem: fetching %s: %w", stem, err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("dem: mirror returned %s for %s", resp.Status, stem)
+	}
+	tile, err := ReadHGT(resp.Body, swLat, swLng)
+	if err != nil {
+		return nil, fmt.Errorf("dem: parsing %s: %w", stem, err)
+	}
+	return tile, nil
+}
+
+// FetchMosaic downloads every 1°×1° tile overlapping bounds and assembles
+// them into a Mosaic — the standard workflow for building an elevation
+// model of a study area from an SRTM mirror.
+func FetchMosaic(ctx context.Context, httpc *http.Client, baseURL string, bounds geo.BBox) (*Mosaic, error) {
+	if !bounds.Valid() {
+		return nil, fmt.Errorf("dem: invalid bounds %v", bounds)
+	}
+	m := NewMosaic()
+	latLo := int(math.Floor(bounds.SW.Lat))
+	latHi := int(math.Floor(bounds.NE.Lat))
+	lngLo := int(math.Floor(bounds.SW.Lng))
+	lngHi := int(math.Floor(bounds.NE.Lng))
+	for lat := latLo; lat <= latHi; lat++ {
+		for lng := lngLo; lng <= lngHi; lng++ {
+			stub := &Tile{SWLat: lat, SWLng: lng}
+			tile, err := FetchTile(ctx, httpc, baseURL, stub.Name())
+			if err != nil {
+				return nil, err
+			}
+			m.Add(tile)
+		}
+	}
+	return m, nil
+}

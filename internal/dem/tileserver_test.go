@@ -1,0 +1,183 @@
+package dem
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"elevprivacy/internal/geo"
+)
+
+// rampSource is an analytic field: elevation = 100 + 50*lat + 10*lng.
+type rampSource struct{}
+
+func (rampSource) ElevationAt(p geo.LatLng) (float64, error) {
+	return 100 + 50*p.Lat + 10*p.Lng, nil
+}
+
+func newTileMirror(t *testing.T, size int) (*httptest.Server, *TileServer) {
+	t.Helper()
+	ts, err := NewTileServer(rampSource{}, size, WithTileLogf(t.Logf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(ts.Handler())
+	t.Cleanup(srv.Close)
+	return srv, ts
+}
+
+func TestFetchTileRoundTrip(t *testing.T) {
+	srv, _ := newTileMirror(t, 51)
+	tile, err := FetchTile(context.Background(), srv.Client(), srv.URL, "N38W078")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tile.SWLat != 38 || tile.SWLng != -78 {
+		t.Fatalf("corner = (%d,%d)", tile.SWLat, tile.SWLng)
+	}
+	got, err := tile.ElevationAt(geo.LatLng{Lat: 38.5, Lng: -77.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 100 + 50*38.5 - 10*77.5
+	if math.Abs(got-want) > 2 { // int16 quantization + bilinear
+		t.Errorf("elevation = %f, want %f", got, want)
+	}
+}
+
+func TestTileServerRejectsBadNames(t *testing.T) {
+	srv, _ := newTileMirror(t, 11)
+	for _, path := range []string{
+		"/tiles/N38W078",     // missing .hgt
+		"/tiles/garbage.hgt", // malformed stem
+		"/tiles/N95W078.hgt", // out of range
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Errorf("%s served successfully", path)
+		}
+	}
+}
+
+func TestTileServerCaches(t *testing.T) {
+	srv, ts := newTileMirror(t, 31)
+	for i := 0; i < 3; i++ {
+		if _, err := FetchTile(context.Background(), srv.Client(), srv.URL, "N10E020"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts.mu.Lock()
+	cached := len(ts.cache)
+	ts.mu.Unlock()
+	if cached != 1 {
+		t.Errorf("cache holds %d tiles, want 1", cached)
+	}
+}
+
+func TestTileServerConcurrentFetches(t *testing.T) {
+	srv, _ := newTileMirror(t, 21)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			stem := "N38W078"
+			if i%2 == 1 {
+				stem = "N39W078"
+			}
+			_, errs[i] = FetchTile(context.Background(), srv.Client(), srv.URL, stem)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("fetch %d: %v", i, err)
+		}
+	}
+}
+
+func TestFetchMosaicCoversBounds(t *testing.T) {
+	srv, _ := newTileMirror(t, 31)
+	bounds := geo.NewBBox(geo.LatLng{Lat: 38.2, Lng: -77.8}, geo.LatLng{Lat: 39.4, Lng: -76.6})
+	m, err := FetchMosaic(context.Background(), srv.Client(), srv.URL, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 38..39 × -78..-77 -> 2×2 tiles.
+	if m.Len() != 4 {
+		t.Fatalf("mosaic has %d tiles, want 4", m.Len())
+	}
+	// Queries anywhere in bounds resolve.
+	for _, p := range []geo.LatLng{
+		{Lat: 38.3, Lng: -77.7},
+		{Lat: 39.3, Lng: -76.7},
+		bounds.Center(),
+	} {
+		got, err := m.ElevationAt(p)
+		if err != nil {
+			t.Fatalf("ElevationAt(%v): %v", p, err)
+		}
+		want := 100 + 50*p.Lat + 10*p.Lng
+		if math.Abs(got-want) > 2 {
+			t.Errorf("at %v: %f, want %f", p, got, want)
+		}
+	}
+}
+
+func TestFetchMosaicValidation(t *testing.T) {
+	srv, _ := newTileMirror(t, 11)
+	bad := geo.BBox{SW: geo.LatLng{Lat: 5, Lng: 5}, NE: geo.LatLng{Lat: 1, Lng: 1}}
+	if _, err := FetchMosaic(context.Background(), srv.Client(), srv.URL, bad); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+	if _, err := FetchTile(context.Background(), srv.Client(), srv.URL, "nonsense"); err == nil {
+		t.Error("bad stem accepted")
+	}
+}
+
+func TestNewTileServerValidation(t *testing.T) {
+	if _, err := NewTileServer(rampSource{}, 1); err == nil {
+		t.Error("size 1 accepted")
+	}
+}
+
+// TestTileMirrorFeedsElevationChain wires the full SRTM workflow: mirror ->
+// mosaic -> point queries, against a real city terrain.
+func TestTileMirrorFeedsElevationChain(t *testing.T) {
+	ts, err := NewTileServer(rampSource{}, 101, WithTileLogf(t.Logf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(ts.Handler())
+	defer srv.Close()
+
+	bounds := geo.NewBBox(geo.LatLng{Lat: 38.8, Lng: -77.15}, geo.LatLng{Lat: 39.0, Lng: -76.9})
+	mosaic, err := FetchMosaic(context.Background(), srv.Client(), srv.URL, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := mosaic.SampleAlong(geo.Path{
+		{Lat: 38.85, Lng: -77.1},
+		{Lat: 38.95, Lng: -77.0},
+	}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 20 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	// Ramp source: elevation strictly increases along the NE-ward path.
+	for i := 1; i < len(samples); i++ {
+		if samples[i]+1 < samples[i-1] {
+			t.Errorf("sample %d decreased: %f -> %f", i, samples[i-1], samples[i])
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package elevsvc
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"elevprivacy/internal/geo"
+)
+
+// Client queries an elevation service over HTTP. It implements the same
+// call shape the paper used against the Google Maps Elevation API: a path
+// plus a sample count, answered with evenly spaced elevations.
+type Client struct {
+	baseURL string
+	httpc   *http.Client
+}
+
+// NewClient creates a client for the service at baseURL (no trailing slash
+// required). httpc may be nil to use http.DefaultClient.
+func NewClient(baseURL string, httpc *http.Client) *Client {
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	return &Client{baseURL: baseURL, httpc: httpc}
+}
+
+// APIError is a non-OK service response.
+type APIError struct {
+	// Status is the service status string, e.g. "INVALID_REQUEST".
+	Status string
+	// Message is the human-readable detail.
+	Message string
+	// HTTPCode is the transport status code.
+	HTTPCode int
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("elevsvc: %s (http %d): %s", e.Status, e.HTTPCode, e.Message)
+}
+
+// ElevationAlongPath returns samples evenly spaced elevations along path.
+func (c *Client) ElevationAlongPath(ctx context.Context, path geo.Path, samples int) ([]float64, error) {
+	if len(path) == 0 {
+		return nil, fmt.Errorf("elevsvc: empty path")
+	}
+	if samples < 2 || samples > MaxSamples {
+		return nil, fmt.Errorf("elevsvc: samples %d outside [2,%d]", samples, MaxSamples)
+	}
+
+	q := url.Values{}
+	q.Set("path", geo.EncodePolyline(path))
+	q.Set("samples", strconv.Itoa(samples))
+	resp, err := c.get(ctx, "/v1/elevation/path", q)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]float64, 0, len(resp.Results))
+	for _, r := range resp.Results {
+		out = append(out, r.Elevation)
+	}
+	if len(out) != samples {
+		return nil, fmt.Errorf("elevsvc: service returned %d samples, want %d", len(out), samples)
+	}
+	return out, nil
+}
+
+// ElevationAt returns the elevation of a single point.
+func (c *Client) ElevationAt(ctx context.Context, p geo.LatLng) (float64, error) {
+	q := url.Values{}
+	q.Set("lat", strconv.FormatFloat(p.Lat, 'f', -1, 64))
+	q.Set("lng", strconv.FormatFloat(p.Lng, 'f', -1, 64))
+	resp, err := c.get(ctx, "/v1/elevation/point", q)
+	if err != nil {
+		return 0, err
+	}
+	if len(resp.Results) != 1 {
+		return 0, fmt.Errorf("elevsvc: service returned %d results, want 1", len(resp.Results))
+	}
+	return resp.Results[0].Elevation, nil
+}
+
+// get performs the request and decodes the envelope, mapping non-OK
+// statuses to *APIError.
+func (c *Client) get(ctx context.Context, endpoint string, q url.Values) (*Response, error) {
+	u := c.baseURL + endpoint + "?" + q.Encode()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, fmt.Errorf("elevsvc: building request: %w", err)
+	}
+	httpResp, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("elevsvc: request failed: %w", err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, httpResp.Body)
+		_ = httpResp.Body.Close()
+	}()
+
+	var resp Response
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("elevsvc: decoding response: %w", err)
+	}
+	if resp.Status != "OK" {
+		return nil, &APIError{Status: resp.Status, Message: resp.ErrorMessage, HTTPCode: httpResp.StatusCode}
+	}
+	return &resp, nil
+}

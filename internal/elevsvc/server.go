@@ -1,0 +1,165 @@
+// Package elevsvc implements the elevation web service the mining pipeline
+// queries, modeled on the Google Maps Elevation API: clients submit an
+// encoded polyline path plus a sample count and receive evenly spaced
+// elevations along the path.
+//
+// The server fronts any dem.Source (a raster mosaic or an analytic terrain),
+// so the rest of the pipeline talks to elevation data exactly the way the
+// paper's pipeline talked to Google's API: over HTTP, in JSON, path by path.
+package elevsvc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+
+	"elevprivacy/internal/dem"
+	"elevprivacy/internal/geo"
+)
+
+// MaxSamples bounds a single path request, mirroring the real API's limit.
+const MaxSamples = 512
+
+// Result is one sampled point, as serialized on the wire.
+type Result struct {
+	Location  LocationJSON `json:"location"`
+	Elevation float64      `json:"elevation"`
+}
+
+// LocationJSON is the wire form of a coordinate.
+type LocationJSON struct {
+	Lat float64 `json:"lat"`
+	Lng float64 `json:"lng"`
+}
+
+// Response is the top-level wire envelope. Status is "OK" on success; any
+// other value carries ErrorMessage, mirroring the Google API envelope.
+type Response struct {
+	Status       string   `json:"status"`
+	ErrorMessage string   `json:"error_message,omitempty"`
+	Results      []Result `json:"results,omitempty"`
+}
+
+// Server serves elevation queries from a dem.Source.
+type Server struct {
+	source dem.Source
+	logf   func(format string, args ...any)
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithLogf overrides the server's log function (default log.Printf).
+func WithLogf(logf func(string, ...any)) Option {
+	return func(s *Server) { s.logf = logf }
+}
+
+// NewServer creates a Server over the given elevation source.
+func NewServer(source dem.Source, opts ...Option) *Server {
+	s := &Server{source: source, logf: log.Printf}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Handler returns the HTTP routing for the service.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/elevation/path", s.handlePath)
+	mux.HandleFunc("GET /v1/elevation/point", s.handlePoint)
+	return mux
+}
+
+// handlePath samples elevations along an encoded polyline:
+// GET /v1/elevation/path?path=<polyline>&samples=N
+func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	encoded := q.Get("path")
+	if encoded == "" {
+		writeStatus(w, http.StatusBadRequest, "INVALID_REQUEST", "missing path parameter")
+		return
+	}
+	samples, err := strconv.Atoi(q.Get("samples"))
+	if err != nil || samples < 2 || samples > MaxSamples {
+		writeStatus(w, http.StatusBadRequest, "INVALID_REQUEST",
+			fmt.Sprintf("samples must be an integer in [2,%d]", MaxSamples))
+		return
+	}
+	path, err := geo.DecodePolyline(encoded)
+	if err != nil {
+		writeStatus(w, http.StatusBadRequest, "INVALID_REQUEST", "malformed polyline: "+err.Error())
+		return
+	}
+	if len(path) == 0 {
+		writeStatus(w, http.StatusBadRequest, "INVALID_REQUEST", "empty path")
+		return
+	}
+
+	pts := path.Resample(samples)
+	results := make([]Result, 0, len(pts))
+	for _, p := range pts {
+		e, err := s.source.ElevationAt(p)
+		if err != nil {
+			if errors.Is(err, dem.ErrOutOfBounds) {
+				writeStatus(w, http.StatusOK, "DATA_NOT_AVAILABLE", err.Error())
+				return
+			}
+			s.logf("elevsvc: internal error at %v: %v", p, err)
+			writeStatus(w, http.StatusInternalServerError, "UNKNOWN_ERROR", "internal error")
+			return
+		}
+		results = append(results, Result{
+			Location:  LocationJSON{Lat: p.Lat, Lng: p.Lng},
+			Elevation: e,
+		})
+	}
+	writeJSON(w, http.StatusOK, Response{Status: "OK", Results: results})
+}
+
+// handlePoint answers a single-point query:
+// GET /v1/elevation/point?lat=..&lng=..
+func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	lat, errLat := strconv.ParseFloat(q.Get("lat"), 64)
+	lng, errLng := strconv.ParseFloat(q.Get("lng"), 64)
+	if errLat != nil || errLng != nil {
+		writeStatus(w, http.StatusBadRequest, "INVALID_REQUEST", "lat and lng must be numbers")
+		return
+	}
+	p := geo.LatLng{Lat: lat, Lng: lng}
+	if !p.Valid() {
+		writeStatus(w, http.StatusBadRequest, "INVALID_REQUEST", "coordinate out of range")
+		return
+	}
+	e, err := s.source.ElevationAt(p)
+	if err != nil {
+		if errors.Is(err, dem.ErrOutOfBounds) {
+			writeStatus(w, http.StatusOK, "DATA_NOT_AVAILABLE", err.Error())
+			return
+		}
+		s.logf("elevsvc: internal error at %v: %v", p, err)
+		writeStatus(w, http.StatusInternalServerError, "UNKNOWN_ERROR", "internal error")
+		return
+	}
+	writeJSON(w, http.StatusOK, Response{
+		Status:  "OK",
+		Results: []Result{{Location: LocationJSON{Lat: lat, Lng: lng}, Elevation: e}},
+	})
+}
+
+func writeStatus(w http.ResponseWriter, code int, status, msg string) {
+	writeJSON(w, code, Response{Status: status, ErrorMessage: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing more to do than note it.
+		log.Printf("elevsvc: encoding response: %v", err)
+	}
+}

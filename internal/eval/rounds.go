@@ -1,0 +1,92 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Round is one fine-tuning stage (paper Figs. 10-11): the labels included
+// and the balanced per-class sample budget.
+type Round struct {
+	// Labels are the classes present in the round's dataset.
+	Labels []string
+	// PerClass is the balanced sample count per included class.
+	PerClass int
+}
+
+// PlanRounds builds the paper's fine-tuning schedule from per-class sample
+// counts. Creation order starts with all classes balanced at the smallest
+// class size, then repeatedly discards the smallest remaining class(es);
+// training order is the REVERSE (fewest classes first, all classes last),
+// which is what this function returns.
+//
+// maxRounds caps the schedule; when there are more droppable classes than
+// rounds, several classes are dropped per step (the paper drops 1,2,1,2
+// classes for its 10-class, 5-round TM-3 schedule).
+func PlanRounds(counts map[string]int, maxRounds int) ([]Round, error) {
+	if len(counts) < 2 {
+		return nil, fmt.Errorf("eval: need >= 2 classes, got %d", len(counts))
+	}
+	if maxRounds < 1 {
+		return nil, fmt.Errorf("eval: maxRounds must be >= 1, got %d", maxRounds)
+	}
+	type classSize struct {
+		label string
+		size  int
+	}
+	classes := make([]classSize, 0, len(counts))
+	for label, n := range counts {
+		if n < 1 {
+			return nil, fmt.Errorf("eval: class %q has no samples", label)
+		}
+		classes = append(classes, classSize{label, n})
+	}
+	// Descending by size; deterministic tie-break on label.
+	sort.Slice(classes, func(i, j int) bool {
+		if classes[i].size != classes[j].size {
+			return classes[i].size > classes[j].size
+		}
+		return classes[i].label < classes[j].label
+	})
+
+	k := len(classes)
+	rounds := k - 1 // creation rounds: all classes ... down to the 2 largest
+	if rounds > maxRounds {
+		rounds = maxRounds
+	}
+
+	// Choose the retained-class counts for each creation round: always
+	// include the all-classes round; space the rest as evenly as possible
+	// between k and 2.
+	retained := make([]int, rounds)
+	for r := 0; r < rounds; r++ {
+		// r=0 keeps all k classes; the last round keeps the fewest.
+		retained[r] = k - ((k-2)*r+(rounds-1)/2)/max(1, rounds-1)
+		if rounds == 1 {
+			retained[r] = k
+		}
+	}
+
+	out := make([]Round, 0, rounds)
+	// Training order = reverse creation order: fewest classes first.
+	for r := rounds - 1; r >= 0; r-- {
+		m := retained[r]
+		labels := make([]string, 0, m)
+		for i := 0; i < m; i++ {
+			labels = append(labels, classes[i].label)
+		}
+		// Balanced at the smallest included class's size.
+		out = append(out, Round{
+			Labels:   labels,
+			PerClass: classes[m-1].size,
+		})
+	}
+	return out, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"elevprivacy"
+	"elevprivacy/internal/imagerep"
+)
+
+// ablationDataset is the shared workload for the text ablations: the TM-3
+// city-level dataset balanced at 10 classes (the paper's hardest text
+// setting).
+func (c Config) ablationDataset() (*elevprivacy.Dataset, error) {
+	d, err := elevprivacy.NewCityLevelDataset(c.minedConfig())
+	if err != nil {
+		return nil, err
+	}
+	var order []string
+	for _, city := range elevprivacy.World() {
+		order = append(order, city.Name)
+	}
+	bal, _, err := balancedTopClasses(d, order, 10, c.Seed+997)
+	return bal, err
+}
+
+// AblationNGramOrder sweeps the n-gram order the paper fixes at 8.
+func AblationNGramOrder(cfg Config) (*Table, error) {
+	d, err := cfg.ablationDataset()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "Ablation A1",
+		Title:  "Effect of n-gram order (TM-3, MLP, 10 classes)",
+		Header: []string{"n", "accuracy", "recall", "F1"},
+		Notes:  []string{"paper fixes n = 8 for all text experiments"},
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		tc := cfg.textAttackConfig(elevprivacy.ClassifierMLP)
+		tc.NGram = n
+		m, err := elevprivacy.CrossValidateText(d, tc, cfg.Folds10)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation n=%d: %w", n, err)
+		}
+		t.Rows = append(t.Rows, []string{strconv.Itoa(n), pct(m.Accuracy), pct(m.Recall), pct(m.F1)})
+	}
+	return t, nil
+}
+
+// AblationDiscretization compares the paper's two discretizers plus an
+// intermediate precision.
+func AblationDiscretization(cfg Config) (*Table, error) {
+	d, err := cfg.ablationDataset()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "Ablation A2",
+		Title:  "Effect of discretization precision (TM-3, MLP, 10 classes)",
+		Header: []string{"discretizer", "accuracy", "recall", "F1"},
+		Notes: []string{
+			"paper uses floor for the dense user dataset and 3 decimals for mined data;",
+			"on continuous synthetic elevations finer precision fragments the vocabulary",
+		},
+	}
+	for _, p := range []struct {
+		name      string
+		precision int
+	}{
+		{"floor (1 m)", 0},
+		{"1 decimal (0.1 m)", 1},
+		{"3 decimals (0.001 m)", 3},
+	} {
+		tc := cfg.textAttackConfig(elevprivacy.ClassifierMLP)
+		tc.Precision = p.precision
+		m, err := elevprivacy.CrossValidateText(d, tc, cfg.Folds10)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation %s: %w", p.name, err)
+		}
+		t.Rows = append(t.Rows, []string{p.name, pct(m.Accuracy), pct(m.Recall), pct(m.F1)})
+	}
+	return t, nil
+}
+
+// AblationImageSize compares the paper's 32×32 raster against 64×64 and a
+// reduced resample count.
+func AblationImageSize(cfg Config) (*Table, error) {
+	d, err := cfg.tm1Dataset()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "Ablation A3",
+		Title:  "Effect of image resolution and resampling (TM-1, weighted CNN)",
+		Header: []string{"raster", "resample points", "accuracy", "F1"},
+		Notes:  []string{"paper uses 32x32 with 200 resampled elevation values"},
+	}
+	for _, variant := range []struct {
+		size   int
+		points int
+	}{
+		{32, 200},
+		{64, 200},
+		{32, 50},
+	} {
+		ic := cfg.imageConfig(elevprivacy.TrainWeighted, cfg.CNNEpochs)
+		render := imagerep.DefaultConfig()
+		render.Width = variant.size
+		render.Height = variant.size
+		render.ResamplePoints = variant.points
+		ic.Render = render
+		m, err := elevprivacy.EvaluateImageAttack(d, ic, imageTestFrac)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation %dx%d: %w", variant.size, variant.size, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%dx%d", variant.size, variant.size),
+			strconv.Itoa(variant.points),
+			pct(m.Accuracy), pct(m.F1),
+		})
+	}
+	return t, nil
+}
+
+// AblationFeatureThreshold sweeps the term-frequency feature-selection
+// threshold of §III-C.
+func AblationFeatureThreshold(cfg Config) (*Table, error) {
+	d, err := cfg.ablationDataset()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "Ablation A4",
+		Title:  "Effect of the term-frequency threshold (TM-3, MLP, 10 classes)",
+		Header: []string{"min frequency", "accuracy", "recall", "F1"},
+		Notes:  []string{"the paper discards features under a frequency threshold when vocabularies grow too large"},
+	}
+	for _, minFreq := range []int{1, 2, 5, 10} {
+		tc := cfg.textAttackConfig(elevprivacy.ClassifierMLP)
+		tc.MinFrequency = minFreq
+		m, err := elevprivacy.CrossValidateText(d, tc, cfg.Folds10)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation minfreq=%d: %w", minFreq, err)
+		}
+		t.Rows = append(t.Rows, []string{strconv.Itoa(minFreq), pct(m.Accuracy), pct(m.Recall), pct(m.F1)})
+	}
+	return t, nil
+}
+
+// AblationForestSize sweeps the random forest's ensemble size around the
+// paper's 100 trees.
+func AblationForestSize(cfg Config) (*Table, error) {
+	d, err := cfg.ablationDataset()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "Ablation A5",
+		Title:  "Effect of forest size (TM-3, RFC, 10 classes)",
+		Header: []string{"trees", "accuracy", "recall", "F1"},
+		Notes:  []string{"paper uses 100 trees"},
+	}
+	for _, trees := range []int{10, 50, 100, 200} {
+		tc := cfg.textAttackConfig(elevprivacy.ClassifierRandomForest)
+		tc.ForestTrees = trees
+		m, err := elevprivacy.CrossValidateText(d, tc, cfg.Folds10)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation trees=%d: %w", trees, err)
+		}
+		t.Rows = append(t.Rows, []string{strconv.Itoa(trees), pct(m.Accuracy), pct(m.Recall), pct(m.F1)})
+	}
+	return t, nil
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"elevprivacy"
+	"elevprivacy/internal/survey"
+)
+
+// userConfig maps the suite config onto the user-specific dataset builder.
+func (c Config) userConfig() elevprivacy.DatasetConfig {
+	return elevprivacy.DatasetConfig{
+		Scale:          c.UserScale,
+		ProfileSamples: c.ProfileSamples,
+		MinPerClass:    c.MinPerClass,
+		Seed:           c.Seed,
+	}
+}
+
+// minedConfig maps the suite config onto the mined dataset builders.
+func (c Config) minedConfig() elevprivacy.DatasetConfig {
+	return elevprivacy.DatasetConfig{
+		Scale:          c.MinedScale,
+		ProfileSamples: c.ProfileSamples,
+		MinPerClass:    c.MinPerClass,
+		Seed:           c.Seed + 100,
+	}
+}
+
+// Figure1Survey reproduces the paper's survey marginals (Fig. 1) from 60
+// simulated respondents.
+func Figure1Survey(cfg Config) (*Table, error) {
+	responses, err := survey.Simulate(60, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	agg, err := survey.Aggregate(responses)
+	if err != nil {
+		return nil, err
+	}
+	paper := survey.PaperMarginals()
+
+	t := &Table{
+		ID:     "Figure 1",
+		Title:  "Survey results (60 simulated participants)",
+		Header: []string{"question", "answer", "simulated %", "paper %"},
+	}
+	for _, s := range []survey.StartPoint{survey.StartHome, survey.StartSchool, survey.StartWork, survey.StartElsewhere} {
+		t.Rows = append(t.Rows, []string{"start point", s.String(),
+			pct(agg.StartShares[s]), pct(paper.StartShares[s])})
+	}
+	for _, s := range []survey.StartPoint{survey.StartHome, survey.StartSchool, survey.StartWork, survey.StartElsewhere} {
+		t.Rows = append(t.Rows, []string{"end point", s.String(),
+			pct(agg.EndShares[s]), pct(paper.EndShares[s])})
+	}
+	for _, b := range []survey.Belief{survey.BeliefYes, survey.BeliefMaybe, survey.BeliefNo} {
+		t.Rows = append(t.Rows, []string{"no-location = privacy?", b.String(),
+			pct(agg.PrivacyShares[b]), pct(paper.PrivacyShares[b])})
+	}
+	for _, b := range []survey.Belief{survey.BeliefYes, survey.BeliefMaybe, survey.BeliefNo} {
+		t.Rows = append(t.Rows, []string{"hiding map enough?", b.String(),
+			strconv.Itoa(agg.HidingMapCounts[b]), strconv.Itoa(paper.HidingMapCounts[b])})
+	}
+	return t, nil
+}
+
+// Table1UserDataset reproduces Table I: the user-specific dataset's
+// per-region sample sizes, plus the measured route-overlap ratio the paper
+// reports as ~35 %.
+func Table1UserDataset(cfg Config) (*Table, error) {
+	d, err := elevprivacy.NewUserSpecificDataset(cfg.userConfig())
+	if err != nil {
+		return nil, err
+	}
+	counts := d.CountByLabel()
+
+	t := &Table{
+		ID:     "Table I",
+		Title:  "User-specific dataset sample size distribution",
+		Header: []string{"region", "samples", "paper"},
+		Notes: []string{
+			fmt.Sprintf("class sizes scaled by %.2f (MinPerClass %d)", cfg.UserScale, cfg.MinPerClass),
+			fmt.Sprintf("average same-region route overlap = %.1f%% (paper: 35%%)",
+				d.AverageOverlapRatio()*100),
+		},
+	}
+	for _, region := range elevprivacy.AthleteWorld() {
+		t.Rows = append(t.Rows, []string{
+			region.Name,
+			strconv.Itoa(counts[region.Name]),
+			strconv.Itoa(region.TargetSegments),
+		})
+	}
+	return t, nil
+}
+
+// Table2CityDataset reproduces Table II: city-level sample sizes.
+func Table2CityDataset(cfg Config) (*Table, error) {
+	d, err := elevprivacy.NewCityLevelDataset(cfg.minedConfig())
+	if err != nil {
+		return nil, err
+	}
+	counts := d.CountByLabel()
+
+	t := &Table{
+		ID:     "Table II",
+		Title:  "City-level dataset sample size distribution",
+		Header: []string{"region", "samples", "paper"},
+		Notes: []string{
+			fmt.Sprintf("class sizes scaled by %.3f (MinPerClass %d)", cfg.MinedScale, cfg.MinPerClass),
+			"mined datasets contain no overlapped samples (disjoint grid regions)",
+		},
+	}
+	for _, city := range elevprivacy.World() {
+		t.Rows = append(t.Rows, []string{
+			city.Name,
+			strconv.Itoa(counts[city.Name]),
+			strconv.Itoa(city.TargetSegments),
+		})
+	}
+	return t, nil
+}
+
+// Table3BoroughDataset reproduces Table III: borough-level sample sizes
+// for the six borough cities.
+func Table3BoroughDataset(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "Table III",
+		Title:  "Borough-level dataset sample size distribution",
+		Header: []string{"city", "region", "samples", "paper"},
+		Notes: []string{
+			fmt.Sprintf("class sizes scaled by %.3f (MinPerClass %d)", cfg.MinedScale, cfg.MinPerClass),
+		},
+	}
+	for _, city := range elevprivacy.BoroughCities(elevprivacy.World()) {
+		d, err := elevprivacy.NewBoroughDataset(city.Abbrev, cfg.minedConfig())
+		if err != nil {
+			return nil, err
+		}
+		counts := d.CountByLabel()
+		for _, b := range city.Boroughs {
+			t.Rows = append(t.Rows, []string{
+				city.Abbrev,
+				b.Name,
+				strconv.Itoa(counts[b.Name]),
+				strconv.Itoa(b.TargetSegments),
+			})
+		}
+	}
+	return t, nil
+}

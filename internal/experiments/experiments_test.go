@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parsePct reads a table cell produced by pct().
+func parsePct(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not a percentage: %v", cell, err)
+	}
+	return v
+}
+
+func TestTableString(t *testing.T) {
+	tbl := &Table{
+		ID:     "Table X",
+		Title:  "demo",
+		Header: []string{"a", "long-column"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"a note"},
+	}
+	s := tbl.String()
+	for _, want := range []string{"Table X", "long-column", "333", "note: a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAllRunnersRegistered(t *testing.T) {
+	runners := All()
+	if len(runners) != 20 {
+		t.Fatalf("registered %d runners, want 20 (12 paper artifacts + 5 ablations + 3 extensions)", len(runners))
+	}
+	seen := map[string]bool{}
+	for _, r := range runners {
+		if r.Run == nil {
+			t.Errorf("%s has nil Run", r.ID)
+		}
+		if seen[r.Name] {
+			t.Errorf("duplicate runner name %q", r.Name)
+		}
+		seen[r.Name] = true
+	}
+	if _, err := ByName("tm3-text"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown runner accepted")
+	}
+}
+
+func TestFigure1Survey(t *testing.T) {
+	tbl, err := Figure1Survey(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 14 {
+		t.Fatalf("rows = %d, want 14 (4+4+3+3)", len(tbl.Rows))
+	}
+}
+
+func TestTable1UserDataset(t *testing.T) {
+	tbl, err := Table1UserDataset(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 regions", len(tbl.Rows))
+	}
+	if tbl.Rows[0][0] != "Washington DC" || tbl.Rows[0][2] != "366" {
+		t.Errorf("first row = %v", tbl.Rows[0])
+	}
+	// The overlap note must carry a measured percentage.
+	foundOverlap := false
+	for _, n := range tbl.Notes {
+		if strings.Contains(n, "overlap") {
+			foundOverlap = true
+		}
+	}
+	if !foundOverlap {
+		t.Error("missing overlap note")
+	}
+}
+
+func TestTable2And3Datasets(t *testing.T) {
+	tbl, err := Table2CityDataset(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 10 {
+		t.Fatalf("Table II rows = %d", len(tbl.Rows))
+	}
+	if tbl.Rows[0][0] != "New York City" {
+		t.Errorf("Table II order: %v", tbl.Rows[0])
+	}
+
+	tbl3, err := Table3BoroughDataset(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl3.Rows) != 22 {
+		t.Fatalf("Table III rows = %d, want 22 boroughs", len(tbl3.Rows))
+	}
+}
+
+// TestTable4TM1TextQuick runs the TM-1 experiment at smoke scale and
+// checks the paper's qualitative claim: user-specific attacks succeed far
+// above chance.
+func TestTable4TM1TextQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runners are slow")
+	}
+	tbl, err := Table4TM1Text(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want C in {2,3,4}", len(tbl.Rows))
+	}
+	// Accuracy columns are 2..7; chance for C=2 is 50 %.
+	twoClass := tbl.Rows[0]
+	for _, cell := range twoClass[2:] {
+		if parsePct(t, cell) < 60 {
+			t.Errorf("2-class TM-1 accuracy %s below 60%%: %v", cell, twoClass)
+		}
+	}
+	t.Logf("\n%s", tbl)
+}
+
+// TestTable5TM3TextQuick checks Table V's shape at smoke scale.
+func TestTable5TM3TextQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runners are slow")
+	}
+	tbl, err := Table5TM3Text(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d, want C in {3,5,7,8,10}", len(tbl.Rows))
+	}
+	// MLP accuracy (col 8) must beat chance (100/C) with clear margin.
+	for _, row := range tbl.Rows {
+		c := parsePct(t, row[0]) // C column is a small integer
+		acc := parsePct(t, row[8])
+		if acc < 100/c+15 {
+			t.Errorf("C=%v: MLP accuracy %v barely above chance", row[0], acc)
+		}
+	}
+	t.Logf("\n%s", tbl)
+}
+
+// TestTable6OverlapImprovesOverTable5 checks the §IV-A1 claim at smoke
+// scale: overlap simulation lifts MLP accuracy on the full 10-class row.
+func TestTable6OverlapImprovesOverTable5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runners are slow")
+	}
+	cfg := Quick()
+	t5, err := Table5TM3Text(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t6, err := Table6TM3OverlapSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := parsePct(t, t5.Rows[len(t5.Rows)-1][8])
+	sim := parsePct(t, t6.Rows[len(t6.Rows)-1][8])
+	t.Logf("10-class MLP accuracy: %.1f -> %.1f with overlap", base, sim)
+	if sim < base-8 {
+		t.Errorf("overlap simulation should not materially hurt: %.1f -> %.1f", base, sim)
+	}
+}
+
+func TestEpochSweepShape(t *testing.T) {
+	cfg := Default()
+	cfg.CNNEpochs = 16
+	sweep := cfg.epochSweep()
+	if len(sweep) != 3 || sweep[0] != 8 || sweep[1] != 16 || sweep[2] != 32 {
+		t.Errorf("sweep = %v", sweep)
+	}
+	cfg.CNNEpochs = 1
+	if got := cfg.epochSweep()[0]; got != 1 {
+		t.Errorf("halved epoch floor = %d", got)
+	}
+}
+
+func TestBalancedTopClassesValidation(t *testing.T) {
+	d, err := Quick().tm1Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := []string{"Washington DC", "Orlando", "New York City", "San Diego"}
+	if _, _, err := balancedTopClasses(d, order, 1, 1); err == nil {
+		t.Error("1 class accepted")
+	}
+	if _, _, err := balancedTopClasses(d, order, 9, 1); err == nil {
+		t.Error("more classes than labels accepted")
+	}
+	bal, perClass, err := balancedTopClasses(d, order, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := bal.CountByLabel()
+	if len(counts) != 2 {
+		t.Fatalf("labels = %v", counts)
+	}
+	for _, n := range counts {
+		if n != perClass {
+			t.Errorf("unbalanced: %v (perClass %d)", counts, perClass)
+		}
+	}
+}
+
+// TestExtensionDefensesQuick checks the defense trade-off's headline: the
+// altitude-removing defenses cut attack accuracy relative to no defense.
+func TestExtensionDefensesQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runners are slow")
+	}
+	tbl, err := ExtensionDefenses(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7 defenses", len(tbl.Rows))
+	}
+	noop := parsePct(t, tbl.Rows[0][1])
+	var zeroBaseline float64
+	for _, row := range tbl.Rows {
+		if row[0] == "zero-baseline" {
+			zeroBaseline = parsePct(t, row[1])
+		}
+	}
+	t.Logf("\n%s", tbl)
+	if zeroBaseline > noop+5 {
+		t.Errorf("zero-baseline accuracy %.1f should not exceed undefended %.1f", zeroBaseline, noop)
+	}
+	// Noop and zero-baseline preserve gain exactly.
+	if e := parsePct(t, tbl.Rows[0][2]); e > 0.01 {
+		t.Errorf("noop gain error = %f", e)
+	}
+}
+
+// TestExtensionSpectralBaselineQuick checks the abstract's claim: simple
+// spectral features underperform the text-like representation.
+func TestExtensionSpectralBaselineQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runners are slow")
+	}
+	tbl, err := ExtensionSpectralBaseline(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	spectralAcc := parsePct(t, tbl.Rows[0][1])
+	textAcc := parsePct(t, tbl.Rows[2][1])
+	t.Logf("\n%s", tbl)
+	if textAcc <= spectralAcc {
+		t.Errorf("text representation (%.1f) must beat pure spectral (%.1f)", textAcc, spectralAcc)
+	}
+}

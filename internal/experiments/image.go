@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"elevprivacy"
+)
+
+// imageConfig builds the CNN attack settings for one training mode.
+func (c Config) imageConfig(mode elevprivacy.TrainMode, epochs int) elevprivacy.ImageAttackConfig {
+	ic := elevprivacy.DefaultImageAttackConfig(mode)
+	ic.Epochs = epochs
+	ic.Seed = c.Seed
+	return ic
+}
+
+// imageTestFrac is the held-out share for image evaluations.
+const imageTestFrac = 0.2
+
+// tm1Dataset, tm3Dataset, tm2Dataset build the three threat models' data.
+func (c Config) tm1Dataset() (*elevprivacy.Dataset, error) {
+	return elevprivacy.NewUserSpecificDataset(c.userConfig())
+}
+
+func (c Config) tm3Dataset() (*elevprivacy.Dataset, error) {
+	return elevprivacy.NewCityLevelDataset(c.minedConfig())
+}
+
+func (c Config) tm2Dataset(abbrev string) (*elevprivacy.Dataset, error) {
+	return elevprivacy.NewBoroughDataset(abbrev, c.minedConfig())
+}
+
+// bestTextAccuracy runs the three text classifiers (downsampled protocol)
+// and returns the best accuracy, the Table VII "DS" column.
+func bestTextAccuracy(cfg Config, d *elevprivacy.Dataset) (float64, error) {
+	var best float64
+	for _, kind := range textKinds {
+		m, err := elevprivacy.CrossValidateText(d, cfg.textAttackConfig(kind), cfg.Folds10)
+		if err != nil {
+			return 0, err
+		}
+		if m.Accuracy > best {
+			best = m.Accuracy
+		}
+	}
+	return best, nil
+}
+
+// Table7ImageMethods reproduces Table VII: maximum achieved accuracy for
+// the text-like downsampled method versus the CNN with unweighted loss,
+// weighted loss, and fine-tuning, across TM-1, the six TM-2 cities, and
+// TM-3.
+func Table7ImageMethods(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "Table VII",
+		Title:  "Maximum achieved accuracy (%) across methods",
+		Header: []string{"evaluation", "text DS", "UWL(biased)", "WL", "FT"},
+		Notes: []string{
+			"paper: UWL is biased by class imbalance and excluded from the max",
+			"paper: WL is the best unbiased image method for most TM-2 cities; FT trails (loses data in rounds)",
+		},
+	}
+
+	type task struct {
+		name string
+		data func() (*elevprivacy.Dataset, error)
+	}
+	tasks := []task{
+		{"TM-1", cfg.tm1Dataset},
+	}
+	for _, city := range elevprivacy.BoroughCities(elevprivacy.World()) {
+		city := city
+		tasks = append(tasks, task{"TM-2: " + city.Abbrev, func() (*elevprivacy.Dataset, error) {
+			return cfg.tm2Dataset(city.Abbrev)
+		}})
+	}
+	tasks = append(tasks, task{"TM-3", cfg.tm3Dataset})
+
+	for _, tk := range tasks {
+		d, err := tk.data()
+		if err != nil {
+			return nil, err
+		}
+		textAcc, err := bestTextAccuracy(cfg, d)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table VII %s text: %w", tk.name, err)
+		}
+
+		row := []string{tk.name, pct(textAcc)}
+		for _, mode := range []elevprivacy.TrainMode{
+			elevprivacy.TrainUnweighted, elevprivacy.TrainWeighted, elevprivacy.TrainFineTune,
+		} {
+			m, err := elevprivacy.EvaluateImageAttack(d, cfg.imageConfig(mode, cfg.CNNEpochs), imageTestFrac)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: table VII %s %s: %w", tk.name, mode, err)
+			}
+			row = append(row, pct(m.Accuracy))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// epochSweep maps the paper's {500, 1000, 2000} sweep onto the scaled
+// budget {E/2, E, 2E}.
+func (c Config) epochSweep() []int {
+	half := c.CNNEpochs / 2
+	if half < 1 {
+		half = 1
+	}
+	return []int{half, c.CNNEpochs, 2 * c.CNNEpochs}
+}
+
+// Table8FineTuneEpochs reproduces Table VIII: fine-tuning metrics for TM-1
+// and TM-3 as the epoch budget changes.
+func Table8FineTuneEpochs(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "Table VIII",
+		Title: "Fine-tuning results vs epoch budget (TM-1, TM-3)",
+		Header: []string{"threat model", "epochs",
+			"accuracy", "recall", "specificity", "F1"},
+		Notes: []string{
+			fmt.Sprintf("epoch budgets {%d,%d,%d} stand in for the paper's {500,1000,2000}",
+				cfg.epochSweep()[0], cfg.epochSweep()[1], cfg.epochSweep()[2]),
+			"paper: the middle budget peaks on both threat models",
+		},
+	}
+
+	for _, tm := range []struct {
+		name string
+		data func() (*elevprivacy.Dataset, error)
+	}{
+		{"TM-1", cfg.tm1Dataset},
+		{"TM-3", cfg.tm3Dataset},
+	} {
+		d, err := tm.data()
+		if err != nil {
+			return nil, err
+		}
+		for _, epochs := range cfg.epochSweep() {
+			m, err := elevprivacy.EvaluateImageAttack(d, cfg.imageConfig(elevprivacy.TrainFineTune, epochs), imageTestFrac)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: table VIII %s e=%d: %w", tm.name, epochs, err)
+			}
+			t.Rows = append(t.Rows, []string{
+				tm.name, strconv.Itoa(epochs),
+				pct(m.Accuracy), pct(m.Recall), pct(m.Specificity), pct(m.F1),
+			})
+		}
+	}
+	return t, nil
+}
+
+// Table9FineTuneTM2 reproduces Table IX: fine-tuning metrics per TM-2 city
+// at the fixed middle epoch budget.
+func Table9FineTuneTM2(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "Table IX",
+		Title:  "Fine-tuning results for TM-2 (fixed epoch budget)",
+		Header: []string{"city", "accuracy", "recall", "specificity", "F1"},
+		Notes: []string{
+			fmt.Sprintf("epoch budget %d stands in for the paper's 1000, lr 0.001 all rounds", cfg.CNNEpochs),
+		},
+	}
+	for _, city := range elevprivacy.BoroughCities(elevprivacy.World()) {
+		d, err := cfg.tm2Dataset(city.Abbrev)
+		if err != nil {
+			return nil, err
+		}
+		m, err := elevprivacy.EvaluateImageAttack(d, cfg.imageConfig(elevprivacy.TrainFineTune, cfg.CNNEpochs), imageTestFrac)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table IX %s: %w", city.Abbrev, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			city.Abbrev,
+			pct(m.Accuracy), pct(m.Recall), pct(m.Specificity), pct(m.F1),
+		})
+	}
+	return t, nil
+}

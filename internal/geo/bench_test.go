@@ -1,0 +1,56 @@
+package geo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchPath(n int) Path {
+	rng := rand.New(rand.NewSource(1))
+	p := make(Path, 0, n)
+	cur := LatLng{Lat: 40.75, Lng: -73.97}
+	for i := 0; i < n; i++ {
+		cur = cur.Destination(rng.Float64()*360, 60)
+		p = append(p, cur)
+	}
+	return p
+}
+
+func BenchmarkDistanceMeters(b *testing.B) {
+	p := LatLng{Lat: 40.7128, Lng: -74.0060}
+	q := LatLng{Lat: 38.9072, Lng: -77.0369}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.DistanceMeters(q)
+	}
+}
+
+func BenchmarkEncodePolyline100(b *testing.B) {
+	path := benchPath(100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = EncodePolyline(path)
+	}
+}
+
+func BenchmarkDecodePolyline100(b *testing.B) {
+	encoded := EncodePolyline(benchPath(100))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodePolyline(encoded); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPathResample200(b *testing.B) {
+	path := benchPath(80)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = path.Resample(200)
+	}
+}

@@ -1,0 +1,74 @@
+package geo
+
+import "math"
+
+// Simplify reduces the path with the Douglas-Peucker algorithm: vertices
+// closer than toleranceMeters to the chord between kept neighbors are
+// dropped. Endpoints are always kept. Fitness services ship simplified
+// polylines to cut payload size; the miner sees the same shape.
+func (t Path) Simplify(toleranceMeters float64) Path {
+	if len(t) <= 2 || toleranceMeters <= 0 {
+		return t.Clone()
+	}
+	keep := make([]bool, len(t))
+	keep[0] = true
+	keep[len(t)-1] = true
+	douglasPeucker(t, 0, len(t)-1, toleranceMeters, keep)
+
+	out := make(Path, 0, len(t))
+	for i, k := range keep {
+		if k {
+			out = append(out, t[i])
+		}
+	}
+	return out
+}
+
+// douglasPeucker marks vertices to keep between endpoints lo and hi.
+func douglasPeucker(t Path, lo, hi int, tol float64, keep []bool) {
+	if hi <= lo+1 {
+		return
+	}
+	var maxDist float64
+	maxIdx := -1
+	for i := lo + 1; i < hi; i++ {
+		d := crossTrackMeters(t[i], t[lo], t[hi])
+		if d > maxDist {
+			maxDist = d
+			maxIdx = i
+		}
+	}
+	if maxIdx >= 0 && maxDist > tol {
+		keep[maxIdx] = true
+		douglasPeucker(t, lo, maxIdx, tol, keep)
+		douglasPeucker(t, maxIdx, hi, tol, keep)
+	}
+}
+
+// crossTrackMeters approximates the perpendicular distance from p to the
+// segment a-b using a local equirectangular projection — accurate to well
+// under a millimeter at route scales.
+func crossTrackMeters(p, a, b LatLng) float64 {
+	const mPerDeg = 111195.0
+	cosLat := math.Cos(radians((a.Lat + b.Lat) / 2))
+
+	ax, ay := 0.0, 0.0
+	bx := (b.Lng - a.Lng) * mPerDeg * cosLat
+	by := (b.Lat - a.Lat) * mPerDeg
+	px := (p.Lng - a.Lng) * mPerDeg * cosLat
+	py := (p.Lat - a.Lat) * mPerDeg
+
+	dx, dy := bx-ax, by-ay
+	lenSq := dx*dx + dy*dy
+	if lenSq == 0 {
+		return math.Hypot(px, py)
+	}
+	// Projection parameter clamped to the segment.
+	u := (px*dx + py*dy) / lenSq
+	if u < 0 {
+		u = 0
+	} else if u > 1 {
+		u = 1
+	}
+	return math.Hypot(px-u*dx, py-u*dy)
+}

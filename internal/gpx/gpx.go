@@ -1,0 +1,240 @@
+// Package gpx reads and writes the GPS Exchange Format (GPX 1.1), the
+// intermediate format the paper converts every collected activity into
+// before labeling (§III-A1).
+//
+// Only the track subset the pipeline needs is modeled: tracks, track
+// segments, and track points with elevation and time.
+package gpx
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"time"
+
+	"elevprivacy/internal/geo"
+)
+
+// Document is a GPX file: metadata plus one or more tracks.
+type Document struct {
+	// Creator identifies the producing application.
+	Creator string
+	// Name is the optional document-level name.
+	Name string
+	// Time is the optional document timestamp.
+	Time time.Time
+	// Tracks holds the recorded activities.
+	Tracks []Track
+}
+
+// Track is a named recorded activity.
+type Track struct {
+	// Name labels the activity.
+	Name string
+	// Type is the activity type (run, ride, hike...).
+	Type string
+	// Segments holds continuous spans of recording.
+	Segments []Segment
+}
+
+// Segment is a continuous sequence of track points.
+type Segment struct {
+	Points []Point
+}
+
+// Point is a single GPS fix.
+type Point struct {
+	// LatLng is the horizontal position.
+	geo.LatLng
+	// ElevationMeters is the recorded elevation. NaN is never used; missing
+	// elevations are written/read as zero with HasElevation false.
+	ElevationMeters float64
+	// HasElevation records whether the <ele> element was present.
+	HasElevation bool
+	// Time is the fix timestamp; zero when absent.
+	Time time.Time
+}
+
+// Path flattens all points of all segments of the track into a geo.Path.
+func (t Track) Path() geo.Path {
+	var out geo.Path
+	for _, s := range t.Segments {
+		for _, p := range s.Points {
+			out = append(out, p.LatLng)
+		}
+	}
+	return out
+}
+
+// Elevations returns the elevation series of the track, in recording order.
+// Points without elevation contribute 0.
+func (t Track) Elevations() []float64 {
+	var out []float64
+	for _, s := range t.Segments {
+		for _, p := range s.Points {
+			out = append(out, p.ElevationMeters)
+		}
+	}
+	return out
+}
+
+// --- XML wire representation ---
+
+type xmlGPX struct {
+	XMLName  xml.Name     `xml:"gpx"`
+	Version  string       `xml:"version,attr"`
+	Creator  string       `xml:"creator,attr"`
+	Xmlns    string       `xml:"xmlns,attr,omitempty"`
+	Metadata *xmlMetadata `xml:"metadata,omitempty"`
+	Tracks   []xmlTrack   `xml:"trk"`
+}
+
+type xmlMetadata struct {
+	Name string `xml:"name,omitempty"`
+	Time string `xml:"time,omitempty"`
+}
+
+type xmlTrack struct {
+	Name     string       `xml:"name,omitempty"`
+	Type     string       `xml:"type,omitempty"`
+	Segments []xmlSegment `xml:"trkseg"`
+}
+
+type xmlSegment struct {
+	Points []xmlPoint `xml:"trkpt"`
+}
+
+type xmlPoint struct {
+	Lat  float64  `xml:"lat,attr"`
+	Lon  float64  `xml:"lon,attr"`
+	Ele  *float64 `xml:"ele,omitempty"`
+	Time string   `xml:"time,omitempty"`
+}
+
+// Write serializes the document as GPX 1.1 XML.
+func Write(w io.Writer, doc *Document) error {
+	out := xmlGPX{
+		Version: "1.1",
+		Creator: doc.Creator,
+		Xmlns:   "http://www.topografix.com/GPX/1/1",
+	}
+	if doc.Name != "" || !doc.Time.IsZero() {
+		md := &xmlMetadata{Name: doc.Name}
+		if !doc.Time.IsZero() {
+			md.Time = doc.Time.UTC().Format(time.RFC3339)
+		}
+		out.Metadata = md
+	}
+	for _, trk := range doc.Tracks {
+		xt := xmlTrack{Name: trk.Name, Type: trk.Type}
+		for _, seg := range trk.Segments {
+			xs := xmlSegment{Points: make([]xmlPoint, 0, len(seg.Points))}
+			for _, p := range seg.Points {
+				xp := xmlPoint{Lat: p.Lat, Lon: p.Lng}
+				if p.HasElevation {
+					ele := p.ElevationMeters
+					xp.Ele = &ele
+				}
+				if !p.Time.IsZero() {
+					xp.Time = p.Time.UTC().Format(time.RFC3339)
+				}
+				xs.Points = append(xs.Points, xp)
+			}
+			xt.Segments = append(xt.Segments, xs)
+		}
+		out.Tracks = append(out.Tracks, xt)
+	}
+
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return fmt.Errorf("gpx: writing header: %w", err)
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("gpx: encoding: %w", err)
+	}
+	// Encoder.Encode does not emit a trailing newline.
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// Read parses a GPX document, validating coordinates and timestamps.
+func Read(r io.Reader) (*Document, error) {
+	var in xmlGPX
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("gpx: decoding: %w", err)
+	}
+
+	doc := &Document{Creator: in.Creator}
+	if in.Metadata != nil {
+		doc.Name = in.Metadata.Name
+		if in.Metadata.Time != "" {
+			ts, err := time.Parse(time.RFC3339, in.Metadata.Time)
+			if err != nil {
+				return nil, fmt.Errorf("gpx: metadata time: %w", err)
+			}
+			doc.Time = ts
+		}
+	}
+
+	for ti, xt := range in.Tracks {
+		trk := Track{Name: xt.Name, Type: xt.Type}
+		for si, xs := range xt.Segments {
+			seg := Segment{Points: make([]Point, 0, len(xs.Points))}
+			for pi, xp := range xs.Points {
+				pos := geo.LatLng{Lat: xp.Lat, Lng: xp.Lon}
+				if !pos.Valid() {
+					return nil, fmt.Errorf("gpx: track %d segment %d point %d: invalid position %v", ti, si, pi, pos)
+				}
+				p := Point{LatLng: pos}
+				if xp.Ele != nil {
+					p.ElevationMeters = *xp.Ele
+					p.HasElevation = true
+				}
+				if xp.Time != "" {
+					ts, err := time.Parse(time.RFC3339, xp.Time)
+					if err != nil {
+						return nil, fmt.Errorf("gpx: track %d segment %d point %d: %w", ti, si, pi, err)
+					}
+					p.Time = ts
+				}
+				seg.Points = append(seg.Points, p)
+			}
+			trk.Segments = append(trk.Segments, seg)
+		}
+		doc.Tracks = append(doc.Tracks, trk)
+	}
+	return doc, nil
+}
+
+// FromActivity builds a single-track document from a path and its elevation
+// series. Elevations may be nil (no <ele> elements) or len(path) long.
+// Timestamps, when start is non-zero, are spaced stepSeconds apart.
+func FromActivity(name, actType string, path geo.Path, elevations []float64, start time.Time, stepSeconds float64) (*Document, error) {
+	if len(elevations) != 0 && len(elevations) != len(path) {
+		return nil, fmt.Errorf("gpx: %d elevations for %d points", len(elevations), len(path))
+	}
+	seg := Segment{Points: make([]Point, 0, len(path))}
+	for i, pos := range path {
+		p := Point{LatLng: pos}
+		if len(elevations) != 0 {
+			p.ElevationMeters = elevations[i]
+			p.HasElevation = true
+		}
+		if !start.IsZero() {
+			p.Time = start.Add(time.Duration(float64(i) * stepSeconds * float64(time.Second)))
+		}
+		seg.Points = append(seg.Points, p)
+	}
+	return &Document{
+		Creator: "elevprivacy",
+		Name:    name,
+		Time:    start,
+		Tracks: []Track{{
+			Name:     name,
+			Type:     actType,
+			Segments: []Segment{seg},
+		}},
+	}, nil
+}

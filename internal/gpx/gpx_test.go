@@ -1,0 +1,249 @@
+package gpx
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"elevprivacy/internal/geo"
+)
+
+func sampleDoc() *Document {
+	start := time.Date(2020, 1, 11, 8, 0, 0, 0, time.UTC)
+	return &Document{
+		Creator: "elevprivacy-test",
+		Name:    "morning run",
+		Time:    start,
+		Tracks: []Track{{
+			Name: "morning run",
+			Type: "run",
+			Segments: []Segment{{
+				Points: []Point{
+					{LatLng: geo.LatLng{Lat: 38.9001, Lng: -77.0301}, ElevationMeters: 52.5, HasElevation: true, Time: start},
+					{LatLng: geo.LatLng{Lat: 38.9011, Lng: -77.0292}, ElevationMeters: 54.0, HasElevation: true, Time: start.Add(10 * time.Second)},
+					{LatLng: geo.LatLng{Lat: 38.9022, Lng: -77.0285}, HasElevation: false, Time: start.Add(20 * time.Second)},
+				},
+			}},
+		}},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	doc := sampleDoc()
+	var buf bytes.Buffer
+	if err := Write(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Creator != doc.Creator || back.Name != doc.Name {
+		t.Errorf("metadata = %q/%q, want %q/%q", back.Creator, back.Name, doc.Creator, doc.Name)
+	}
+	if !back.Time.Equal(doc.Time) {
+		t.Errorf("time = %v, want %v", back.Time, doc.Time)
+	}
+	if len(back.Tracks) != 1 || len(back.Tracks[0].Segments) != 1 {
+		t.Fatalf("structure lost: %+v", back)
+	}
+	pts := back.Tracks[0].Segments[0].Points
+	orig := doc.Tracks[0].Segments[0].Points
+	if len(pts) != len(orig) {
+		t.Fatalf("point count = %d, want %d", len(pts), len(orig))
+	}
+	for i := range pts {
+		if math.Abs(pts[i].Lat-orig[i].Lat) > 1e-9 || math.Abs(pts[i].Lng-orig[i].Lng) > 1e-9 {
+			t.Errorf("point %d position %v, want %v", i, pts[i].LatLng, orig[i].LatLng)
+		}
+		if pts[i].HasElevation != orig[i].HasElevation {
+			t.Errorf("point %d HasElevation = %v, want %v", i, pts[i].HasElevation, orig[i].HasElevation)
+		}
+		if orig[i].HasElevation && math.Abs(pts[i].ElevationMeters-orig[i].ElevationMeters) > 1e-9 {
+			t.Errorf("point %d elevation %f, want %f", i, pts[i].ElevationMeters, orig[i].ElevationMeters)
+		}
+		if !pts[i].Time.Equal(orig[i].Time) {
+			t.Errorf("point %d time %v, want %v", i, pts[i].Time, orig[i].Time)
+		}
+	}
+}
+
+func TestWriteProducesGPX11(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleDoc()); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{
+		`<?xml`,
+		`version="1.1"`,
+		`xmlns="http://www.topografix.com/GPX/1/1"`,
+		`<trkpt lat="38.9001" lon="-77.0301">`,
+		`<ele>52.5</ele>`,
+		`<time>2020-01-11T08:00:00Z</time>`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	// The elevation-less third point must not carry an <ele> element.
+	if strings.Count(s, "<ele>") != 2 {
+		t.Errorf("expected exactly 2 <ele> elements:\n%s", s)
+	}
+}
+
+func TestReadRejectsInvalidPosition(t *testing.T) {
+	const bad = `<?xml version="1.0"?>
+<gpx version="1.1" creator="x"><trk><trkseg>
+<trkpt lat="97.0" lon="0.0"></trkpt>
+</trkseg></trk></gpx>`
+	if _, err := Read(strings.NewReader(bad)); err == nil {
+		t.Error("latitude 97 accepted")
+	}
+}
+
+func TestReadRejectsBadTimestamp(t *testing.T) {
+	const bad = `<?xml version="1.0"?>
+<gpx version="1.1" creator="x"><trk><trkseg>
+<trkpt lat="1.0" lon="1.0"><time>yesterday</time></trkpt>
+</trkseg></trk></gpx>`
+	if _, err := Read(strings.NewReader(bad)); err == nil {
+		t.Error("malformed timestamp accepted")
+	}
+}
+
+func TestReadRejectsMalformedXML(t *testing.T) {
+	if _, err := Read(strings.NewReader("<gpx><trk>")); err == nil {
+		t.Error("truncated XML accepted")
+	}
+}
+
+func TestReadForeignCreatorGPX(t *testing.T) {
+	// A minimal file as another app would emit it: no metadata, bare points.
+	const foreign = `<gpx version="1.1" creator="Garmin">
+<trk><type>ride</type><trkseg>
+<trkpt lat="40.0" lon="-74.0"><ele>12</ele></trkpt>
+<trkpt lat="40.001" lon="-74.001"><ele>13.25</ele></trkpt>
+</trkseg></trk></gpx>`
+	doc, err := Read(strings.NewReader(foreign))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Creator != "Garmin" {
+		t.Errorf("creator = %q", doc.Creator)
+	}
+	if doc.Tracks[0].Type != "ride" {
+		t.Errorf("type = %q", doc.Tracks[0].Type)
+	}
+	elevs := doc.Tracks[0].Elevations()
+	if len(elevs) != 2 || elevs[1] != 13.25 {
+		t.Errorf("elevations = %v", elevs)
+	}
+}
+
+func TestTrackPathAndElevations(t *testing.T) {
+	trk := Track{Segments: []Segment{
+		{Points: []Point{
+			{LatLng: geo.LatLng{Lat: 1, Lng: 2}, ElevationMeters: 10, HasElevation: true},
+		}},
+		{Points: []Point{
+			{LatLng: geo.LatLng{Lat: 3, Lng: 4}},
+		}},
+	}}
+	path := trk.Path()
+	if len(path) != 2 || path[1] != (geo.LatLng{Lat: 3, Lng: 4}) {
+		t.Errorf("Path = %v", path)
+	}
+	elevs := trk.Elevations()
+	if len(elevs) != 2 || elevs[0] != 10 || elevs[1] != 0 {
+		t.Errorf("Elevations = %v", elevs)
+	}
+}
+
+func TestFromActivity(t *testing.T) {
+	path := geo.Path{{Lat: 1, Lng: 1}, {Lat: 1.001, Lng: 1.001}}
+	start := time.Date(2020, 3, 1, 7, 0, 0, 0, time.UTC)
+
+	doc, err := FromActivity("act", "run", path, []float64{5, 6}, start, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := doc.Tracks[0].Segments[0].Points
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if !pts[1].Time.Equal(start.Add(2500 * time.Millisecond)) {
+		t.Errorf("second timestamp = %v", pts[1].Time)
+	}
+	if !pts[0].HasElevation || pts[0].ElevationMeters != 5 {
+		t.Errorf("first elevation = %+v", pts[0])
+	}
+
+	if _, err := FromActivity("bad", "run", path, []float64{1}, start, 1); err == nil {
+		t.Error("mismatched elevation length accepted")
+	}
+
+	// nil elevations: no <ele> elements at all.
+	doc, err = FromActivity("bare", "run", path, nil, time.Time{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Tracks[0].Segments[0].Points[0].HasElevation {
+		t.Error("nil elevations should produce HasElevation=false")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(rawLat, rawLng []float64, eleSeed int64) bool {
+		n := len(rawLat)
+		if len(rawLng) < n {
+			n = len(rawLng)
+		}
+		if n > 40 {
+			n = 40
+		}
+		path := make(geo.Path, 0, n)
+		elevs := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			lat := math.Mod(rawLat[i], 90)
+			lng := math.Mod(rawLng[i], 180)
+			if math.IsNaN(lat) || math.IsNaN(lng) {
+				return true // skip degenerate random input
+			}
+			path = append(path, geo.LatLng{Lat: lat, Lng: lng})
+			elevs = append(elevs, float64((eleSeed+int64(i)*13)%9000)/3)
+		}
+		doc, err := FromActivity("p", "run", path, elevs, time.Time{}, 0)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, doc); err != nil {
+			return false
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		gotPath := back.Tracks[0].Path()
+		gotElev := back.Tracks[0].Elevations()
+		if len(gotPath) != n || len(gotElev) != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if math.Abs(gotPath[i].Lat-path[i].Lat) > 1e-9 ||
+				math.Abs(gotPath[i].Lng-path[i].Lng) > 1e-9 ||
+				math.Abs(gotElev[i]-elevs[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

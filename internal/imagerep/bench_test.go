@@ -1,0 +1,22 @@
+package imagerep
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkRender(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	sig := make([]float64, 100)
+	for i := range sig {
+		sig[i] = 50 + rng.Float64()*30
+	}
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Render(sig, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

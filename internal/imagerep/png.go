@@ -1,0 +1,53 @@
+package imagerep
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+)
+
+// ToImage converts the CHW float raster to a standard RGBA image (3-channel
+// rasters only), for visual inspection of what the CNN sees.
+func (im *Image) ToImage() (image.Image, error) {
+	if im.Channels != 3 {
+		return nil, fmt.Errorf("imagerep: ToImage needs 3 channels, got %d", im.Channels)
+	}
+	out := image.NewRGBA(image.Rect(0, 0, im.Width, im.Height))
+	for y := 0; y < im.Height; y++ {
+		for x := 0; x < im.Width; x++ {
+			out.SetRGBA(x, y, color.RGBA{
+				R: clamp8(im.At(0, y, x)),
+				G: clamp8(im.At(1, y, x)),
+				B: clamp8(im.At(2, y, x)),
+				A: 255,
+			})
+		}
+	}
+	return out, nil
+}
+
+// WritePNG encodes the raster as a PNG.
+func (im *Image) WritePNG(w io.Writer) error {
+	img, err := im.ToImage()
+	if err != nil {
+		return err
+	}
+	if err := png.Encode(w, img); err != nil {
+		return fmt.Errorf("imagerep: encoding png: %w", err)
+	}
+	return nil
+}
+
+// clamp8 maps a [0,1] float to a byte.
+func clamp8(v float64) uint8 {
+	switch {
+	case v <= 0:
+		return 0
+	case v >= 1:
+		return 255
+	default:
+		return uint8(v*255 + 0.5)
+	}
+}

@@ -1,0 +1,110 @@
+package cnn
+
+import (
+	"elevprivacy/internal/imagerep"
+	"elevprivacy/internal/ml/linalg"
+)
+
+// backward runs forward then accumulates the (optionally class-weighted)
+// cross-entropy gradient for one sample into grads, returning the sample's
+// loss weight so the caller can normalize the batch.
+func (c *CNN) backward(im *imagerep.Image, label int, grads []float64, s *scratch) float64 {
+	c.forward(im, s)
+
+	weight := 1.0
+	if c.cfg.ClassWeights != nil {
+		weight = c.cfg.ClassWeights[label]
+	}
+
+	// FC layer: dLogit = w*(p - onehot).
+	linalg.Zero(s.dPool2)
+	for cls := 0; cls < c.cfg.Classes; cls++ {
+		dLogit := s.probs[cls]
+		if cls == label {
+			dLogit--
+		}
+		dLogit *= weight
+		grads[c.bf+cls] += dLogit
+		wRow := c.params[c.wf+cls*c.fcIn : c.wf+(cls+1)*c.fcIn]
+		gRow := grads[c.wf+cls*c.fcIn : c.wf+(cls+1)*c.fcIn]
+		linalg.Axpy(gRow, s.pool2, dLogit)
+		linalg.Axpy(s.dPool2, wRow, dLogit)
+	}
+
+	// Pool2 -> conv2 (route gradient to argmax winners).
+	linalg.Zero(s.dConv2)
+	for i, src := range s.arg2 {
+		s.dConv2[src] += s.dPool2[i]
+	}
+	// ReLU gate of conv2 (activations are post-ReLU; zero means blocked).
+	for i := range s.dConv2 {
+		if s.conv2[i] <= 0 {
+			s.dConv2[i] = 0
+		}
+	}
+
+	// Conv2 backward: weight/bias grads and input gradient (pool1).
+	linalg.Zero(s.dPool1)
+	convBackward(s.pool1, c.cfg.Conv1, c.size1,
+		c.params[c.w2:c.b2], s.dConv2, c.cfg.Conv2,
+		grads[c.w2:c.b2], grads[c.b2:c.wf], s.dPool1)
+
+	// Pool1 -> conv1.
+	linalg.Zero(s.dConv1)
+	for i, src := range s.arg1 {
+		s.dConv1[src] += s.dPool1[i]
+	}
+	for i := range s.dConv1 {
+		if s.conv1[i] <= 0 {
+			s.dConv1[i] = 0
+		}
+	}
+
+	// Conv1 backward: no input gradient needed.
+	convBackward(im.Data, c.cfg.InChannels, c.cfg.InSize,
+		c.params[c.w1:c.b1], s.dConv1, c.cfg.Conv1,
+		grads[c.w1:c.b1], grads[c.b1:c.w2], nil)
+
+	return weight
+}
+
+// convBackward accumulates gradients for one convolution layer given the
+// gradient dOut at its (pre-pool, post-ReLU-gated) output. dIn may be nil
+// when the input gradient is not needed (the first layer).
+func convBackward(in []float64, inCh, size int, w, dOut []float64, outCh int, gw, gb, dIn []float64) {
+	k2 := kernel * kernel
+	for oc := 0; oc < outCh; oc++ {
+		dPlane := dOut[oc*size*size : (oc+1)*size*size]
+		for y := 0; y < size; y++ {
+			for x := 0; x < size; x++ {
+				d := dPlane[y*size+x]
+				if d == 0 {
+					continue
+				}
+				gb[oc] += d
+				for ic := 0; ic < inCh; ic++ {
+					inPlane := in[ic*size*size : (ic+1)*size*size]
+					base := (oc*inCh + ic) * k2
+					for ky := 0; ky < kernel; ky++ {
+						iy := y + ky - pad
+						if iy < 0 || iy >= size {
+							continue
+						}
+						rowBase := iy * size
+						wRow := base + ky*kernel
+						for kx := 0; kx < kernel; kx++ {
+							ix := x + kx - pad
+							if ix < 0 || ix >= size {
+								continue
+							}
+							gw[wRow+kx] += d * inPlane[rowBase+ix]
+							if dIn != nil {
+								dIn[ic*size*size+rowBase+ix] += d * w[wRow+kx]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

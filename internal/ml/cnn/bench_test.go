@@ -1,0 +1,34 @@
+package cnn
+
+import (
+	"testing"
+)
+
+func BenchmarkForward(b *testing.B) {
+	images, _ := syntheticImages(2, 1, 1)
+	c, err := New(DefaultConfig(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := c.newScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.forward(images[0], s)
+	}
+}
+
+func BenchmarkTrainEpoch(b *testing.B) {
+	images, labels := syntheticImages(4, 8, 1)
+	c, err := New(DefaultConfig(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.TrainEpochs(images, labels, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package cnn
+
+import (
+	"elevprivacy/internal/imagerep"
+	"elevprivacy/internal/ml/linalg"
+)
+
+// scratch holds all per-sample forward/backward buffers so training
+// allocates nothing per step. One scratch belongs to one goroutine.
+type scratch struct {
+	conv1  []float64 // Conv1 × InSize × InSize, post-ReLU
+	pool1  []float64 // Conv1 × size1 × size1
+	arg1   []int     // argmax source index per pool1 cell
+	conv2  []float64 // Conv2 × size1 × size1, post-ReLU
+	pool2  []float64 // Conv2 × size2 × size2 (the flattened FC input)
+	arg2   []int
+	logits []float64
+	probs  []float64
+
+	// Backward buffers.
+	dPool2 []float64
+	dConv2 []float64
+	dPool1 []float64
+	dConv1 []float64
+}
+
+func (c *CNN) newScratch() *scratch {
+	in := c.cfg.InSize
+	return &scratch{
+		conv1:  make([]float64, c.cfg.Conv1*in*in),
+		pool1:  make([]float64, c.cfg.Conv1*c.size1*c.size1),
+		arg1:   make([]int, c.cfg.Conv1*c.size1*c.size1),
+		conv2:  make([]float64, c.cfg.Conv2*c.size1*c.size1),
+		pool2:  make([]float64, c.cfg.Conv2*c.size2*c.size2),
+		arg2:   make([]int, c.cfg.Conv2*c.size2*c.size2),
+		logits: make([]float64, c.cfg.Classes),
+		probs:  make([]float64, c.cfg.Classes),
+		dPool2: make([]float64, c.cfg.Conv2*c.size2*c.size2),
+		dConv2: make([]float64, c.cfg.Conv2*c.size1*c.size1),
+		dPool1: make([]float64, c.cfg.Conv1*c.size1*c.size1),
+		dConv1: make([]float64, c.cfg.Conv1*in*in),
+	}
+}
+
+// convForward computes out[oc] = ReLU(b[oc] + Σ_ic w[oc,ic] ⊛ in[ic]) for a
+// square input of side size with kernel 5, stride 1, pad 2.
+func convForward(in []float64, inCh, size int, w, b []float64, out []float64, outCh int) {
+	k2 := kernel * kernel
+	for oc := 0; oc < outCh; oc++ {
+		bias := b[oc]
+		outPlane := out[oc*size*size : (oc+1)*size*size]
+		for y := 0; y < size; y++ {
+			for x := 0; x < size; x++ {
+				sum := bias
+				for ic := 0; ic < inCh; ic++ {
+					inPlane := in[ic*size*size : (ic+1)*size*size]
+					wBase := (oc*inCh + ic) * k2
+					for ky := 0; ky < kernel; ky++ {
+						iy := y + ky - pad
+						if iy < 0 || iy >= size {
+							continue
+						}
+						rowBase := iy * size
+						wRow := wBase + ky*kernel
+						for kx := 0; kx < kernel; kx++ {
+							ix := x + kx - pad
+							if ix < 0 || ix >= size {
+								continue
+							}
+							sum += w[wRow+kx] * inPlane[rowBase+ix]
+						}
+					}
+				}
+				if sum < 0 {
+					sum = 0 // ReLU fused into the convolution
+				}
+				outPlane[y*size+x] = sum
+			}
+		}
+	}
+}
+
+// poolForward max-pools each channel 2×2 with stride 2, recording the
+// winning source index for the backward pass.
+func poolForward(in []float64, channels, size int, out []float64, arg []int) {
+	half := size / 2
+	for ch := 0; ch < channels; ch++ {
+		inPlane := in[ch*size*size : (ch+1)*size*size]
+		outBase := ch * half * half
+		for y := 0; y < half; y++ {
+			for x := 0; x < half; x++ {
+				i00 := (2*y)*size + 2*x
+				best := i00
+				if inPlane[i00+1] > inPlane[best] {
+					best = i00 + 1
+				}
+				if inPlane[i00+size] > inPlane[best] {
+					best = i00 + size
+				}
+				if inPlane[i00+size+1] > inPlane[best] {
+					best = i00 + size + 1
+				}
+				out[outBase+y*half+x] = inPlane[best]
+				arg[outBase+y*half+x] = ch*size*size + best
+			}
+		}
+	}
+}
+
+// forward runs the full network on one image.
+func (c *CNN) forward(im *imagerep.Image, s *scratch) {
+	in := c.cfg.InSize
+	convForward(im.Data, c.cfg.InChannels, in,
+		c.params[c.w1:c.b1], c.params[c.b1:c.w2], s.conv1, c.cfg.Conv1)
+	poolForward(s.conv1, c.cfg.Conv1, in, s.pool1, s.arg1)
+
+	convForward(s.pool1, c.cfg.Conv1, c.size1,
+		c.params[c.w2:c.b2], c.params[c.b2:c.wf], s.conv2, c.cfg.Conv2)
+	poolForward(s.conv2, c.cfg.Conv2, c.size1, s.pool2, s.arg2)
+
+	for cls := 0; cls < c.cfg.Classes; cls++ {
+		row := c.params[c.wf+cls*c.fcIn : c.wf+(cls+1)*c.fcIn]
+		s.logits[cls] = c.params[c.bf+cls] + linalg.Dot(row, s.pool2)
+	}
+	linalg.Softmax(s.logits, s.probs)
+}

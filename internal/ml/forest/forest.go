@@ -1,0 +1,250 @@
+// Package forest implements a random forest classifier — bootstrap-sampled
+// CART trees with Gini splits and √d feature subsampling, majority-voted —
+// matching the paper's "standard RFC, with 100 trees".
+package forest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"elevprivacy/internal/ml"
+)
+
+// Config tunes the forest.
+type Config struct {
+	// Classes is the number of classes.
+	Classes int
+	// Trees is the ensemble size (paper: 100).
+	Trees int
+	// MaxDepth bounds tree depth; 0 means unbounded.
+	MaxDepth int
+	// MinLeaf is the minimum sample count in a leaf.
+	MinLeaf int
+	// FeaturesPerSplit is the number of candidate features per split;
+	// 0 means ⌈√d⌉.
+	FeaturesPerSplit int
+	// Seed drives bootstrap and feature sampling.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's forest: 100 trees.
+func DefaultConfig(classes int) Config {
+	return Config{
+		Classes:  classes,
+		Trees:    100,
+		MaxDepth: 24,
+		MinLeaf:  1,
+		Seed:     1,
+	}
+}
+
+// Forest is a trained random forest.
+type Forest struct {
+	cfg   Config
+	dim   int
+	trees []*node
+}
+
+var _ ml.Classifier = (*Forest)(nil)
+
+// node is one CART tree node; leaves carry a class.
+type node struct {
+	leaf      bool
+	class     int
+	feature   int
+	threshold float64
+	left      *node
+	right     *node
+}
+
+// New creates an untrained forest.
+func New(cfg Config) (*Forest, error) {
+	switch {
+	case cfg.Classes < 2:
+		return nil, fmt.Errorf("forest: need >= 2 classes, got %d", cfg.Classes)
+	case cfg.Trees < 1:
+		return nil, fmt.Errorf("forest: need >= 1 tree, got %d", cfg.Trees)
+	case cfg.MinLeaf < 1:
+		return nil, fmt.Errorf("forest: MinLeaf must be >= 1, got %d", cfg.MinLeaf)
+	case cfg.MaxDepth < 0:
+		return nil, fmt.Errorf("forest: negative MaxDepth %d", cfg.MaxDepth)
+	}
+	return &Forest{cfg: cfg}, nil
+}
+
+// Fit grows all trees on bootstrap resamples. Trees are independent and
+// grow concurrently, each with its own seeded RNG for determinism.
+func (f *Forest) Fit(x [][]float64, y []int) error {
+	dim, err := ml.ValidateTrainingSet(x, y, f.cfg.Classes)
+	if err != nil {
+		return fmt.Errorf("forest: %w", err)
+	}
+	f.dim = dim
+
+	mtry := f.cfg.FeaturesPerSplit
+	if mtry <= 0 {
+		mtry = int(math.Ceil(math.Sqrt(float64(dim))))
+	}
+	if mtry > dim {
+		mtry = dim
+	}
+
+	f.trees = make([]*node, f.cfg.Trees)
+	var wg sync.WaitGroup
+	for t := 0; t < f.cfg.Trees; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(f.cfg.Seed + int64(t)*104729))
+			idx := make([]int, len(x))
+			for i := range idx {
+				idx[i] = rng.Intn(len(x))
+			}
+			f.trees[t] = f.grow(x, y, idx, mtry, 0, rng)
+		}(t)
+	}
+	wg.Wait()
+	return nil
+}
+
+// grow recursively builds a tree over the samples in idx.
+func (f *Forest) grow(x [][]float64, y []int, idx []int, mtry, depth int, rng *rand.Rand) *node {
+	counts := make([]int, f.cfg.Classes)
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	majority, pure := majorityClass(counts, len(idx))
+
+	if pure ||
+		len(idx) < 2*f.cfg.MinLeaf ||
+		(f.cfg.MaxDepth > 0 && depth >= f.cfg.MaxDepth) {
+		return &node{leaf: true, class: majority}
+	}
+
+	feature, threshold, ok := f.bestSplit(x, y, idx, counts, mtry, rng)
+	if !ok {
+		return &node{leaf: true, class: majority}
+	}
+
+	var left, right []int
+	for _, i := range idx {
+		if x[i][feature] <= threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < f.cfg.MinLeaf || len(right) < f.cfg.MinLeaf {
+		return &node{leaf: true, class: majority}
+	}
+	return &node{
+		feature:   feature,
+		threshold: threshold,
+		left:      f.grow(x, y, left, mtry, depth+1, rng),
+		right:     f.grow(x, y, right, mtry, depth+1, rng),
+	}
+}
+
+// bestSplit scans mtry random features for the split minimizing weighted
+// Gini impurity, sweeping sorted values with incremental class counts.
+func (f *Forest) bestSplit(x [][]float64, y []int, idx []int, counts []int, mtry int, rng *rand.Rand) (feature int, threshold float64, ok bool) {
+	bestGini := math.Inf(1)
+
+	type pair struct {
+		v float64
+		c int
+	}
+	pairs := make([]pair, len(idx))
+	leftCounts := make([]int, f.cfg.Classes)
+
+	for _, feat := range rng.Perm(f.dim)[:mtry] {
+		for k, i := range idx {
+			pairs[k] = pair{v: x[i][feat], c: y[i]}
+		}
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
+
+		for i := range leftCounts {
+			leftCounts[i] = 0
+		}
+		nLeft := 0
+		total := len(pairs)
+
+		for k := 0; k < total-1; k++ {
+			leftCounts[pairs[k].c]++
+			nLeft++
+			if pairs[k].v == pairs[k+1].v {
+				continue // can't split between equal values
+			}
+			g := weightedGini(leftCounts, counts, nLeft, total)
+			if g < bestGini {
+				bestGini = g
+				feature = feat
+				threshold = (pairs[k].v + pairs[k+1].v) / 2
+				ok = true
+			}
+		}
+	}
+	return feature, threshold, ok
+}
+
+// weightedGini computes the split's impurity from left-side class counts
+// and the node's total class counts.
+func weightedGini(leftCounts, totalCounts []int, nLeft, total int) float64 {
+	nRight := total - nLeft
+	var giniL, giniR float64 = 1, 1
+	for c := range leftCounts {
+		l := float64(leftCounts[c]) / float64(nLeft)
+		r := float64(totalCounts[c]-leftCounts[c]) / float64(nRight)
+		giniL -= l * l
+		giniR -= r * r
+	}
+	return (float64(nLeft)*giniL + float64(nRight)*giniR) / float64(total)
+}
+
+// majorityClass returns the most frequent class (lowest index on ties) and
+// whether the node is pure.
+func majorityClass(counts []int, total int) (class int, pure bool) {
+	best := 0
+	for c, n := range counts {
+		if n > counts[best] {
+			best = c
+		}
+	}
+	return best, counts[best] == total
+}
+
+// Predict majority-votes the trees (lowest class index on ties).
+func (f *Forest) Predict(x []float64) (int, error) {
+	if f.trees == nil {
+		return 0, fmt.Errorf("forest: model not fitted")
+	}
+	if len(x) != f.dim {
+		return 0, fmt.Errorf("forest: feature dim %d, model expects %d", len(x), f.dim)
+	}
+	votes := make([]int, f.cfg.Classes)
+	for _, t := range f.trees {
+		votes[classify(t, x)]++
+	}
+	best := 0
+	for c, n := range votes {
+		if n > votes[best] {
+			best = c
+		}
+	}
+	return best, nil
+}
+
+// classify walks one tree.
+func classify(n *node, x []float64) int {
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.class
+}

@@ -1,0 +1,237 @@
+package forest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func blobs(centers [][]float64, perClass int, spread float64, seed int64) (x [][]float64, y []int) {
+	rng := rand.New(rand.NewSource(seed))
+	for c, center := range centers {
+		for i := 0; i < perClass; i++ {
+			p := make([]float64, len(center))
+			for d := range center {
+				p[d] = center[d] + rng.NormFloat64()*spread
+			}
+			x = append(x, p)
+			y = append(y, c)
+		}
+	}
+	return x, y
+}
+
+func testConfig(classes int) Config {
+	cfg := DefaultConfig(classes)
+	cfg.Trees = 25 // plenty for tests, faster
+	return cfg
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{Classes: 1, Trees: 10, MinLeaf: 1},
+		{Classes: 2, Trees: 0, MinLeaf: 1},
+		{Classes: 2, Trees: 10, MinLeaf: 0},
+		{Classes: 2, Trees: 10, MinLeaf: 1, MaxDepth: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestSeparableBlobs(t *testing.T) {
+	x, y := blobs([][]float64{{0, 0}, {6, 6}, {0, 6}}, 30, 0.5, 1)
+	f, err := New(testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	var correct int
+	for i := range x {
+		pred, err := f.Predict(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(x)); acc < 0.95 {
+		t.Errorf("accuracy = %f", acc)
+	}
+}
+
+func TestNonLinearXOR(t *testing.T) {
+	// XOR is where trees beat linear models.
+	rng := rand.New(rand.NewSource(2))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 200; i++ {
+		a := rng.Float64()*2 - 1
+		b := rng.Float64()*2 - 1
+		label := 0
+		if (a > 0) != (b > 0) {
+			label = 1
+		}
+		x = append(x, []float64{a, b})
+		y = append(y, label)
+	}
+	f, err := New(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	var correct int
+	for i := range x {
+		pred, _ := f.Predict(x[i])
+		if pred == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(x)); acc < 0.9 {
+		t.Errorf("XOR accuracy = %f, want >= 0.9", acc)
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	x, y := blobs([][]float64{{0, 0}, {3, 3}}, 25, 1.0, 3)
+	probe := [][]float64{{1.5, 1.5}, {0.2, 2.8}, {-1, 0}, {3.2, 2.9}}
+
+	run := func() []int {
+		f, err := New(testConfig(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int, len(probe))
+		for i, p := range probe {
+			out[i], _ = f.Predict(p)
+		}
+		return out
+	}
+	a := run()
+	b := run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed forests disagree")
+		}
+	}
+}
+
+func TestPureNodeShortCircuits(t *testing.T) {
+	// All one... needs 2 classes; use 2 classes but perfectly separated
+	// single-feature data.
+	x := [][]float64{{0}, {0.1}, {0.2}, {10}, {10.1}, {10.2}}
+	y := []int{0, 0, 0, 1, 1, 1}
+	f, err := New(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if pred, _ := f.Predict([]float64{0.05}); pred != 0 {
+		t.Errorf("pred = %d", pred)
+	}
+	if pred, _ := f.Predict([]float64{9.9}); pred != 1 {
+		t.Errorf("pred = %d", pred)
+	}
+}
+
+func TestConstantFeatures(t *testing.T) {
+	// Identical feature vectors for both classes: no split possible; the
+	// forest must fall back to majority leaves without crashing.
+	x := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	y := []int{0, 0, 0, 1}
+	f, err := New(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := f.Predict([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred != 0 {
+		t.Errorf("majority pred = %d, want 0", pred)
+	}
+}
+
+func TestMaxDepthBounds(t *testing.T) {
+	x, y := blobs([][]float64{{0}, {1}}, 50, 2.0, 4) // heavily overlapped
+	cfg := testConfig(2)
+	cfg.MaxDepth = 1
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	// Depth-1 trees have at most 2 leaves; just verify they predict.
+	if _, err := f.Predict([]float64{0.5}); err != nil {
+		t.Fatal(err)
+	}
+	maxDepth := 0
+	var walk func(n *node, d int)
+	walk = func(n *node, d int) {
+		if n.leaf {
+			if d > maxDepth {
+				maxDepth = d
+			}
+			return
+		}
+		walk(n.left, d+1)
+		walk(n.right, d+1)
+	}
+	for _, tree := range f.trees {
+		walk(tree, 0)
+	}
+	if maxDepth > 1 {
+		t.Errorf("tree depth %d exceeds MaxDepth 1", maxDepth)
+	}
+}
+
+func TestFitPredictValidation(t *testing.T) {
+	f, err := New(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Predict([]float64{1}); err == nil {
+		t.Error("predict before fit accepted")
+	}
+	if err := f.Fit([][]float64{{1}}, []int{5}); err == nil {
+		t.Error("bad label accepted")
+	}
+	x, y := blobs([][]float64{{0}, {5}}, 5, 0.1, 5)
+	if err := f.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Predict([]float64{1, 2}); err == nil {
+		t.Error("wrong-dim predict accepted")
+	}
+}
+
+func TestWeightedGini(t *testing.T) {
+	// Perfect split: left all class 0, right all class 1 -> gini 0.
+	left := []int{5, 0}
+	total := []int{5, 5}
+	if g := weightedGini(left, total, 5, 10); g != 0 {
+		t.Errorf("perfect split gini = %f", g)
+	}
+	// Worst split: both sides 50/50 -> gini 0.5.
+	left = []int{2, 2}
+	total = []int{4, 4}
+	if g := weightedGini(left, total, 4, 8); g != 0.5 {
+		t.Errorf("mixed split gini = %f", g)
+	}
+}

@@ -1,0 +1,66 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Adam is the Adam stochastic optimizer (Kingma & Ba, 2014), the weight
+// optimizer the paper uses for both MLP and CNN training.
+type Adam struct {
+	// LR is the learning rate; mutable between steps for fine-tuning
+	// schedules that lower the rate in later rounds.
+	LR float64
+
+	beta1 float64
+	beta2 float64
+	eps   float64
+
+	m []float64 // first-moment estimate
+	v []float64 // second-moment estimate
+	t int       // step count
+}
+
+// NewAdam creates an optimizer for a parameter vector of the given size
+// with the canonical defaults (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+func NewAdam(size int, lr float64) (*Adam, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("linalg: adam size %d", size)
+	}
+	if lr <= 0 {
+		return nil, fmt.Errorf("linalg: adam learning rate %g", lr)
+	}
+	return &Adam{
+		LR:    lr,
+		beta1: 0.9,
+		beta2: 0.999,
+		eps:   1e-8,
+		m:     make([]float64, size),
+		v:     make([]float64, size),
+	}, nil
+}
+
+// Step applies one bias-corrected Adam update: params -= lr * m̂/(√v̂+ε).
+func (a *Adam) Step(params, grads []float64) {
+	if len(params) != len(a.m) || len(grads) != len(a.m) {
+		panic(fmt.Sprintf("linalg: adam size mismatch: state %d, params %d, grads %d",
+			len(a.m), len(params), len(grads)))
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.beta2, float64(a.t))
+	for i, g := range grads {
+		a.m[i] = a.beta1*a.m[i] + (1-a.beta1)*g
+		a.v[i] = a.beta2*a.v[i] + (1-a.beta2)*g*g
+		mHat := a.m[i] / c1
+		vHat := a.v[i] / c2
+		params[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.eps)
+	}
+}
+
+// Reset clears the moment estimates and step count, keeping the size.
+func (a *Adam) Reset() {
+	Zero(a.m)
+	Zero(a.v)
+	a.t = 0
+}

@@ -1,0 +1,117 @@
+// Package ml defines the classifier contract shared by the SVM, random
+// forest, MLP, and CNN implementations, plus the label encoding used to map
+// class names onto model outputs.
+package ml
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Classifier is a multi-class model over dense feature vectors.
+type Classifier interface {
+	// Fit trains on features X (n×d) with integer class labels y in
+	// [0, classes). Implementations may be re-fit to warm-start.
+	Fit(x [][]float64, y []int) error
+	// Predict returns the most likely class for one feature vector.
+	Predict(x []float64) (int, error)
+}
+
+// ValidateTrainingSet performs the shape checks every classifier needs:
+// non-empty X with consistent dimensionality, matching y, labels within
+// [0, classes).
+func ValidateTrainingSet(x [][]float64, y []int, classes int) (dim int, err error) {
+	if len(x) == 0 {
+		return 0, fmt.Errorf("ml: empty training set")
+	}
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("ml: %d samples but %d labels", len(x), len(y))
+	}
+	if classes < 2 {
+		return 0, fmt.Errorf("ml: need >= 2 classes, got %d", classes)
+	}
+	dim = len(x[0])
+	if dim == 0 {
+		return 0, fmt.Errorf("ml: zero-dimensional features")
+	}
+	for i, row := range x {
+		if len(row) != dim {
+			return 0, fmt.Errorf("ml: sample %d has dim %d, want %d", i, len(row), dim)
+		}
+	}
+	for i, label := range y {
+		if label < 0 || label >= classes {
+			return 0, fmt.Errorf("ml: label %d of sample %d outside [0,%d)", label, i, classes)
+		}
+	}
+	return dim, nil
+}
+
+// LabelEncoder maps string class names to contiguous integer indices in
+// sorted-name order.
+type LabelEncoder struct {
+	toIndex map[string]int
+	names   []string
+}
+
+// NewLabelEncoder builds an encoder over the distinct names present.
+func NewLabelEncoder(names []string) (*LabelEncoder, error) {
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	if len(seen) < 2 {
+		return nil, fmt.Errorf("ml: need >= 2 distinct labels, got %d", len(seen))
+	}
+	uniq := make([]string, 0, len(seen))
+	for n := range seen {
+		uniq = append(uniq, n)
+	}
+	sort.Strings(uniq)
+
+	e := &LabelEncoder{toIndex: make(map[string]int, len(uniq)), names: uniq}
+	for i, n := range uniq {
+		e.toIndex[n] = i
+	}
+	return e, nil
+}
+
+// Encode maps a class name to its index.
+func (e *LabelEncoder) Encode(name string) (int, error) {
+	i, ok := e.toIndex[name]
+	if !ok {
+		return 0, fmt.Errorf("ml: unknown label %q", name)
+	}
+	return i, nil
+}
+
+// EncodeAll maps a batch of names.
+func (e *LabelEncoder) EncodeAll(names []string) ([]int, error) {
+	out := make([]int, len(names))
+	for i, n := range names {
+		idx, err := e.Encode(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = idx
+	}
+	return out, nil
+}
+
+// Decode maps an index back to its class name.
+func (e *LabelEncoder) Decode(i int) (string, error) {
+	if i < 0 || i >= len(e.names) {
+		return "", fmt.Errorf("ml: label index %d outside [0,%d)", i, len(e.names))
+	}
+	return e.names[i], nil
+}
+
+// Len returns the class count.
+func (e *LabelEncoder) Len() int { return len(e.names) }
+
+// Names returns the class names in index order. The slice is a copy.
+func (e *LabelEncoder) Names() []string {
+	out := make([]string, len(e.names))
+	copy(out, e.names)
+	return out
+}

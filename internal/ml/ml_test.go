@@ -1,0 +1,105 @@
+package ml
+
+import "testing"
+
+func TestValidateTrainingSet(t *testing.T) {
+	goodX := [][]float64{{1, 2}, {3, 4}}
+	goodY := []int{0, 1}
+
+	dim, err := ValidateTrainingSet(goodX, goodY, 2)
+	if err != nil || dim != 2 {
+		t.Fatalf("valid set rejected: dim=%d err=%v", dim, err)
+	}
+
+	tests := []struct {
+		name    string
+		x       [][]float64
+		y       []int
+		classes int
+	}{
+		{"empty", nil, nil, 2},
+		{"length mismatch", goodX, []int{0}, 2},
+		{"one class", goodX, goodY, 1},
+		{"zero dim", [][]float64{{}, {}}, goodY, 2},
+		{"ragged", [][]float64{{1, 2}, {3}}, goodY, 2},
+		{"label out of range", goodX, []int{0, 2}, 2},
+		{"negative label", goodX, []int{-1, 0}, 2},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ValidateTrainingSet(tc.x, tc.y, tc.classes); err == nil {
+				t.Error("invalid set accepted")
+			}
+		})
+	}
+}
+
+func TestLabelEncoder(t *testing.T) {
+	e, err := NewLabelEncoder([]string{"nyc", "miami", "nyc", "duluth"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Len() != 3 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	// Sorted order: duluth, miami, nyc.
+	names := e.Names()
+	if names[0] != "duluth" || names[1] != "miami" || names[2] != "nyc" {
+		t.Errorf("Names = %v", names)
+	}
+	i, err := e.Encode("miami")
+	if err != nil || i != 1 {
+		t.Errorf("Encode(miami) = %d, %v", i, err)
+	}
+	name, err := e.Decode(2)
+	if err != nil || name != "nyc" {
+		t.Errorf("Decode(2) = %q, %v", name, err)
+	}
+	if _, err := e.Encode("atlantis"); err == nil {
+		t.Error("unknown label accepted")
+	}
+	if _, err := e.Decode(5); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := e.Decode(-1); err == nil {
+		t.Error("negative index accepted")
+	}
+}
+
+func TestLabelEncoderEncodeAll(t *testing.T) {
+	e, err := NewLabelEncoder([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.EncodeAll([]string{"b", "a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 0 || got[2] != 1 {
+		t.Errorf("EncodeAll = %v", got)
+	}
+	if _, err := e.EncodeAll([]string{"a", "zzz"}); err == nil {
+		t.Error("unknown label in batch accepted")
+	}
+}
+
+func TestLabelEncoderRequiresTwoClasses(t *testing.T) {
+	if _, err := NewLabelEncoder([]string{"only", "only"}); err == nil {
+		t.Error("single-class encoder accepted")
+	}
+	if _, err := NewLabelEncoder(nil); err == nil {
+		t.Error("empty encoder accepted")
+	}
+}
+
+func TestLabelEncoderNamesIsCopy(t *testing.T) {
+	e, err := NewLabelEncoder([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := e.Names()
+	names[0] = "mutated"
+	if got := e.Names()[0]; got != "a" {
+		t.Errorf("Names leaked internal storage: %q", got)
+	}
+}

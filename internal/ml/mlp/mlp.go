@@ -1,0 +1,274 @@
+// Package mlp implements the paper's multi-layer perceptron: one
+// 100-unit ReLU hidden layer with a softmax output, trained with
+// cross-entropy loss and the Adam optimizer.
+package mlp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"elevprivacy/internal/ml"
+	"elevprivacy/internal/ml/linalg"
+)
+
+// Config tunes the network.
+type Config struct {
+	// Classes is the number of output classes.
+	Classes int
+	// Hidden is the hidden-layer width (paper: 100).
+	Hidden int
+	// Epochs is the number of training passes.
+	Epochs int
+	// BatchSize is the minibatch size.
+	BatchSize int
+	// LearningRate is Adam's step size.
+	LearningRate float64
+	// Seed drives initialization and shuffling.
+	Seed int64
+}
+
+// DefaultConfig returns the experiment configuration.
+func DefaultConfig(classes int) Config {
+	return Config{
+		Classes:      classes,
+		Hidden:       100,
+		Epochs:       30,
+		BatchSize:    16,
+		LearningRate: 1e-3,
+		Seed:         1,
+	}
+}
+
+// MLP is the network. Parameters live in one flat vector so a single Adam
+// instance drives the whole model.
+type MLP struct {
+	cfg Config
+	dim int
+
+	params []float64
+	adam   *linalg.Adam
+
+	// Offsets into params.
+	w1, b1, w2, b2 int
+}
+
+var _ ml.Classifier = (*MLP)(nil)
+
+// New creates an untrained MLP.
+func New(cfg Config) (*MLP, error) {
+	switch {
+	case cfg.Classes < 2:
+		return nil, fmt.Errorf("mlp: need >= 2 classes, got %d", cfg.Classes)
+	case cfg.Hidden < 1:
+		return nil, fmt.Errorf("mlp: hidden width %d", cfg.Hidden)
+	case cfg.Epochs < 1:
+		return nil, fmt.Errorf("mlp: epochs %d", cfg.Epochs)
+	case cfg.BatchSize < 1:
+		return nil, fmt.Errorf("mlp: batch size %d", cfg.BatchSize)
+	case cfg.LearningRate <= 0:
+		return nil, fmt.Errorf("mlp: learning rate %g", cfg.LearningRate)
+	}
+	return &MLP{cfg: cfg}, nil
+}
+
+// init allocates and He-initializes parameters for input dimension d.
+func (m *MLP) init(d int, rng *rand.Rand) error {
+	m.dim = d
+	h, k := m.cfg.Hidden, m.cfg.Classes
+
+	m.w1 = 0
+	m.b1 = h * d
+	m.w2 = m.b1 + h
+	m.b2 = m.w2 + k*h
+	m.params = make([]float64, m.b2+k)
+
+	scale1 := math.Sqrt(2 / float64(d))
+	for i := 0; i < h*d; i++ {
+		m.params[m.w1+i] = rng.NormFloat64() * scale1
+	}
+	scale2 := math.Sqrt(2 / float64(h))
+	for i := 0; i < k*h; i++ {
+		m.params[m.w2+i] = rng.NormFloat64() * scale2
+	}
+
+	adam, err := linalg.NewAdam(len(m.params), m.cfg.LearningRate)
+	if err != nil {
+		return err
+	}
+	m.adam = adam
+	return nil
+}
+
+// Fit trains the network with minibatch Adam.
+func (m *MLP) Fit(x [][]float64, y []int) error {
+	dim, err := ml.ValidateTrainingSet(x, y, m.cfg.Classes)
+	if err != nil {
+		return fmt.Errorf("mlp: %w", err)
+	}
+	rng := rand.New(rand.NewSource(m.cfg.Seed))
+	if m.params == nil || m.dim != dim {
+		if err := m.init(dim, rng); err != nil {
+			return err
+		}
+	}
+
+	n := len(x)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	grads := make([]float64, len(m.params))
+	scratch := m.newScratch()
+
+	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < n; start += m.cfg.BatchSize {
+			end := start + m.cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			linalg.Zero(grads)
+			for _, i := range order[start:end] {
+				m.backward(x[i], y[i], grads, scratch)
+			}
+			linalg.Scale(grads, 1/float64(end-start))
+			m.adam.Step(m.params, grads)
+		}
+	}
+	return nil
+}
+
+// scratch holds per-forward intermediate buffers.
+type scratch struct {
+	hidden []float64 // post-ReLU activations
+	logits []float64
+	probs  []float64
+	dHide  []float64
+}
+
+func (m *MLP) newScratch() *scratch {
+	return &scratch{
+		hidden: make([]float64, m.cfg.Hidden),
+		logits: make([]float64, m.cfg.Classes),
+		probs:  make([]float64, m.cfg.Classes),
+		dHide:  make([]float64, m.cfg.Hidden),
+	}
+}
+
+// forward computes hidden activations and class probabilities.
+func (m *MLP) forward(x []float64, s *scratch) {
+	h, d, k := m.cfg.Hidden, m.dim, m.cfg.Classes
+	for j := 0; j < h; j++ {
+		z := m.params[m.b1+j] + linalg.Dot(m.params[m.w1+j*d:m.w1+(j+1)*d], x)
+		if z < 0 {
+			z = 0
+		}
+		s.hidden[j] = z
+	}
+	for c := 0; c < k; c++ {
+		s.logits[c] = m.params[m.b2+c] + linalg.Dot(m.params[m.w2+c*h:m.w2+(c+1)*h], s.hidden)
+	}
+	linalg.Softmax(s.logits, s.probs)
+}
+
+// backward accumulates the cross-entropy gradient for one sample.
+func (m *MLP) backward(x []float64, label int, grads []float64, s *scratch) {
+	m.forward(x, s)
+	h, d, k := m.cfg.Hidden, m.dim, m.cfg.Classes
+
+	// dLogits = probs - onehot(label)
+	linalg.Zero(s.dHide)
+	for c := 0; c < k; c++ {
+		dLogit := s.probs[c]
+		if c == label {
+			dLogit--
+		}
+		grads[m.b2+c] += dLogit
+		wRow := m.params[m.w2+c*h : m.w2+(c+1)*h]
+		gRow := grads[m.w2+c*h : m.w2+(c+1)*h]
+		for j := 0; j < h; j++ {
+			gRow[j] += dLogit * s.hidden[j]
+			s.dHide[j] += dLogit * wRow[j]
+		}
+	}
+	for j := 0; j < h; j++ {
+		if s.hidden[j] <= 0 { // ReLU gate
+			continue
+		}
+		grads[m.b1+j] += s.dHide[j]
+		linalg.Axpy(grads[m.w1+j*d:m.w1+(j+1)*d], x, s.dHide[j])
+	}
+}
+
+// Predict returns the most probable class.
+func (m *MLP) Predict(x []float64) (int, error) {
+	probs, err := m.Probabilities(x)
+	if err != nil {
+		return 0, err
+	}
+	return linalg.ArgMax(probs), nil
+}
+
+// Probabilities returns the softmax class distribution.
+func (m *MLP) Probabilities(x []float64) ([]float64, error) {
+	if m.params == nil {
+		return nil, fmt.Errorf("mlp: model not fitted")
+	}
+	if len(x) != m.dim {
+		return nil, fmt.Errorf("mlp: feature dim %d, model expects %d", len(x), m.dim)
+	}
+	s := m.newScratch()
+	m.forward(x, s)
+	out := make([]float64, len(s.probs))
+	copy(out, s.probs)
+	return out, nil
+}
+
+// savedConfig is the persisted MLP description: the architecture plus the
+// input dimension fixed at first Fit.
+type savedConfig struct {
+	Config Config `json:"config"`
+	Dim    int    `json:"dim"`
+}
+
+// Save serializes the trained network. Optimizer state is not saved.
+func (m *MLP) Save(w io.Writer) error {
+	if m.params == nil {
+		return fmt.Errorf("mlp: model not fitted")
+	}
+	cfgJSON, err := json.Marshal(savedConfig{Config: m.cfg, Dim: m.dim})
+	if err != nil {
+		return fmt.Errorf("mlp: marshaling config: %w", err)
+	}
+	return ml.WriteModel(w, ml.Header{Kind: "mlp", Config: cfgJSON}, m.params)
+}
+
+// Load reconstructs a saved network.
+func Load(r io.Reader) (*MLP, error) {
+	h, blocks, err := ml.ReadModel(r)
+	if err != nil {
+		return nil, err
+	}
+	if h.Kind != "mlp" {
+		return nil, fmt.Errorf("mlp: file holds a %q model", h.Kind)
+	}
+	var sc savedConfig
+	if err := json.Unmarshal(h.Config, &sc); err != nil {
+		return nil, fmt.Errorf("mlp: parsing config: %w", err)
+	}
+	m, err := New(sc.Config)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.init(sc.Dim, rand.New(rand.NewSource(sc.Config.Seed))); err != nil {
+		return nil, err
+	}
+	if len(blocks) != 1 || len(blocks[0]) != len(m.params) {
+		return nil, fmt.Errorf("mlp: parameter block mismatch (%d blocks)", len(blocks))
+	}
+	copy(m.params, blocks[0])
+	return m, nil
+}

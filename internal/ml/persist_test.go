@@ -1,0 +1,67 @@
+package ml
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadModelRoundTrip(t *testing.T) {
+	cfg, _ := json.Marshal(map[string]int{"classes": 3})
+	blocks := [][]float64{
+		{1.5, -2.25, 3.125},
+		{},
+		{42},
+	}
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, Header{Kind: "test", Config: cfg}, blocks...); err != nil {
+		t.Fatal(err)
+	}
+	h, back, err := ReadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Kind != "test" {
+		t.Errorf("kind = %q", h.Kind)
+	}
+	var decoded map[string]int
+	if err := json.Unmarshal(h.Config, &decoded); err != nil || decoded["classes"] != 3 {
+		t.Errorf("config = %s (%v)", h.Config, err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("blocks = %d", len(back))
+	}
+	for i := range blocks {
+		if len(back[i]) != len(blocks[i]) {
+			t.Fatalf("block %d length %d, want %d", i, len(back[i]), len(blocks[i]))
+		}
+		for j := range blocks[i] {
+			if back[i][j] != blocks[i][j] {
+				t.Errorf("block %d value %d = %f", i, j, back[i][j])
+			}
+		}
+	}
+}
+
+func TestReadModelRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"NOPE",
+		"ELPV",                   // truncated after magic
+		"ELPV\xff\xff\xff\xff",   // absurd header length
+		"ELPV\x02\x00\x00\x00{}", // truncated block count
+	}
+	for _, c := range cases {
+		if _, _, err := ReadModel(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q accepted", c)
+		}
+	}
+}
+
+func TestWriteModelValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, Header{}); err == nil {
+		t.Error("empty kind accepted")
+	}
+}

@@ -1,0 +1,245 @@
+// Package svm implements a linear support vector machine trained with the
+// Pegasos stochastic sub-gradient algorithm, extended to multi-class via
+// one-vs-rest, matching the paper's "standard SVM" classifier on
+// bag-of-words feature vectors.
+package svm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+
+	"elevprivacy/internal/ml"
+	"elevprivacy/internal/ml/linalg"
+)
+
+// Config tunes training.
+type Config struct {
+	// Classes is the number of classes.
+	Classes int
+	// Lambda is the regularization strength (Pegasos λ).
+	Lambda float64
+	// Epochs is the number of passes over the training set per binary
+	// sub-problem.
+	Epochs int
+	// Seed drives the stochastic sampling.
+	Seed int64
+	// NormalizeL2, when true, L2-normalizes every input vector before
+	// training and prediction — standard practice for bag-of-words
+	// features and what makes the margin scale-free.
+	NormalizeL2 bool
+}
+
+// DefaultConfig returns the configuration used in the experiments.
+func DefaultConfig(classes int) Config {
+	return Config{
+		Classes:     classes,
+		Lambda:      1e-2,
+		Epochs:      60,
+		Seed:        1,
+		NormalizeL2: true,
+	}
+}
+
+// SVM is a one-vs-rest linear SVM.
+type SVM struct {
+	cfg Config
+	dim int
+	// w[c] and b[c] are the hyperplane of the class-c-vs-rest problem.
+	w [][]float64
+	b []float64
+}
+
+var _ ml.Classifier = (*SVM)(nil)
+
+// New creates an untrained SVM.
+func New(cfg Config) (*SVM, error) {
+	if cfg.Classes < 2 {
+		return nil, fmt.Errorf("svm: need >= 2 classes, got %d", cfg.Classes)
+	}
+	if cfg.Lambda <= 0 {
+		return nil, fmt.Errorf("svm: lambda must be positive, got %g", cfg.Lambda)
+	}
+	if cfg.Epochs < 1 {
+		return nil, fmt.Errorf("svm: epochs must be >= 1, got %d", cfg.Epochs)
+	}
+	return &SVM{cfg: cfg}, nil
+}
+
+// Fit trains all one-vs-rest hyperplanes. Binary sub-problems are
+// independent and train concurrently; each uses its own seeded RNG, so the
+// result is deterministic regardless of scheduling.
+func (s *SVM) Fit(x [][]float64, y []int) error {
+	dim, err := ml.ValidateTrainingSet(x, y, s.cfg.Classes)
+	if err != nil {
+		return fmt.Errorf("svm: %w", err)
+	}
+	s.dim = dim
+	if s.cfg.NormalizeL2 {
+		x = normalizeAll(x)
+	}
+	s.w = make([][]float64, s.cfg.Classes)
+	s.b = make([]float64, s.cfg.Classes)
+
+	var wg sync.WaitGroup
+	for c := 0; c < s.cfg.Classes; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			s.w[c], s.b[c] = s.fitBinary(x, y, c)
+		}(c)
+	}
+	wg.Wait()
+	return nil
+}
+
+// fitBinary runs averaged Pegasos for the class-c-vs-rest problem: the
+// returned hyperplane is the average of the iterates over the second half
+// of training, which substantially stabilizes the stochastic solution.
+func (s *SVM) fitBinary(x [][]float64, y []int, c int) ([]float64, float64) {
+	rng := rand.New(rand.NewSource(s.cfg.Seed + int64(c)*7919))
+	w := make([]float64, s.dim)
+	avgW := make([]float64, s.dim)
+	var b, avgB float64
+	var averaged int
+
+	n := len(x)
+	steps := s.cfg.Epochs * n
+	burnIn := steps / 2
+	for t := 1; t <= steps; t++ {
+		i := rng.Intn(n)
+		target := -1.0
+		if y[i] == c {
+			target = 1.0
+		}
+		eta := 1 / (s.cfg.Lambda * float64(t))
+
+		margin := target * (linalg.Dot(w, x[i]) + b)
+		// Shrink from regularization, then step on hinge violation.
+		linalg.Scale(w, 1-eta*s.cfg.Lambda)
+		if margin < 1 {
+			linalg.Axpy(w, x[i], eta*target)
+			b += eta * target * 0.01 // unregularized intercept, damped
+		}
+		if t > burnIn {
+			linalg.Axpy(avgW, w, 1)
+			avgB += b
+			averaged++
+		}
+	}
+	if averaged > 0 {
+		linalg.Scale(avgW, 1/float64(averaged))
+		return avgW, avgB / float64(averaged)
+	}
+	return w, b
+}
+
+// Predict returns the class with the largest decision value.
+func (s *SVM) Predict(x []float64) (int, error) {
+	scores, err := s.DecisionValues(x)
+	if err != nil {
+		return 0, err
+	}
+	return linalg.ArgMax(scores), nil
+}
+
+// DecisionValues returns the per-class hyperplane scores.
+func (s *SVM) DecisionValues(x []float64) ([]float64, error) {
+	if s.w == nil {
+		return nil, fmt.Errorf("svm: model not fitted")
+	}
+	if len(x) != s.dim {
+		return nil, fmt.Errorf("svm: feature dim %d, model expects %d", len(x), s.dim)
+	}
+	if s.cfg.NormalizeL2 {
+		x = normalized(x)
+	}
+	scores := make([]float64, s.cfg.Classes)
+	for c := range scores {
+		scores[c] = linalg.Dot(s.w[c], x) + s.b[c]
+	}
+	return scores, nil
+}
+
+// normalized returns x scaled to unit L2 norm (copies; zero vectors pass
+// through unchanged).
+func normalized(x []float64) []float64 {
+	n := linalg.Norm2(x)
+	if n == 0 {
+		return x
+	}
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = v / n
+	}
+	return out
+}
+
+// normalizeAll normalizes a batch.
+func normalizeAll(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		out[i] = normalized(row)
+	}
+	return out
+}
+
+// savedConfig is the persisted SVM description.
+type savedConfig struct {
+	Config Config `json:"config"`
+	Dim    int    `json:"dim"`
+}
+
+// Save serializes the trained hyperplanes: one weight block per class plus
+// a final intercept block.
+func (s *SVM) Save(w io.Writer) error {
+	if s.w == nil {
+		return fmt.Errorf("svm: model not fitted")
+	}
+	cfgJSON, err := json.Marshal(savedConfig{Config: s.cfg, Dim: s.dim})
+	if err != nil {
+		return fmt.Errorf("svm: marshaling config: %w", err)
+	}
+	blocks := make([][]float64, 0, s.cfg.Classes+1)
+	blocks = append(blocks, s.w...)
+	blocks = append(blocks, s.b)
+	return ml.WriteModel(w, ml.Header{Kind: "svm", Config: cfgJSON}, blocks...)
+}
+
+// Load reconstructs a saved SVM.
+func Load(r io.Reader) (*SVM, error) {
+	h, blocks, err := ml.ReadModel(r)
+	if err != nil {
+		return nil, err
+	}
+	if h.Kind != "svm" {
+		return nil, fmt.Errorf("svm: file holds a %q model", h.Kind)
+	}
+	var sc savedConfig
+	if err := json.Unmarshal(h.Config, &sc); err != nil {
+		return nil, fmt.Errorf("svm: parsing config: %w", err)
+	}
+	s, err := New(sc.Config)
+	if err != nil {
+		return nil, err
+	}
+	if len(blocks) != sc.Config.Classes+1 {
+		return nil, fmt.Errorf("svm: %d blocks for %d classes", len(blocks), sc.Config.Classes)
+	}
+	s.dim = sc.Dim
+	s.w = make([][]float64, sc.Config.Classes)
+	for c := 0; c < sc.Config.Classes; c++ {
+		if len(blocks[c]) != sc.Dim {
+			return nil, fmt.Errorf("svm: class %d weights have dim %d, want %d", c, len(blocks[c]), sc.Dim)
+		}
+		s.w[c] = blocks[c]
+	}
+	b := blocks[sc.Config.Classes]
+	if len(b) != sc.Config.Classes {
+		return nil, fmt.Errorf("svm: intercept block has %d values, want %d", len(b), sc.Config.Classes)
+	}
+	s.b = b
+	return s, nil
+}

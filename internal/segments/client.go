@@ -1,0 +1,90 @@
+package segments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"elevprivacy/internal/geo"
+)
+
+// Client calls an ExploreSegments service over HTTP.
+type Client struct {
+	baseURL string
+	httpc   *http.Client
+}
+
+// NewClient creates a client for the service at baseURL. httpc may be nil
+// to use http.DefaultClient.
+func NewClient(baseURL string, httpc *http.Client) *Client {
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	return &Client{baseURL: baseURL, httpc: httpc}
+}
+
+// APIError is a non-OK service response.
+type APIError struct {
+	Status   string
+	Message  string
+	HTTPCode int
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("segments: %s (http %d): %s", e.Status, e.HTTPCode, e.Message)
+}
+
+// Explore fetches the top-10 segments fully inside bounds, decoding each
+// polyline back to a path.
+func (c *Client) Explore(ctx context.Context, bounds geo.BBox) ([]Segment, error) {
+	if !bounds.Valid() {
+		return nil, fmt.Errorf("segments: invalid bounds %v", bounds)
+	}
+	q := url.Values{}
+	q.Set("sw_lat", strconv.FormatFloat(bounds.SW.Lat, 'f', -1, 64))
+	q.Set("sw_lng", strconv.FormatFloat(bounds.SW.Lng, 'f', -1, 64))
+	q.Set("ne_lat", strconv.FormatFloat(bounds.NE.Lat, 'f', -1, 64))
+	q.Set("ne_lng", strconv.FormatFloat(bounds.NE.Lng, 'f', -1, 64))
+
+	u := c.baseURL + "/v1/segments/explore?" + q.Encode()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, fmt.Errorf("segments: building request: %w", err)
+	}
+	httpResp, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("segments: request failed: %w", err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, httpResp.Body)
+		_ = httpResp.Body.Close()
+	}()
+
+	var resp ExploreResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("segments: decoding response: %w", err)
+	}
+	if resp.Status != "OK" {
+		return nil, &APIError{Status: resp.Status, Message: resp.ErrorMessage, HTTPCode: httpResp.StatusCode}
+	}
+
+	out := make([]Segment, 0, len(resp.Segments))
+	for _, sj := range resp.Segments {
+		path, err := geo.DecodePolyline(sj.Points)
+		if err != nil {
+			return nil, fmt.Errorf("segments: segment %s: %w", sj.ID, err)
+		}
+		out = append(out, Segment{
+			ID:         sj.ID,
+			Name:       sj.Name,
+			Path:       path,
+			Popularity: sj.Popularity,
+		})
+	}
+	return out, nil
+}

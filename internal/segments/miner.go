@@ -1,0 +1,104 @@
+package segments
+
+import (
+	"context"
+	"fmt"
+
+	"elevprivacy/internal/elevsvc"
+	"elevprivacy/internal/geo"
+)
+
+// MinedSegment is one labeled sample produced by the miner: a segment route
+// augmented with its elevation profile, tagged with the class label of the
+// boundary it was mined from.
+type MinedSegment struct {
+	// ID is the segment identity at the fitness service.
+	ID string
+	// Label is the class label of the mining boundary (city or borough).
+	Label string
+	// Path is the segment route.
+	Path geo.Path
+	// Elevations is the elevation profile from the elevation service.
+	Elevations []float64
+}
+
+// Miner executes the paper's Fig. 4 pipeline: divide the class boundary
+// into a grid of regions, call ExploreSegments per region (top-10 each),
+// deduplicate, and augment every path with an elevation profile.
+type Miner struct {
+	segments  *Client
+	elevation *elevsvc.Client
+	// Samples is the per-profile elevation sample count requested from the
+	// elevation service.
+	Samples int
+	// GridRows and GridCols control the boundary decomposition.
+	GridRows int
+	GridCols int
+}
+
+// NewMiner wires a miner to its two services. Defaults: 100 elevation
+// samples per segment, 8×8 grid.
+func NewMiner(segClient *Client, elevClient *elevsvc.Client) *Miner {
+	return &Miner{
+		segments:  segClient,
+		elevation: elevClient,
+		Samples:   100,
+		GridRows:  8,
+		GridCols:  8,
+	}
+}
+
+// MineBoundary mines all segments for one class: boundary B is divided into
+// GridRows×GridCols regions r_i with boundaries b_i; ExploreSegments(b_i)
+// yields the top-10 paths per region; each path is augmented with its
+// elevation profile elev_i^j. Duplicate segment IDs across regions are
+// dropped (regions are disjoint, so duplicates only arise from re-runs).
+func (m *Miner) MineBoundary(ctx context.Context, label string, boundary geo.BBox) ([]MinedSegment, error) {
+	if m.GridRows < 1 || m.GridCols < 1 {
+		return nil, fmt.Errorf("segments: invalid grid %dx%d", m.GridRows, m.GridCols)
+	}
+	if m.Samples < 2 {
+		return nil, fmt.Errorf("segments: invalid sample count %d", m.Samples)
+	}
+
+	seen := make(map[string]bool)
+	var out []MinedSegment
+	for _, cell := range boundary.Grid(m.GridRows, m.GridCols) {
+		hits, err := m.segments.Explore(ctx, cell)
+		if err != nil {
+			return nil, fmt.Errorf("segments: exploring %v: %w", cell, err)
+		}
+		for _, seg := range hits {
+			if seen[seg.ID] {
+				continue
+			}
+			seen[seg.ID] = true
+
+			elevs, err := m.elevation.ElevationAlongPath(ctx, seg.Path, m.Samples)
+			if err != nil {
+				return nil, fmt.Errorf("segments: elevation for %s: %w", seg.ID, err)
+			}
+			out = append(out, MinedSegment{
+				ID:         seg.ID,
+				Label:      label,
+				Path:       seg.Path,
+				Elevations: elevs,
+			})
+		}
+	}
+	return out, nil
+}
+
+// MineClasses runs MineBoundary for every (label, boundary) pair and
+// concatenates the results.
+func (m *Miner) MineClasses(ctx context.Context, classes map[string]geo.BBox) ([]MinedSegment, error) {
+	var out []MinedSegment
+	for label, boundary := range classes {
+		mined, err := m.MineBoundary(ctx, label, boundary)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, mined...)
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package segments
+
+import (
+	"encoding/json"
+	"log"
+	"net/http"
+	"strconv"
+
+	"elevprivacy/internal/geo"
+)
+
+// SegmentJSON is the wire form of a segment: the route travels as an
+// encoded polyline, exactly how the mined service shipped geolocation data.
+type SegmentJSON struct {
+	ID         string `json:"id"`
+	Name       string `json:"name"`
+	Points     string `json:"points"` // encoded polyline
+	Popularity int    `json:"popularity"`
+}
+
+// ExploreResponse is the explore endpoint's envelope.
+type ExploreResponse struct {
+	Status       string        `json:"status"`
+	ErrorMessage string        `json:"error_message,omitempty"`
+	Segments     []SegmentJSON `json:"segments,omitempty"`
+}
+
+// Server exposes a Store over HTTP.
+type Server struct {
+	store *Store
+	logf  func(format string, args ...any)
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithLogf overrides the server's log function.
+func WithLogf(logf func(string, ...any)) ServerOption {
+	return func(s *Server) { s.logf = logf }
+}
+
+// NewServer wraps a store.
+func NewServer(store *Store, opts ...ServerOption) *Server {
+	s := &Server{store: store, logf: log.Printf}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Handler returns the HTTP routing for the service.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/segments/explore", s.handleExplore)
+	return mux
+}
+
+// handleExplore implements ExploreSegments:
+// GET /v1/segments/explore?sw_lat=..&sw_lng=..&ne_lat=..&ne_lng=..
+// Returns the top-10 most popular segments fully inside the boundary.
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	parse := func(key string) (float64, bool) {
+		v, err := strconv.ParseFloat(q.Get(key), 64)
+		return v, err == nil
+	}
+	swLat, ok1 := parse("sw_lat")
+	swLng, ok2 := parse("sw_lng")
+	neLat, ok3 := parse("ne_lat")
+	neLng, ok4 := parse("ne_lng")
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		writeExplore(w, http.StatusBadRequest, ExploreResponse{
+			Status: "INVALID_REQUEST", ErrorMessage: "sw_lat, sw_lng, ne_lat, ne_lng must be numbers",
+		})
+		return
+	}
+	bounds := geo.BBox{
+		SW: geo.LatLng{Lat: swLat, Lng: swLng},
+		NE: geo.LatLng{Lat: neLat, Lng: neLng},
+	}
+	if !bounds.Valid() {
+		writeExplore(w, http.StatusBadRequest, ExploreResponse{
+			Status: "INVALID_REQUEST", ErrorMessage: "boundary corners out of order or out of range",
+		})
+		return
+	}
+
+	hits := s.store.Explore(bounds, ExploreLimit)
+	out := make([]SegmentJSON, 0, len(hits))
+	for _, seg := range hits {
+		out = append(out, SegmentJSON{
+			ID:         seg.ID,
+			Name:       seg.Name,
+			Points:     geo.EncodePolyline(seg.Path),
+			Popularity: seg.Popularity,
+		})
+	}
+	writeExplore(w, http.StatusOK, ExploreResponse{Status: "OK", Segments: out})
+}
+
+func writeExplore(w http.ResponseWriter, code int, resp ExploreResponse) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("segments: encoding response: %v", err)
+	}
+}

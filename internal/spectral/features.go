@@ -1,0 +1,137 @@
+package spectral
+
+import (
+	"fmt"
+	"math"
+
+	"elevprivacy/internal/imagerep"
+)
+
+// FeatureConfig controls spectral feature extraction.
+type FeatureConfig struct {
+	// ResamplePoints is the fixed length signals are resampled to before
+	// the FFT (rounded up to a power of two internally).
+	ResamplePoints int
+	// Bands is the number of log-power frequency bands kept as features.
+	Bands int
+	// IncludeStats appends simple time-domain statistics (mean, standard
+	// deviation, total gain) to the spectral bands. The paper's "simple
+	// features" baseline is the pure-spectral variant (false).
+	IncludeStats bool
+}
+
+// DefaultFeatureConfig returns the baseline configuration.
+func DefaultFeatureConfig() FeatureConfig {
+	return FeatureConfig{
+		ResamplePoints: 128,
+		Bands:          32,
+		IncludeStats:   false,
+	}
+}
+
+// validate reports the first problem with the config.
+func (c FeatureConfig) validate() error {
+	if c.ResamplePoints < 4 {
+		return fmt.Errorf("spectral: ResamplePoints must be >= 4, got %d", c.ResamplePoints)
+	}
+	if c.Bands < 1 {
+		return fmt.Errorf("spectral: Bands must be >= 1, got %d", c.Bands)
+	}
+	return nil
+}
+
+// Features extracts the baseline feature vector from an elevation profile:
+// the signal is resampled, mean-removed, Hann-windowed, transformed, and
+// the log power of the lowest Bands frequency bands is returned (optionally
+// with time-domain statistics appended).
+func Features(signal []float64, cfg FeatureConfig) ([]float64, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(signal) == 0 {
+		return nil, fmt.Errorf("spectral: empty signal")
+	}
+
+	n := nextPow2(cfg.ResamplePoints)
+	resampled, err := imagerep.Resample(signal, n)
+	if err != nil {
+		return nil, err
+	}
+
+	// Remove the mean: spectral shape, not absolute altitude — this is
+	// precisely why the baseline underperforms on location inference.
+	var mean float64
+	for _, v := range resampled {
+		mean += v
+	}
+	mean /= float64(n)
+	for i := range resampled {
+		resampled[i] -= mean
+	}
+	HannWindow(resampled)
+
+	power, err := PowerSpectrum(resampled)
+	if err != nil {
+		return nil, err
+	}
+
+	bands := cfg.Bands
+	if bands > len(power)-1 {
+		bands = len(power) - 1
+	}
+	// Skip DC (zeroed by mean removal); aggregate the rest into bands.
+	perBand := (len(power) - 1) / bands
+	if perBand < 1 {
+		perBand = 1
+	}
+	out := make([]float64, 0, bands+3)
+	for b := 0; b < bands; b++ {
+		var sum float64
+		lo := 1 + b*perBand
+		hi := lo + perBand
+		if hi > len(power) {
+			hi = len(power)
+		}
+		for k := lo; k < hi; k++ {
+			sum += power[k]
+		}
+		out = append(out, math.Log1p(sum))
+	}
+
+	if cfg.IncludeStats {
+		out = append(out, stats(signal)...)
+	}
+	return out, nil
+}
+
+// stats returns mean, standard deviation, and total positive gain.
+func stats(signal []float64) []float64 {
+	var mean float64
+	for _, v := range signal {
+		mean += v
+	}
+	mean /= float64(len(signal))
+
+	var variance, gain float64
+	for i, v := range signal {
+		variance += (v - mean) * (v - mean)
+		if i > 0 && v > signal[i-1] {
+			gain += v - signal[i-1]
+		}
+	}
+	variance /= float64(len(signal))
+	return []float64{mean, math.Sqrt(variance), gain}
+}
+
+// FeaturesAll extracts features for a batch of signals.
+func FeaturesAll(signals [][]float64, cfg FeatureConfig) ([][]float64, error) {
+	out := make([][]float64, len(signals))
+	for i, sig := range signals {
+		f, err := Features(sig, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("spectral: signal %d: %w", i, err)
+		}
+		out[i] = f
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+// Package survey models the paper's 60-participant user study (Fig. 1):
+// where outdoor workouts start and end, and whether users believe hiding
+// the map protects their privacy. The aggregator reproduces the reported
+// marginals from simulated individual responses.
+package survey
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// StartPoint is the answer to "where does your training start?".
+type StartPoint int
+
+// Start-point categories (Fig. 1a/1b).
+const (
+	StartHome StartPoint = iota + 1
+	StartSchool
+	StartWork
+	StartElsewhere
+)
+
+// String implements fmt.Stringer.
+func (s StartPoint) String() string {
+	switch s {
+	case StartHome:
+		return "home"
+	case StartSchool:
+		return "school"
+	case StartWork:
+		return "work"
+	case StartElsewhere:
+		return "elsewhere"
+	default:
+		return fmt.Sprintf("StartPoint(%d)", int(s))
+	}
+}
+
+// Belief is the answer to "does not sharing location imply privacy?"
+// (Fig. 1c), and equally to the hiding-the-map question.
+type Belief int
+
+// Belief categories.
+const (
+	BeliefYes Belief = iota + 1
+	BeliefMaybe
+	BeliefNo
+)
+
+// String implements fmt.Stringer.
+func (b Belief) String() string {
+	switch b {
+	case BeliefYes:
+		return "yes"
+	case BeliefMaybe:
+		return "maybe"
+	case BeliefNo:
+		return "no"
+	default:
+		return fmt.Sprintf("Belief(%d)", int(b))
+	}
+}
+
+// Response is one participant's answers.
+type Response struct {
+	// Start and End are the activity endpoints.
+	Start StartPoint
+	End   StartPoint
+	// PrivacyBelief answers "not sharing location implies privacy".
+	PrivacyBelief Belief
+	// HidingMapEnough answers "hiding the map and sharing statistics is
+	// enough for privacy".
+	HidingMapEnough Belief
+}
+
+// Marginals are the aggregate shares the paper reports.
+type Marginals struct {
+	// Participants is the sample size (60 in the paper).
+	Participants int
+	// StartShares and EndShares are fractions by category.
+	StartShares map[StartPoint]float64
+	EndShares   map[StartPoint]float64
+	// PrivacyShares is the Fig. 1c distribution.
+	PrivacyShares map[Belief]float64
+	// HidingMapCounts are the raw yes/maybe/no counts (25/18/17).
+	HidingMapCounts map[Belief]int
+}
+
+// PaperMarginals returns the distribution reported in the paper: 51 %
+// home / 36 % school / 3 % work starts; 76 % home ends; 42 % yes / 30 %
+// maybe / 28 % no on the privacy question; 25/18/17 on hiding the map.
+func PaperMarginals() Marginals {
+	return Marginals{
+		Participants: 60,
+		StartShares: map[StartPoint]float64{
+			StartHome: 0.51, StartSchool: 0.36, StartWork: 0.03, StartElsewhere: 0.10,
+		},
+		EndShares: map[StartPoint]float64{
+			StartHome: 0.76, StartSchool: 0.14, StartWork: 0.04, StartElsewhere: 0.06,
+		},
+		PrivacyShares: map[Belief]float64{
+			BeliefYes: 0.42, BeliefMaybe: 0.30, BeliefNo: 0.28,
+		},
+		HidingMapCounts: map[Belief]int{
+			BeliefYes: 25, BeliefMaybe: 18, BeliefNo: 17,
+		},
+	}
+}
+
+// Simulate draws n participant responses from the paper's marginals.
+func Simulate(n int, seed int64) ([]Response, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("survey: n must be >= 1, got %d", n)
+	}
+	m := PaperMarginals()
+	rng := rand.New(rand.NewSource(seed))
+
+	drawStart := func(shares map[StartPoint]float64) StartPoint {
+		r := rng.Float64()
+		for _, s := range []StartPoint{StartHome, StartSchool, StartWork, StartElsewhere} {
+			if r < shares[s] {
+				return s
+			}
+			r -= shares[s]
+		}
+		return StartElsewhere
+	}
+	drawBelief := func(shares map[Belief]float64) Belief {
+		r := rng.Float64()
+		for _, b := range []Belief{BeliefYes, BeliefMaybe, BeliefNo} {
+			if r < shares[b] {
+				return b
+			}
+			r -= shares[b]
+		}
+		return BeliefNo
+	}
+
+	hidingShares := map[Belief]float64{}
+	var total int
+	for _, c := range m.HidingMapCounts {
+		total += c
+	}
+	for b, c := range m.HidingMapCounts {
+		hidingShares[b] = float64(c) / float64(total)
+	}
+
+	out := make([]Response, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Response{
+			Start:           drawStart(m.StartShares),
+			End:             drawStart(m.EndShares),
+			PrivacyBelief:   drawBelief(m.PrivacyShares),
+			HidingMapEnough: drawBelief(hidingShares),
+		})
+	}
+	return out, nil
+}
+
+// Aggregate computes marginals from individual responses.
+func Aggregate(responses []Response) (Marginals, error) {
+	if len(responses) == 0 {
+		return Marginals{}, fmt.Errorf("survey: no responses")
+	}
+	n := float64(len(responses))
+	m := Marginals{
+		Participants:    len(responses),
+		StartShares:     map[StartPoint]float64{},
+		EndShares:       map[StartPoint]float64{},
+		PrivacyShares:   map[Belief]float64{},
+		HidingMapCounts: map[Belief]int{},
+	}
+	for _, r := range responses {
+		m.StartShares[r.Start] += 1 / n
+		m.EndShares[r.End] += 1 / n
+		m.PrivacyShares[r.PrivacyBelief] += 1 / n
+		m.HidingMapCounts[r.HidingMapEnough]++
+	}
+	return m, nil
+}

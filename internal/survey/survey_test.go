@@ -1,0 +1,91 @@
+package survey
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperMarginalsShape(t *testing.T) {
+	m := PaperMarginals()
+	if m.Participants != 60 {
+		t.Errorf("participants = %d", m.Participants)
+	}
+	var startSum float64
+	for _, v := range m.StartShares {
+		startSum += v
+	}
+	if math.Abs(startSum-1) > 1e-9 {
+		t.Errorf("start shares sum to %f", startSum)
+	}
+	var hiding int
+	for _, c := range m.HidingMapCounts {
+		hiding += c
+	}
+	if hiding != 60 {
+		t.Errorf("hiding-map counts sum to %d", hiding)
+	}
+	// More than 71% of participants answered yes or maybe (paper).
+	frac := float64(m.HidingMapCounts[BeliefYes]+m.HidingMapCounts[BeliefMaybe]) / 60
+	if frac < 0.71 {
+		t.Errorf("yes+maybe = %f, paper reports > 0.71", frac)
+	}
+}
+
+func TestSimulateAndAggregateRecoversMarginals(t *testing.T) {
+	responses, err := Simulate(20000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := Aggregate(responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := PaperMarginals()
+	for s, share := range want.StartShares {
+		if math.Abs(agg.StartShares[s]-share) > 0.02 {
+			t.Errorf("start %v = %f, want %f±0.02", s, agg.StartShares[s], share)
+		}
+	}
+	for b, share := range want.PrivacyShares {
+		if math.Abs(agg.PrivacyShares[b]-share) > 0.02 {
+			t.Errorf("privacy %v = %f, want %f±0.02", b, agg.PrivacyShares[b], share)
+		}
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Aggregate(nil); err == nil {
+		t.Error("empty aggregate accepted")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	a, err := Simulate(50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed simulations diverge")
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if StartHome.String() != "home" || StartElsewhere.String() != "elsewhere" {
+		t.Error("StartPoint strings")
+	}
+	if BeliefMaybe.String() != "maybe" {
+		t.Error("Belief strings")
+	}
+	if StartPoint(99).String() == "" || Belief(99).String() == "" {
+		t.Error("unknown values must still render")
+	}
+}

@@ -1,0 +1,45 @@
+package terrain
+
+import (
+	"testing"
+
+	"elevprivacy/internal/geo"
+)
+
+func BenchmarkElevationAt(b *testing.B) {
+	world := World()
+	sf, err := CityByName(world, "SF")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := sf.Terrain()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := geo.LatLng{Lat: 37.72 + float64(i%100)*0.0008, Lng: -122.5 + float64(i%97)*0.0012}
+		if _, err := tr.ElevationAt(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRasterizeTilePortion(b *testing.B) {
+	sf, err := CityByName(World(), "SF")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := sf.Terrain()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Rasterize(sf.Bounds, 128, 128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

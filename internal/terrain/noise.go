@@ -1,0 +1,87 @@
+// Package terrain synthesizes deterministic procedural terrain and defines
+// the city/borough world the experiments run on.
+//
+// The paper's attack works because cities differ strongly in elevation
+// statistics (base altitude, relief, ruggedness) while boroughs of one city
+// share them. The synthesizer reproduces exactly that structure: each city
+// is a fractal-noise terrain with its own signature parameters; boroughs are
+// sub-regions of the same terrain and differ only through local detail.
+package terrain
+
+import "math"
+
+// noise2 is deterministic 2D value noise: pseudo-random values on an integer
+// lattice, blended with a quintic smoothstep. Output is in [-1, 1].
+type noise2 struct {
+	seed uint64
+}
+
+// lattice returns the pseudo-random value in [-1, 1] at integer cell (x, y).
+func (n noise2) lattice(x, y int64) float64 {
+	h := mix64(uint64(x)*0x9E3779B97F4A7C15 ^ uint64(y)*0xC2B2AE3D27D4EB4F ^ n.seed)
+	// Take 53 high bits for a uniform float in [0,1), map to [-1,1].
+	f := float64(h>>11) / float64(1<<53)
+	return 2*f - 1
+}
+
+// at evaluates the noise field at continuous coordinates.
+func (n noise2) at(x, y float64) float64 {
+	x0 := math.Floor(x)
+	y0 := math.Floor(y)
+	fx := x - x0
+	fy := y - y0
+	ix := int64(x0)
+	iy := int64(y0)
+
+	v00 := n.lattice(ix, iy)
+	v10 := n.lattice(ix+1, iy)
+	v01 := n.lattice(ix, iy+1)
+	v11 := n.lattice(ix+1, iy+1)
+
+	sx := smooth(fx)
+	sy := smooth(fy)
+	top := v00 + (v10-v00)*sx
+	bot := v01 + (v11-v01)*sx
+	return top + (bot-top)*sy
+}
+
+// fbm sums octaves of value noise (fractional Brownian motion). Each octave
+// doubles frequency (lacunarity 2) and scales amplitude by persistence.
+// Output stays roughly within [-1, 1] after normalization.
+func fbm(n noise2, x, y float64, octaves int, persistence float64) float64 {
+	var sum, norm float64
+	amp := 1.0
+	freq := 1.0
+	for o := 0; o < octaves; o++ {
+		// Re-seed per octave so octaves are decorrelated.
+		oct := noise2{seed: n.seed + uint64(o)*0x9E3779B97F4A7C15}
+		sum += amp * oct.at(x*freq, y*freq)
+		norm += amp
+		amp *= persistence
+		freq *= 2
+	}
+	if norm == 0 {
+		return 0
+	}
+	return sum / norm
+}
+
+// ridged turns fBm into ridge-like terrain: sharp crests where the noise
+// crosses zero. Output in [0, 1].
+func ridged(n noise2, x, y float64, octaves int, persistence float64) float64 {
+	v := fbm(n, x, y, octaves, persistence)
+	return 1 - math.Abs(v)
+}
+
+// smooth is the quintic fade 6t^5 - 15t^4 + 10t^3 (C2-continuous).
+func smooth(t float64) float64 {
+	return t * t * t * (t*(t*6-15) + 10)
+}
+
+// mix64 is the splitmix64 finalizer, a high-quality 64-bit mixer.
+func mix64(z uint64) uint64 {
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,45 @@
+package textrep
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSignals(n, points int) [][]float64 {
+	rng := rand.New(rand.NewSource(1))
+	out := make([][]float64, n)
+	for i := range out {
+		sig := make([]float64, points)
+		base := float64(rng.Intn(5)) * 40
+		for j := range sig {
+			sig[j] = base + rng.Float64()*20
+		}
+		out[i] = sig
+	}
+	return out
+}
+
+func BenchmarkPipelineBuild(b *testing.B) {
+	signals := benchSignals(200, 80)
+	cfg := DefaultPipelineConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewPipeline(signals, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVectorize(b *testing.B) {
+	signals := benchSignals(200, 80)
+	p, err := NewPipeline(signals, DefaultPipelineConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Features(signals[i%len(signals)])
+	}
+}

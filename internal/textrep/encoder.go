@@ -1,0 +1,126 @@
+package textrep
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// DefaultAlphabet is the lowercase Latin alphabet (l = 26).
+const DefaultAlphabet = "abcdefghijklmnopqrstuvwxyz"
+
+// Encoder maps discrete elevation values to fixed-length words and encodes
+// whole signals as texts. It is built once over the full corpus (the paper
+// builds its vocabulary "from all encoded signals regardless of labels")
+// and is immutable afterwards.
+type Encoder struct {
+	disc     Discretizer
+	alphabet string
+	wordSize int
+	words    map[float64]string
+	// sortedVals supports nearest-value fallback for values unseen at build
+	// time (a fresh victim profile can contain new elevations).
+	sortedVals []float64
+}
+
+// BuildEncoder derives the word mapping from every signal in the corpus:
+// signals are discretized, unique values are collected and sorted, the word
+// size w = ⌈log_l c⌉ is computed, and the i-th smallest value is assigned
+// the i-th base-l word.
+func BuildEncoder(signals [][]float64, disc Discretizer, alphabet string) (*Encoder, error) {
+	if disc == nil {
+		return nil, fmt.Errorf("textrep: nil discretizer")
+	}
+	if len(alphabet) < 2 {
+		return nil, fmt.Errorf("textrep: alphabet needs >= 2 letters, got %d", len(alphabet))
+	}
+	seen := map[float64]bool{}
+	for _, sig := range signals {
+		for _, e := range sig {
+			seen[disc(e)] = true
+		}
+	}
+	if len(seen) == 0 {
+		return nil, fmt.Errorf("textrep: empty corpus")
+	}
+
+	vals := make([]float64, 0, len(seen))
+	for v := range seen {
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
+
+	w := WordSize(len(alphabet), len(vals))
+	enc := &Encoder{
+		disc:       disc,
+		alphabet:   alphabet,
+		wordSize:   w,
+		words:      make(map[float64]string, len(vals)),
+		sortedVals: vals,
+	}
+	for i, v := range vals {
+		enc.words[v] = indexWord(i, w, alphabet)
+	}
+	return enc, nil
+}
+
+// indexWord renders index i as a base-l word of exactly w letters.
+func indexWord(i, w int, alphabet string) string {
+	l := len(alphabet)
+	buf := make([]byte, w)
+	for k := w - 1; k >= 0; k-- {
+		buf[k] = alphabet[i%l]
+		i /= l
+	}
+	return string(buf)
+}
+
+// WordSize returns the per-word letter count.
+func (e *Encoder) WordSize() int { return e.wordSize }
+
+// UniqueValues returns the number of distinct discrete values.
+func (e *Encoder) UniqueValues() int { return len(e.sortedVals) }
+
+// Encode converts a signal into its text: the concatenation of the word of
+// every discretized value. Values unseen at build time map to the nearest
+// known discrete value.
+func (e *Encoder) Encode(signal []float64) string {
+	var sb strings.Builder
+	sb.Grow(len(signal) * e.wordSize)
+	for _, raw := range signal {
+		v := e.disc(raw)
+		word, ok := e.words[v]
+		if !ok {
+			word = e.words[e.nearest(v)]
+		}
+		sb.WriteString(word)
+	}
+	return sb.String()
+}
+
+// EncodeAll encodes every signal, producing the corpus (one line per
+// sample, as in the paper's Fig. 6).
+func (e *Encoder) EncodeAll(signals [][]float64) []string {
+	out := make([]string, len(signals))
+	for i, sig := range signals {
+		out[i] = e.Encode(sig)
+	}
+	return out
+}
+
+// nearest returns the known discrete value closest to v.
+func (e *Encoder) nearest(v float64) float64 {
+	i := sort.SearchFloat64s(e.sortedVals, v)
+	switch {
+	case i == 0:
+		return e.sortedVals[0]
+	case i == len(e.sortedVals):
+		return e.sortedVals[len(e.sortedVals)-1]
+	}
+	lo, hi := e.sortedVals[i-1], e.sortedVals[i]
+	if math.Abs(v-lo) <= math.Abs(hi-v) {
+		return lo
+	}
+	return hi
+}

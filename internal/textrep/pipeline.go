@@ -1,0 +1,180 @@
+package textrep
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Pipeline bundles the full text-like preprocessing chain — discretize,
+// encode, vectorize — behind one object, built once per dataset.
+type Pipeline struct {
+	encoder *Encoder
+	vocab   *Vocabulary
+	// precision records the discretizer for persistence: 0 = floor,
+	// d > 0 = PrecisionDiscretizer(d).
+	precision int
+}
+
+// PipelineConfig configures NewPipeline.
+type PipelineConfig struct {
+	// Discretizer buckets raw elevations; when nil it is derived from
+	// Precision (0 = FloorDiscretizer).
+	Discretizer Discretizer
+	// Precision selects the built-in discretizer family when Discretizer
+	// is nil: 0 applies ⌊e⌋, d > 0 applies ⌊e·10^d⌋/10^d. Recorded for
+	// persistence.
+	Precision int
+	// Alphabet for word encoding; DefaultAlphabet when empty.
+	Alphabet string
+	// NGram is the paper's n (8 in all experiments). Vocabulary spans
+	// [1, NGram] orders.
+	NGram int
+	// MinFrequency and MaxFeatures forward to VocabConfig.
+	MinFrequency int
+	MaxFeatures  int
+}
+
+// DefaultPipelineConfig matches the paper's evaluation settings: floor
+// discretization, 26-letter alphabet, n = 8.
+func DefaultPipelineConfig() PipelineConfig {
+	return PipelineConfig{
+		Discretizer:  FloorDiscretizer,
+		Alphabet:     DefaultAlphabet,
+		NGram:        8,
+		MinFrequency: 2,
+		MaxFeatures:  4096,
+	}
+}
+
+// NewPipeline builds the encoder and vocabulary over all signals. For a
+// pipeline that should survive persistence, set cfg.Precision instead of a
+// raw Discretizer.
+func NewPipeline(signals [][]float64, cfg PipelineConfig) (*Pipeline, error) {
+	if cfg.Discretizer == nil {
+		if cfg.Precision > 0 {
+			cfg.Discretizer = PrecisionDiscretizer(cfg.Precision)
+		} else {
+			cfg.Discretizer = FloorDiscretizer
+		}
+	}
+	if cfg.Alphabet == "" {
+		cfg.Alphabet = DefaultAlphabet
+	}
+	if cfg.NGram < 1 {
+		return nil, fmt.Errorf("textrep: NGram must be >= 1, got %d", cfg.NGram)
+	}
+
+	enc, err := BuildEncoder(signals, cfg.Discretizer, cfg.Alphabet)
+	if err != nil {
+		return nil, err
+	}
+	corpus := enc.EncodeAll(signals)
+	vocab, err := BuildVocabulary(corpus, VocabConfig{
+		WordSize:     enc.WordSize(),
+		MinN:         1,
+		MaxN:         cfg.NGram,
+		MinFrequency: cfg.MinFrequency,
+		MaxFeatures:  cfg.MaxFeatures,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{encoder: enc, vocab: vocab, precision: cfg.Precision}, nil
+}
+
+// Features converts one raw signal into its normalized BoW feature vector.
+func (p *Pipeline) Features(signal []float64) []float64 {
+	return p.vocab.Vectorize(p.encoder.Encode(signal))
+}
+
+// FeaturesAll converts a batch of signals.
+func (p *Pipeline) FeaturesAll(signals [][]float64) [][]float64 {
+	out := make([][]float64, len(signals))
+	for i, sig := range signals {
+		out[i] = p.Features(sig)
+	}
+	return out
+}
+
+// Dim returns the feature dimensionality.
+func (p *Pipeline) Dim() int { return p.vocab.Size() }
+
+// Encoder exposes the underlying encoder (for inspection/tests).
+func (p *Pipeline) Encoder() *Encoder { return p.encoder }
+
+// Vocabulary exposes the underlying vocabulary (for inspection/tests).
+func (p *Pipeline) Vocabulary() *Vocabulary { return p.vocab }
+
+// savedPipeline is the JSON form of a fitted pipeline. The discretizer is
+// identified by its precision (0 = floor), the encoder by its sorted
+// discrete values, and the vocabulary by its gram list.
+type savedPipeline struct {
+	Precision int       `json:"precision"`
+	Alphabet  string    `json:"alphabet"`
+	WordSize  int       `json:"word_size"`
+	Values    []float64 `json:"values"`
+	MinN      int       `json:"min_n"`
+	MaxN      int       `json:"max_n"`
+	Grams     []string  `json:"grams"`
+}
+
+// MarshalJSON implements json.Marshaler for persistence of trained
+// attacks. Only pipelines built from a Precision-derived discretizer
+// round-trip exactly; a custom Discretizer is recorded as its Precision
+// field (0 = floor).
+func (p *Pipeline) MarshalJSON() ([]byte, error) {
+	return json.Marshal(savedPipeline{
+		Precision: p.precision,
+		Alphabet:  p.encoder.alphabet,
+		WordSize:  p.encoder.wordSize,
+		Values:    p.encoder.sortedVals,
+		MinN:      p.vocab.minN,
+		MaxN:      p.vocab.maxN,
+		Grams:     p.vocab.grams,
+	})
+}
+
+// UnmarshalJSON reconstructs a fitted pipeline.
+func (p *Pipeline) UnmarshalJSON(data []byte) error {
+	var sp savedPipeline
+	if err := json.Unmarshal(data, &sp); err != nil {
+		return fmt.Errorf("textrep: parsing pipeline: %w", err)
+	}
+	if len(sp.Values) == 0 || len(sp.Grams) == 0 {
+		return fmt.Errorf("textrep: saved pipeline is empty")
+	}
+	if len(sp.Alphabet) < 2 || sp.WordSize < 1 || sp.MinN < 1 || sp.MaxN < sp.MinN {
+		return fmt.Errorf("textrep: saved pipeline malformed")
+	}
+
+	disc := FloorDiscretizer
+	if sp.Precision > 0 {
+		disc = PrecisionDiscretizer(sp.Precision)
+	}
+	enc := &Encoder{
+		disc:       disc,
+		alphabet:   sp.Alphabet,
+		wordSize:   sp.WordSize,
+		words:      make(map[float64]string, len(sp.Values)),
+		sortedVals: sp.Values,
+	}
+	for i, v := range sp.Values {
+		enc.words[v] = indexWord(i, sp.WordSize, sp.Alphabet)
+	}
+
+	vocab := &Vocabulary{
+		wordSize: sp.WordSize,
+		minN:     sp.MinN,
+		maxN:     sp.MaxN,
+		index:    make(map[string]int, len(sp.Grams)),
+		grams:    sp.Grams,
+	}
+	for i, g := range sp.Grams {
+		vocab.index[g] = i
+	}
+
+	p.encoder = enc
+	p.vocab = vocab
+	p.precision = sp.Precision
+	return nil
+}

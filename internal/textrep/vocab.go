@@ -1,0 +1,151 @@
+package textrep
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Vocabulary is the set of unique word-aligned n-grams observed in a
+// corpus, with the machinery to turn a text into a normalized bag-of-words
+// feature vector (paper Fig. 6 and §III-C).
+type Vocabulary struct {
+	wordSize int
+	minN     int
+	maxN     int
+	// index maps an n-gram string to its feature position.
+	index map[string]int
+	// grams lists the n-grams in feature order (sorted for determinism).
+	grams []string
+}
+
+// VocabConfig controls vocabulary construction.
+type VocabConfig struct {
+	// WordSize is the encoder's per-word letter count.
+	WordSize int
+	// MinN and MaxN bound the n-gram orders collected; the paper traverses
+	// the corpus n times with different window sizes, i.e. 1..n.
+	MinN int
+	MaxN int
+	// MinFrequency discards n-grams occurring fewer times across the whole
+	// corpus (the paper's term-frequency feature selection). Zero keeps all.
+	MinFrequency int
+	// MaxFeatures keeps only the most frequent n-grams when positive,
+	// bounding the feature space on large corpora.
+	MaxFeatures int
+}
+
+// BuildVocabulary scans the corpus with word-aligned windows of size
+// W = w×n for every n in [MinN, MaxN] and collects unique window contents,
+// then applies frequency-based feature selection.
+func BuildVocabulary(corpus []string, cfg VocabConfig) (*Vocabulary, error) {
+	if cfg.WordSize < 1 {
+		return nil, fmt.Errorf("textrep: word size %d", cfg.WordSize)
+	}
+	if cfg.MinN < 1 || cfg.MaxN < cfg.MinN {
+		return nil, fmt.Errorf("textrep: invalid n-gram range [%d,%d]", cfg.MinN, cfg.MaxN)
+	}
+	for i, line := range corpus {
+		if len(line)%cfg.WordSize != 0 {
+			return nil, fmt.Errorf("textrep: corpus line %d length %d not a multiple of word size %d",
+				i, len(line), cfg.WordSize)
+		}
+	}
+
+	freq := map[string]int{}
+	for _, line := range corpus {
+		for n := cfg.MinN; n <= cfg.MaxN; n++ {
+			window := cfg.WordSize * n
+			// Slide word by word, counting every (overlapping) window: this
+			// is vocabulary collection, where coverage matters.
+			for off := 0; off+window <= len(line); off += cfg.WordSize {
+				freq[line[off:off+window]]++
+			}
+		}
+	}
+	if len(freq) == 0 {
+		return nil, fmt.Errorf("textrep: corpus too short for %d-grams", cfg.MinN)
+	}
+
+	grams := make([]string, 0, len(freq))
+	for g, c := range freq {
+		if cfg.MinFrequency > 0 && c < cfg.MinFrequency {
+			continue
+		}
+		grams = append(grams, g)
+	}
+	if len(grams) == 0 {
+		return nil, fmt.Errorf("textrep: frequency threshold %d removed every feature", cfg.MinFrequency)
+	}
+
+	if cfg.MaxFeatures > 0 && len(grams) > cfg.MaxFeatures {
+		// Keep the most frequent; ties broken lexicographically for
+		// determinism.
+		sort.Slice(grams, func(i, j int) bool {
+			if freq[grams[i]] != freq[grams[j]] {
+				return freq[grams[i]] > freq[grams[j]]
+			}
+			return grams[i] < grams[j]
+		})
+		grams = grams[:cfg.MaxFeatures]
+	}
+	sort.Strings(grams)
+
+	v := &Vocabulary{
+		wordSize: cfg.WordSize,
+		minN:     cfg.MinN,
+		maxN:     cfg.MaxN,
+		index:    make(map[string]int, len(grams)),
+		grams:    grams,
+	}
+	for i, g := range grams {
+		v.index[g] = i
+	}
+	return v, nil
+}
+
+// Size returns the feature dimensionality.
+func (v *Vocabulary) Size() int { return len(v.grams) }
+
+// Grams returns the features in vector order. The slice is shared; callers
+// must not modify it.
+func (v *Vocabulary) Grams() []string { return v.grams }
+
+// Vectorize counts, for every vocabulary n-gram order, the NON-overlapping
+// word-aligned occurrences in the text (the paper counts "words and
+// non-overlapping occurrences of word sequences"), then normalizes the
+// vector to sum 1 so each feature is an occurrence probability.
+func (v *Vocabulary) Vectorize(text string) []float64 {
+	vec := make([]float64, len(v.grams))
+	if len(text) == 0 {
+		return vec
+	}
+	var total float64
+	for n := v.minN; n <= v.maxN; n++ {
+		window := v.wordSize * n
+		for off := 0; off+window <= len(text); {
+			gram := text[off : off+window]
+			if i, ok := v.index[gram]; ok {
+				vec[i]++
+				total++
+				off += window // non-overlapping: jump the whole match
+			} else {
+				off += v.wordSize
+			}
+		}
+	}
+	if total > 0 {
+		for i := range vec {
+			vec[i] /= total
+		}
+	}
+	return vec
+}
+
+// VectorizeAll vectorizes every text.
+func (v *Vocabulary) VectorizeAll(texts []string) [][]float64 {
+	out := make([][]float64, len(texts))
+	for i, t := range texts {
+		out[i] = v.Vectorize(t)
+	}
+	return out
+}

@@ -1,0 +1,27 @@
+package elevprivacy
+
+import (
+	"io"
+	"io/fs"
+
+	"elevprivacy/internal/dataset"
+)
+
+// SaveDatasetJSON writes a dataset as a JSON array (the format cmd/elevgen
+// produces). Sample paths are stored as encoded polylines.
+func SaveDatasetJSON(w io.Writer, d *Dataset) error {
+	return dataset.SaveJSON(w, d)
+}
+
+// LoadDatasetJSON reads a dataset written by SaveDatasetJSON.
+func LoadDatasetJSON(r io.Reader) (*Dataset, error) {
+	return dataset.LoadJSON(r)
+}
+
+// LoadGPXDir builds a labeled dataset from a directory of GPX activity
+// files using the paper's §III-A1 pipeline: each track's tight bounding
+// rectangle is clustered by center distance (thresholdMeters) and the
+// activity is labeled with its region identity ("R0", "R1", ...).
+func LoadGPXDir(fsys fs.FS, dir string, thresholdMeters float64) (*Dataset, error) {
+	return dataset.LoadGPXDir(fsys, dir, thresholdMeters)
+}

@@ -1,0 +1,168 @@
+package elevprivacy
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"elevprivacy/internal/imagerep"
+	"elevprivacy/internal/ml"
+	"elevprivacy/internal/ml/cnn"
+	"elevprivacy/internal/ml/mlp"
+	"elevprivacy/internal/ml/svm"
+	"elevprivacy/internal/textrep"
+)
+
+// Attack persistence: a trained attack is an envelope (representation
+// state + class labels) followed by the classifier's own serialized form,
+// so an adversary — or an auditor — trains once and reuses the model.
+//
+// Layout: magic "ELPA" | uint32 envelope length | envelope JSON | model.
+
+const attackMagic = "ELPA"
+
+// textEnvelope persists a TextAttack's non-model state.
+type textEnvelope struct {
+	Kind     ClassifierKind    `json:"kind"`
+	Labels   []string          `json:"labels"`
+	Pipeline *textrep.Pipeline `json:"pipeline"`
+}
+
+// imageEnvelope persists an ImageAttack's non-model state.
+type imageEnvelope struct {
+	Labels []string        `json:"labels"`
+	Render imagerep.Config `json:"render"`
+}
+
+// writeEnvelope writes the magic and the length-prefixed JSON envelope.
+func writeEnvelope(w io.Writer, v any) error {
+	env, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("elevprivacy: marshaling envelope: %w", err)
+	}
+	if _, err := io.WriteString(w, attackMagic); err != nil {
+		return fmt.Errorf("elevprivacy: writing magic: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(env))); err != nil {
+		return fmt.Errorf("elevprivacy: writing envelope length: %w", err)
+	}
+	if _, err := w.Write(env); err != nil {
+		return fmt.Errorf("elevprivacy: writing envelope: %w", err)
+	}
+	return nil
+}
+
+// readEnvelope parses the magic and envelope into v.
+func readEnvelope(r io.Reader, v any) error {
+	magic := make([]byte, len(attackMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return fmt.Errorf("elevprivacy: reading magic: %w", err)
+	}
+	if string(magic) != attackMagic {
+		return fmt.Errorf("elevprivacy: not an attack file (magic %q)", magic)
+	}
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return fmt.Errorf("elevprivacy: reading envelope length: %w", err)
+	}
+	if n > 64<<20 {
+		return fmt.Errorf("elevprivacy: implausible envelope length %d", n)
+	}
+	env := make([]byte, n)
+	if _, err := io.ReadFull(r, env); err != nil {
+		return fmt.Errorf("elevprivacy: reading envelope: %w", err)
+	}
+	if err := json.Unmarshal(env, v); err != nil {
+		return fmt.Errorf("elevprivacy: parsing envelope: %w", err)
+	}
+	return nil
+}
+
+// Save serializes the trained text attack. SVM and MLP classifiers are
+// supported; the random forest has no compact serial form here.
+func (a *TextAttack) Save(w io.Writer) error {
+	var kind ClassifierKind
+	switch a.model.(type) {
+	case *svm.SVM:
+		kind = ClassifierSVM
+	case *mlp.MLP:
+		kind = ClassifierMLP
+	default:
+		return fmt.Errorf("elevprivacy: saving %T is not supported (use svm or mlp)", a.model)
+	}
+	if err := writeEnvelope(w, textEnvelope{
+		Kind:     kind,
+		Labels:   a.labels.Names(),
+		Pipeline: a.pipeline,
+	}); err != nil {
+		return err
+	}
+	switch m := a.model.(type) {
+	case *svm.SVM:
+		return m.Save(w)
+	case *mlp.MLP:
+		return m.Save(w)
+	}
+	return nil // unreachable
+}
+
+// LoadTextAttack reconstructs a saved text attack.
+func LoadTextAttack(r io.Reader) (*TextAttack, error) {
+	var env textEnvelope
+	if err := readEnvelope(r, &env); err != nil {
+		return nil, err
+	}
+	if env.Pipeline == nil {
+		return nil, fmt.Errorf("elevprivacy: attack file has no pipeline")
+	}
+	enc, err := ml.NewLabelEncoder(env.Labels)
+	if err != nil {
+		return nil, fmt.Errorf("elevprivacy: attack labels: %w", err)
+	}
+
+	var model ml.Classifier
+	switch env.Kind {
+	case ClassifierSVM:
+		model, err = svm.Load(r)
+	case ClassifierMLP:
+		model, err = mlp.Load(r)
+	default:
+		return nil, fmt.Errorf("elevprivacy: unknown classifier kind %q", env.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &TextAttack{pipeline: env.Pipeline, labels: enc, model: model}, nil
+}
+
+// Save serializes the trained image attack (render config + CNN).
+func (a *ImageAttack) Save(w io.Writer) error {
+	if err := writeEnvelope(w, imageEnvelope{
+		Labels: a.labels.Names(),
+		Render: a.render,
+	}); err != nil {
+		return err
+	}
+	return a.model.Save(w)
+}
+
+// LoadImageAttack reconstructs a saved image attack.
+func LoadImageAttack(r io.Reader) (*ImageAttack, error) {
+	var env imageEnvelope
+	if err := readEnvelope(r, &env); err != nil {
+		return nil, err
+	}
+	enc, err := ml.NewLabelEncoder(env.Labels)
+	if err != nil {
+		return nil, fmt.Errorf("elevprivacy: attack labels: %w", err)
+	}
+	model, err := cnn.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	if model.Classes() != enc.Len() {
+		return nil, fmt.Errorf("elevprivacy: model has %d classes, labels have %d", model.Classes(), enc.Len())
+	}
+	return &ImageAttack{render: env.Render, labels: enc, model: model}, nil
+}

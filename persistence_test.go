@@ -1,0 +1,123 @@
+package elevprivacy
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func persistenceDataset(t *testing.T) *Dataset {
+	t.Helper()
+	d, err := NewCityLevelDataset(DatasetConfig{
+		Scale: 0.015, ProfileSamples: 50, MinPerClass: 10, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.Filter("Colorado Springs", "Miami", "San Francisco")
+}
+
+func TestTextAttackSaveLoadRoundTrip(t *testing.T) {
+	d := persistenceDataset(t)
+	for _, kind := range []ClassifierKind{ClassifierSVM, ClassifierMLP} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			attack, err := TrainTextAttack(d, DefaultTextAttackConfig(kind))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := attack.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			back, err := LoadTextAttack(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(back.Labels()) != 3 {
+				t.Fatalf("labels = %v", back.Labels())
+			}
+			// Every prediction must be preserved exactly.
+			for i := range d.Samples {
+				want, err := attack.PredictLocation(d.Samples[i].Elevations)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := back.PredictLocation(d.Samples[i].Elevations)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("sample %d: loaded model predicts %q, original %q", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestTextAttackSaveForestRejected(t *testing.T) {
+	d := persistenceDataset(t)
+	attack, err := TrainTextAttack(d, DefaultTextAttackConfig(ClassifierRandomForest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := attack.Save(&buf); err == nil {
+		t.Error("forest save accepted")
+	}
+}
+
+func TestImageAttackSaveLoadRoundTrip(t *testing.T) {
+	d := persistenceDataset(t)
+	cfg := DefaultImageAttackConfig(TrainWeighted)
+	cfg.Epochs = 4
+	attack, err := TrainImageAttack(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := attack.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadImageAttack(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		want, err := attack.PredictLocation(d.Samples[i].Elevations)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := back.PredictLocation(d.Samples[i].Elevations)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("sample %d: loaded CNN predicts %q, original %q", i, got, want)
+		}
+	}
+}
+
+func TestLoadAttackRejectsGarbage(t *testing.T) {
+	for _, input := range []string{"", "NOPE", "ELPA", "ELPA\x04\x00\x00\x00{}"} {
+		if _, err := LoadTextAttack(strings.NewReader(input)); err == nil {
+			t.Errorf("text attack loaded from %q", input)
+		}
+		if _, err := LoadImageAttack(strings.NewReader(input)); err == nil {
+			t.Errorf("image attack loaded from %q", input)
+		}
+	}
+	// A text-attack file is not an image attack and vice versa.
+	d := persistenceDataset(t)
+	attack, err := TrainTextAttack(d, DefaultTextAttackConfig(ClassifierSVM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := attack.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadImageAttack(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("text-attack file loaded as image attack")
+	}
+}
