@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-full experiments experiments-quick clean
+.PHONY: all build vet test test-short check bench bench-full experiments experiments-quick clean
 
 all: build vet test
 
@@ -17,6 +17,13 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+## check is the full gate: the tier-1 build/vet/test sequence plus the race
+## detector over every package (the batch kernels, the forest pool, and the
+## concurrent k-fold all fan out goroutines). The raised timeout covers the
+## race detector's ~10-20x slowdown on the experiment suites.
+check: build vet test
+	$(GO) test -race -timeout 45m ./...
 
 ## bench runs every experiment benchmark at smoke scale plus the substrate
 ## micro-benchmarks.

@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"testing"
 
+	"elevprivacy"
 	"elevprivacy/internal/experiments"
 )
 
@@ -53,6 +54,61 @@ func reportHeadline(b *testing.B, table *experiments.Table) {
 		if v, err := strconv.ParseFloat(last[i], 64); err == nil {
 			b.ReportMetric(v, "headline")
 			return
+		}
+	}
+}
+
+// benchAttackInputs builds a trained text attack plus a profile batch for
+// the serving-path benchmarks below.
+func benchAttackInputs(b *testing.B) (*elevprivacy.TextAttack, [][]float64) {
+	b.Helper()
+	cfg := elevprivacy.DefaultDatasetConfig()
+	cfg.Scale = 0.05
+	cfg.MinPerClass = 12
+	cfg.ProfileSamples = 60
+	cfg.Seed = 42
+	d, err := elevprivacy.NewUserSpecificDataset(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tc := elevprivacy.DefaultTextAttackConfig(elevprivacy.ClassifierSVM)
+	tc.MaxFeatures = 512
+	tc.Seed = 42
+	attack, err := elevprivacy.TrainTextAttack(d, tc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var profiles [][]float64
+	for i := range d.Samples {
+		profiles = append(profiles, d.Samples[i].Elevations)
+	}
+	return attack, profiles
+}
+
+// BenchmarkTextAttackPredictLoop vs BenchmarkTextAttackPredictBatch compare
+// per-profile PredictLocation calls with one PredictLocations batch over
+// the same profiles — the headline Predict-vs-PredictBatch number for the
+// whole attack stack (featurization + classifier).
+func BenchmarkTextAttackPredictLoop(b *testing.B) {
+	attack, profiles := benchAttackInputs(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range profiles {
+			if _, err := attack.PredictLocation(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkTextAttackPredictBatch(b *testing.B) {
+	attack, profiles := benchAttackInputs(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := attack.PredictLocations(profiles); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

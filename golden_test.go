@@ -1,0 +1,128 @@
+package elevprivacy_test
+
+// Seeded-determinism regression: attack metrics at a fixed seed must match
+// the golden values captured on the pre-batch-refactor (serial, per-sample)
+// implementation. The batch substrate — matrix featurization, parallel
+// matmul/affine kernels, concurrent k-fold with PredictBatch, the bounded
+// forest pool, and the CNN's im2col batch forward — is required to
+// reproduce the serial numbers within 1e-9; any drift here means a kernel
+// changed accumulation order or a parallel path lost determinism.
+
+import (
+	"math"
+	"testing"
+
+	"elevprivacy"
+)
+
+// goldenMetrics were produced by the pre-refactor serial implementation at
+// seed 42 with the exact configuration built by goldenDataset/goldenText.
+var goldenMetrics = map[string]elevprivacy.Metrics{
+	"svm": {
+		Accuracy:    0.981818181818,
+		Precision:   0.990000000000,
+		Recall:      0.975000000000,
+		F1:          0.977777777778,
+		Specificity: 0.992857142857,
+	},
+	"rfc": {
+		Accuracy:    0.981818181818,
+		Precision:   0.987500000000,
+		Recall:      0.975000000000,
+		F1:          0.976190476190,
+		Specificity: 0.993750000000,
+	},
+	"mlp": {
+		Accuracy:    0.981818181818,
+		Precision:   0.990000000000,
+		Recall:      0.975000000000,
+		F1:          0.977777777778,
+		Specificity: 0.992857142857,
+	},
+	"cnn": {
+		Accuracy:    0.785714285714,
+		Precision:   0.837500000000,
+		Recall:      0.816666666667,
+		F1:          0.804166666667,
+		Specificity: 0.926767676768,
+	},
+}
+
+// goldenTolerance allows for the 1e-12 rounding of the recorded values
+// while still catching any real ordering or determinism change.
+const goldenTolerance = 1e-9
+
+func goldenDataset(t *testing.T) *elevprivacy.Dataset {
+	t.Helper()
+	cfg := elevprivacy.DefaultDatasetConfig()
+	cfg.Scale = 0.05
+	cfg.MinPerClass = 12
+	cfg.ProfileSamples = 60
+	cfg.Seed = 42
+	d, err := elevprivacy.NewUserSpecificDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func goldenText(kind elevprivacy.ClassifierKind) elevprivacy.TextAttackConfig {
+	tc := elevprivacy.DefaultTextAttackConfig(kind)
+	tc.MaxFeatures = 512
+	tc.Seed = 42
+	if kind == elevprivacy.ClassifierRandomForest {
+		tc.ForestTrees = 30
+	}
+	return tc
+}
+
+func checkGolden(t *testing.T, name string, got elevprivacy.Metrics) {
+	t.Helper()
+	want := goldenMetrics[name]
+	checks := []struct {
+		metric    string
+		got, want float64
+	}{
+		{"accuracy", got.Accuracy, want.Accuracy},
+		{"precision", got.Precision, want.Precision},
+		{"recall", got.Recall, want.Recall},
+		{"f1", got.F1, want.F1},
+		{"specificity", got.Specificity, want.Specificity},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > goldenTolerance {
+			t.Errorf("%s %s = %.12f, golden %.12f (drift %.3g)",
+				name, c.metric, c.got, c.want, c.got-c.want)
+		}
+	}
+}
+
+func TestGoldenTextAttackMetrics(t *testing.T) {
+	d := goldenDataset(t)
+	for _, kind := range []elevprivacy.ClassifierKind{
+		elevprivacy.ClassifierSVM,
+		elevprivacy.ClassifierRandomForest,
+		elevprivacy.ClassifierMLP,
+	} {
+		m, err := elevprivacy.CrossValidateText(d, goldenText(kind), 5)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		checkGolden(t, string(kind), m)
+	}
+}
+
+func TestGoldenImageAttackMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CNN training in -short mode")
+	}
+	d := goldenDataset(t)
+	cfg := elevprivacy.DefaultImageAttackConfig(elevprivacy.TrainWeighted)
+	cfg.Epochs = 3
+	cfg.Seed = 42
+	m, err := elevprivacy.EvaluateImageAttack(d, cfg, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "cnn", m)
+}

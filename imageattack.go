@@ -86,10 +86,13 @@ func TrainImageAttack(d *Dataset, cfg ImageAttackConfig) (*ImageAttack, error) {
 	if err != nil {
 		return nil, err
 	}
-	images, err := imagerep.RenderAll(signals, cfg.Render)
+	// One contiguous matrix-backed batch; training and the fine-tuning
+	// rounds index zero-copy views of its rows.
+	batch, err := imagerep.RenderBatch(signals, cfg.Render)
 	if err != nil {
 		return nil, fmt.Errorf("elevprivacy: rendering: %w", err)
 	}
+	images := batch.Images()
 
 	netCfg := cnn.DefaultConfig(enc.Len())
 	netCfg.Epochs = cfg.Epochs
@@ -189,6 +192,27 @@ func (a *ImageAttack) PredictLocation(elevations []float64) (string, error) {
 	return a.labels.Decode(idx)
 }
 
+// PredictLocations infers the location label for a batch of elevation
+// profiles in one pass: the profiles render into one matrix-backed image
+// batch and the CNN scores them through its im2col batch forward.
+func (a *ImageAttack) PredictLocations(profiles [][]float64) ([]string, error) {
+	batch, err := imagerep.RenderBatch(profiles, a.render)
+	if err != nil {
+		return nil, err
+	}
+	preds, err := a.model.PredictBatch(batch.Images())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(preds))
+	for i, idx := range preds {
+		if out[i], err = a.labels.Decode(idx); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 // Labels returns the class names the attack can predict.
 func (a *ImageAttack) Labels() []string { return a.labels.Names() }
 
@@ -209,25 +233,27 @@ func EvaluateImageAttack(d *Dataset, cfg ImageAttackConfig, testFrac float64) (M
 	return attack.Evaluate(test)
 }
 
-// Evaluate scores the attack on a labeled dataset.
+// Evaluate scores the attack on a labeled dataset with one batch
+// prediction over the rendered test matrix.
 func (a *ImageAttack) Evaluate(test *Dataset) (Metrics, error) {
 	if test.Len() == 0 {
 		return Metrics{}, fmt.Errorf("elevprivacy: empty test set")
+	}
+	signals, labelNames := signalsAndLabels(test)
+	predLabels, err := a.PredictLocations(signals)
+	if err != nil {
+		return Metrics{}, err
 	}
 	cm, err := eval.NewConfusionMatrix(a.labels.Len())
 	if err != nil {
 		return Metrics{}, err
 	}
-	for i := range test.Samples {
-		actual, err := a.labels.Encode(test.Samples[i].Label)
+	for i, name := range labelNames {
+		actual, err := a.labels.Encode(name)
 		if err != nil {
 			return Metrics{}, err
 		}
-		predLabel, err := a.PredictLocation(test.Samples[i].Elevations)
-		if err != nil {
-			return Metrics{}, err
-		}
-		pred, err := a.labels.Encode(predLabel)
+		pred, err := a.labels.Encode(predLabels[i])
 		if err != nil {
 			return Metrics{}, err
 		}

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"elevprivacy/internal/ml"
+	"elevprivacy/internal/ml/linalg"
 	"elevprivacy/internal/ml/svm"
 )
 
@@ -235,7 +236,11 @@ func TestCrossValidateOnSeparableData(t *testing.T) {
 			y = append(y, c)
 		}
 	}
-	m, err := CrossValidate(x, y, 2, 5, 7, func() (ml.Classifier, error) {
+	xm, err := linalg.FromRows(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := CrossValidate(xm, y, 2, 5, 7, func() (ml.Classifier, error) {
 		return svm.New(svm.DefaultConfig(2))
 	})
 	if err != nil {
@@ -250,7 +255,7 @@ func TestCrossValidateOnSeparableData(t *testing.T) {
 }
 
 func TestCrossValidateValidation(t *testing.T) {
-	if _, err := CrossValidate([][]float64{{1}}, []int{0, 1}, 2, 2, 1, nil); err == nil {
+	if _, err := CrossValidate(linalg.NewMatrix(1, 1), []int{0, 1}, 2, 2, 1, nil); err == nil {
 		t.Error("length mismatch accepted")
 	}
 }
@@ -445,7 +450,11 @@ func TestCrossValidateConfusionPools(t *testing.T) {
 			y = append(y, c)
 		}
 	}
-	cm, err := CrossValidateConfusion(x, y, 2, 4, 7, func() (ml.Classifier, error) {
+	xm, err := linalg.FromRows(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := CrossValidateConfusion(xm, y, 2, 4, 7, func() (ml.Classifier, error) {
 		return svm.New(svm.DefaultConfig(2))
 	})
 	if err != nil {

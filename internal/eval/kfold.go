@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"elevprivacy/internal/ml"
+	"elevprivacy/internal/ml/linalg"
 )
 
 // StratifiedKFold partitions sample indices into k folds with every class
@@ -52,13 +53,16 @@ func sortInts(v []int) {
 	}
 }
 
-// CrossValidate runs k-fold cross-validation: for each fold, a fresh
-// classifier from factory trains on the remaining folds and is scored on
-// the held-out fold; per-fold metrics are averaged (the paper averages the
-// results of the 10 folds).
-func CrossValidate(x [][]float64, y []int, classes, k int, seed int64, factory func() (ml.Classifier, error)) (Metrics, error) {
-	if len(x) != len(y) {
-		return Metrics{}, fmt.Errorf("eval: %d samples but %d labels", len(x), len(y))
+// CrossValidate runs k-fold cross-validation over a dense feature matrix
+// (one sample per row): for each fold, a fresh classifier from factory
+// trains on the remaining folds and is scored on the held-out fold with
+// one PredictBatch call; per-fold metrics are averaged (the paper averages
+// the results of the 10 folds). Folds evaluate concurrently; the stratified
+// split and every classifier seed derive from seed, so results are
+// deterministic regardless of scheduling.
+func CrossValidate(x *linalg.Matrix, y []int, classes, k int, seed int64, factory func() (ml.Classifier, error)) (Metrics, error) {
+	if x.Rows != len(y) {
+		return Metrics{}, fmt.Errorf("eval: %d samples but %d labels", x.Rows, len(y))
 	}
 	rng := rand.New(rand.NewSource(seed))
 	folds, err := StratifiedKFold(y, k, rng)
@@ -80,9 +84,9 @@ func CrossValidate(x [][]float64, y []int, classes, k int, seed int64, factory f
 // CrossValidateConfusion runs the same k-fold protocol but returns the
 // POOLED confusion matrix over all folds, for error analysis (which
 // classes get confused with which).
-func CrossValidateConfusion(x [][]float64, y []int, classes, k int, seed int64, factory func() (ml.Classifier, error)) (*ConfusionMatrix, error) {
-	if len(x) != len(y) {
-		return nil, fmt.Errorf("eval: %d samples but %d labels", len(x), len(y))
+func CrossValidateConfusion(x *linalg.Matrix, y []int, classes, k int, seed int64, factory func() (ml.Classifier, error)) (*ConfusionMatrix, error) {
+	if x.Rows != len(y) {
+		return nil, fmt.Errorf("eval: %d samples but %d labels", x.Rows, len(y))
 	}
 	rng := rand.New(rand.NewSource(seed))
 	folds, err := StratifiedKFold(y, k, rng)
@@ -113,7 +117,7 @@ func CrossValidateConfusion(x [][]float64, y []int, classes, k int, seed int64, 
 
 // runFolds evaluates every fold concurrently; per-fold confusion matrices
 // land in fixed slots, so results are deterministic.
-func runFolds(x [][]float64, y []int, classes int, folds [][]int, factory func() (ml.Classifier, error)) ([]*ConfusionMatrix, error) {
+func runFolds(x *linalg.Matrix, y []int, classes int, folds [][]int, factory func() (ml.Classifier, error)) ([]*ConfusionMatrix, error) {
 	cms := make([]*ConfusionMatrix, len(folds))
 	errs := make([]error, len(folds))
 	var wg sync.WaitGroup
@@ -134,17 +138,19 @@ func runFolds(x [][]float64, y []int, classes int, folds [][]int, factory func()
 }
 
 // evaluateFold trains a fresh classifier on everything outside the fold
-// and scores the fold.
-func evaluateFold(x [][]float64, y []int, classes int, fold []int, factory func() (ml.Classifier, error)) (*ConfusionMatrix, error) {
+// and scores the fold in one batch prediction. Training rows are zero-copy
+// views into the feature matrix; only the held-out fold is gathered into a
+// dense test matrix for PredictBatch.
+func evaluateFold(x *linalg.Matrix, y []int, classes int, fold []int, factory func() (ml.Classifier, error)) (*ConfusionMatrix, error) {
 	holdout := map[int]bool{}
 	for _, i := range fold {
 		holdout[i] = true
 	}
-	var trainX [][]float64
-	var trainY []int
-	for i := range x {
+	trainX := make([][]float64, 0, x.Rows-len(fold))
+	trainY := make([]int, 0, x.Rows-len(fold))
+	for i := 0; i < x.Rows; i++ {
 		if !holdout[i] {
-			trainX = append(trainX, x[i])
+			trainX = append(trainX, x.Row(i))
 			trainY = append(trainY, y[i])
 		}
 	}
@@ -157,16 +163,21 @@ func evaluateFold(x [][]float64, y []int, classes int, fold []int, factory func(
 		return nil, fmt.Errorf("fit: %w", err)
 	}
 
+	testX := linalg.NewMatrix(len(fold), x.Cols)
+	for k, i := range fold {
+		copy(testX.Row(k), x.Row(i))
+	}
+	preds, err := clf.PredictBatch(testX)
+	if err != nil {
+		return nil, fmt.Errorf("predict: %w", err)
+	}
+
 	cm, err := NewConfusionMatrix(classes)
 	if err != nil {
 		return nil, err
 	}
-	for _, i := range fold {
-		pred, err := clf.Predict(x[i])
-		if err != nil {
-			return nil, fmt.Errorf("predict: %w", err)
-		}
-		if err := cm.Add(y[i], pred); err != nil {
+	for k, i := range fold {
+		if err := cm.Add(y[i], preds[k]); err != nil {
 			return nil, err
 		}
 	}

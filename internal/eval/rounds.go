@@ -83,10 +83,3 @@ func PlanRounds(counts map[string]int, maxRounds int) ([]Round, error) {
 	}
 	return out, nil
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -1,0 +1,65 @@
+package imagerep
+
+import (
+	"fmt"
+
+	"elevprivacy/internal/ml/linalg"
+)
+
+// Batch is a set of rendered images stored as one dense matrix: row i is
+// image i's flattened CHW pixels. One contiguous allocation keeps batch
+// rendering cache-friendly and hands the CNN's batch forward its input in
+// matrix form without copying.
+type Batch struct {
+	// Channels, Height, Width describe every image in the batch.
+	Channels int
+	Height   int
+	Width    int
+	// Pixels is the n×(Channels·Height·Width) pixel matrix.
+	Pixels *linalg.Matrix
+}
+
+// RenderBatch renders every signal straight into the rows of one pixel
+// matrix.
+func RenderBatch(signals [][]float64, cfg Config) (*Batch, error) {
+	if len(signals) == 0 {
+		return nil, fmt.Errorf("imagerep: empty batch")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	b := &Batch{
+		Channels: 3,
+		Height:   cfg.Height,
+		Width:    cfg.Width,
+		Pixels:   linalg.NewMatrix(len(signals), 3*cfg.Height*cfg.Width),
+	}
+	for i, sig := range signals {
+		if err := renderInto(sig, cfg, b.Image(i)); err != nil {
+			return nil, fmt.Errorf("imagerep: signal %d: %w", i, err)
+		}
+	}
+	return b, nil
+}
+
+// Len returns the image count.
+func (b *Batch) Len() int { return b.Pixels.Rows }
+
+// Image returns image i as a zero-copy view of the batch row.
+func (b *Batch) Image(i int) *Image {
+	return &Image{
+		Channels: b.Channels,
+		Height:   b.Height,
+		Width:    b.Width,
+		Data:     b.Pixels.Row(i),
+	}
+}
+
+// Images returns views of every image in the batch.
+func (b *Batch) Images() []*Image {
+	out := make([]*Image, b.Len())
+	for i := range out {
+		out[i] = b.Image(i)
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package imagerep
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func batchSignals(n, points int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	sigs := make([][]float64, n)
+	for i := range sigs {
+		sig := make([]float64, points)
+		for j := range sig {
+			sig[j] = 50 + rng.Float64()*100
+		}
+		sigs[i] = sig
+	}
+	return sigs
+}
+
+// TestRenderBatchMatchesRender pins that batch rendering into the shared
+// pixel matrix is bit-identical to per-signal Render.
+func TestRenderBatchMatchesRender(t *testing.T) {
+	cfg := DefaultConfig()
+	sigs := batchSignals(5, 80, 1)
+	b, err := RenderBatch(sigs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != len(sigs) {
+		t.Fatalf("Len = %d, want %d", b.Len(), len(sigs))
+	}
+	for i, sig := range sigs {
+		want, err := Render(sig, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := b.Image(i)
+		if got.Channels != want.Channels || got.Height != want.Height || got.Width != want.Width {
+			t.Fatalf("image %d shape %dx%dx%d, want %dx%dx%d",
+				i, got.Channels, got.Height, got.Width, want.Channels, want.Height, want.Width)
+		}
+		for k := range want.Data {
+			if got.Data[k] != want.Data[k] {
+				t.Fatalf("image %d pixel %d: batch %g, serial %g", i, k, got.Data[k], want.Data[k])
+			}
+		}
+	}
+}
+
+// TestBatchImagesAreViews checks Image(i) shares the batch matrix storage
+// rather than copying.
+func TestBatchImagesAreViews(t *testing.T) {
+	b, err := RenderBatch(batchSignals(2, 40, 2), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := b.Image(1)
+	im.Data[0] = 0.123
+	if b.Pixels.At(1, 0) != 0.123 {
+		t.Error("Image returned a copy, want a view")
+	}
+	if len(b.Images()) != 2 {
+		t.Error("Images length mismatch")
+	}
+}
+
+func TestRenderBatchValidation(t *testing.T) {
+	if _, err := RenderBatch(nil, DefaultConfig()); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := RenderBatch([][]float64{{1, 2}, nil}, DefaultConfig()); err == nil {
+		t.Error("batch with empty signal accepted")
+	}
+}

@@ -20,3 +20,25 @@ func BenchmarkRender(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRenderBatch renders 64 signals into one shared pixel matrix,
+// the path TrainImageAttack and PredictLocations use.
+func BenchmarkRenderBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	sigs := make([][]float64, 64)
+	for i := range sigs {
+		sig := make([]float64, 100)
+		for j := range sig {
+			sig[j] = 50 + rng.Float64()*30
+		}
+		sigs[i] = sig
+	}
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RenderBatch(sigs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -184,16 +184,26 @@ func Resample(signal []float64, n int) ([]float64, error) {
 // paper's per-sample extremes), and all three channels carry the interval
 // color along the line.
 func Render(signal []float64, cfg Config) (*Image, error) {
-	if err := cfg.validate(); err != nil {
+	im := NewImage(3, cfg.Height, cfg.Width)
+	if err := renderInto(signal, cfg, im); err != nil {
 		return nil, err
 	}
+	return im, nil
+}
+
+// renderInto rasterizes the signal into a caller-owned (zeroed) image —
+// typically a row view of a batch matrix.
+func renderInto(signal []float64, cfg Config, im *Image) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
 	if len(signal) == 0 {
-		return nil, fmt.Errorf("imagerep: empty signal")
+		return fmt.Errorf("imagerep: empty signal")
 	}
 
 	pts, err := Resample(signal, cfg.ResamplePoints)
 	if err != nil {
-		return nil, err
+		return err
 	}
 
 	minV, maxV := pts[0], pts[0]
@@ -206,7 +216,6 @@ func Render(signal []float64, cfg Config) (*Image, error) {
 	// draws as a horizontal midline rather than amplified float noise.
 	flat := span <= 1e-9*math.Max(1, math.Abs(maxV))
 
-	im := NewImage(3, cfg.Height, cfg.Width)
 	color := cfg.colorFor(signal)
 
 	toXY := func(i int) (x, y float64) {
@@ -226,7 +235,7 @@ func Render(signal []float64, cfg Config) (*Image, error) {
 		drawSegment(im, prevX, prevY, x, y, color)
 		prevX, prevY = x, y
 	}
-	return im, nil
+	return nil
 }
 
 // drawSegment rasterizes the line from (x0,y0) to (x1,y1) by uniform
@@ -252,15 +261,13 @@ func plot(im *Image, x, y float64, c Color) {
 	}
 }
 
-// RenderAll renders a batch of signals.
+// RenderAll renders a batch of signals. The images share one contiguous
+// matrix-backed allocation (see RenderBatch); callers that want the dense
+// matrix itself should call RenderBatch directly.
 func RenderAll(signals [][]float64, cfg Config) ([]*Image, error) {
-	out := make([]*Image, len(signals))
-	for i, sig := range signals {
-		im, err := Render(sig, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("imagerep: signal %d: %w", i, err)
-		}
-		out[i] = im
+	batch, err := RenderBatch(signals, cfg)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return batch.Images(), nil
 }

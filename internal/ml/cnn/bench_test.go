@@ -18,6 +18,40 @@ func BenchmarkForward(b *testing.B) {
 	}
 }
 
+// BenchmarkPredictLoop vs BenchmarkPredictBatch compare per-image serial
+// inference with the im2col batch forward over the same image set.
+func BenchmarkPredictLoop(b *testing.B) {
+	images, _ := syntheticImages(4, 4, 1)
+	c, err := New(DefaultConfig(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, im := range images {
+			if _, err := c.Predict(im); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkPredictBatch(b *testing.B) {
+	images, _ := syntheticImages(4, 4, 1)
+	c, err := New(DefaultConfig(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.PredictBatch(images); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkTrainEpoch(b *testing.B) {
 	images, labels := syntheticImages(4, 8, 1)
 	c, err := New(DefaultConfig(4))

@@ -229,7 +229,6 @@ func (c *CNN) TrainEpochs(images []*imagerep.Image, labels []int, epochs int) er
 		workerGrads[w] = make([]float64, len(c.params))
 		workerScratch[w] = c.newScratch()
 	}
-	grads := make([]float64, len(c.params))
 
 	for epoch := 0; epoch < epochs; epoch++ {
 		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
@@ -264,17 +263,18 @@ func (c *CNN) TrainEpochs(images []*imagerep.Image, labels []int, epochs int) er
 			}
 			wg.Wait()
 
-			// Deterministic reduce in worker order.
-			linalg.Zero(grads)
+			// Deterministic fused reduce in worker order: one batched
+			// Adam step over the per-worker gradient shards.
+			used := (len(batch) + chunk - 1) / chunk
 			var weightTotal float64
-			for w := 0; w < workers; w++ {
-				linalg.Axpy(grads, workerGrads[w], 1)
+			for w := 0; w < used; w++ {
 				weightTotal += weightTotals[w]
 			}
+			scale := 1.0
 			if weightTotal > 0 {
-				linalg.Scale(grads, 1/weightTotal)
+				scale = 1 / weightTotal
 			}
-			c.adam.Step(c.params, grads)
+			c.adam.StepSum(c.params, workerGrads[:used], scale)
 		}
 	}
 	return nil

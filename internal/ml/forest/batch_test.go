@@ -1,0 +1,90 @@
+package forest
+
+import (
+	"math"
+	"testing"
+
+	"elevprivacy/internal/ml/linalg"
+)
+
+// TestPredictBatchMatchesPredict pins the batch contract: the parallel
+// per-tree vote must reproduce per-sample Predict (including the
+// lowest-index tie-break) on every row.
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	x, y := blobs([][]float64{{0, 0}, {5, 0}, {0, 5}}, 20, 1.2, 7)
+	f, err := New(testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+
+	xm, err := linalg.FromRows(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := f.PredictBatch(xm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		want, err := f.Predict(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i] != want {
+			t.Errorf("sample %d: batch %d, serial %d", i, batch[i], want)
+		}
+	}
+}
+
+// TestScoresAreVoteFractions checks each Scores row sums to 1 and that the
+// argmax matches PredictBatch.
+func TestScoresAreVoteFractions(t *testing.T) {
+	x, y := blobs([][]float64{{0, 0}, {4, 4}}, 15, 0.8, 9)
+	f, err := New(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	xm, err := linalg.FromRows(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := f.Scores(xm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := f.PredictBatch(xm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < scores.Rows; i++ {
+		var sum float64
+		for _, v := range scores.Row(i) {
+			if v < 0 || v > 1 {
+				t.Fatalf("vote fraction %g out of range", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("row %d fractions sum to %g", i, sum)
+		}
+		if linalg.ArgMax(scores.Row(i)) != preds[i] {
+			t.Errorf("row %d: scores argmax %d, batch %d", i, linalg.ArgMax(scores.Row(i)), preds[i])
+		}
+	}
+}
+
+func TestPredictBatchValidation(t *testing.T) {
+	f, err := New(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.PredictBatch(linalg.NewMatrix(1, 1)); err == nil {
+		t.Error("batch predict before fit accepted")
+	}
+}

@@ -1,0 +1,68 @@
+package forest
+
+import (
+	"testing"
+
+	"elevprivacy/internal/ml/linalg"
+)
+
+func benchFitted(b *testing.B, n int) (*Forest, [][]float64, *linalg.Matrix) {
+	b.Helper()
+	centers := [][]float64{{0, 0, 0, 0}, {5, 0, 5, 0}, {0, 5, 0, 5}}
+	x, y := blobs(centers, n/3, 1.0, 1)
+	cfg := testConfig(3)
+	cfg.Trees = 50
+	f, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Fit(x, y); err != nil {
+		b.Fatal(err)
+	}
+	xm, err := linalg.FromRows(x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f, x, xm
+}
+
+func BenchmarkFit(b *testing.B) {
+	x, y := blobs([][]float64{{0, 0, 0, 0}, {5, 0, 5, 0}, {0, 5, 0, 5}}, 60, 1.0, 1)
+	cfg := testConfig(3)
+	cfg.Trees = 50
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredictLoop(b *testing.B) {
+	f, x, _ := benchFitted(b, 240)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range x {
+			if _, err := f.Predict(x[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkPredictBatch(b *testing.B) {
+	f, _, xm := benchFitted(b, 240)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.PredictBatch(xm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

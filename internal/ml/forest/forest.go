@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 
 	"elevprivacy/internal/ml"
+	"elevprivacy/internal/ml/linalg"
 )
 
 // Config tunes the forest.
@@ -92,20 +94,36 @@ func (f *Forest) Fit(x [][]float64, y []int) error {
 		mtry = dim
 	}
 
+	// Bounded worker pool: GOMAXPROCS workers pull tree indices from a
+	// shared channel, so a 100-tree forest does not spawn 100 goroutines
+	// each holding sort scratch. Every tree derives its RNG from Seed and
+	// its own index, so the grown forest is byte-identical to a serial
+	// (or differently scheduled) run.
 	f.trees = make([]*node, f.cfg.Trees)
-	var wg sync.WaitGroup
-	for t := 0; t < f.cfg.Trees; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(f.cfg.Seed + int64(t)*104729))
-			idx := make([]int, len(x))
-			for i := range idx {
-				idx[i] = rng.Intn(len(x))
-			}
-			f.trees[t] = f.grow(x, y, idx, mtry, 0, rng)
-		}(t)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > f.cfg.Trees {
+		workers = f.cfg.Trees
 	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			idx := make([]int, len(x))
+			for t := range work {
+				rng := rand.New(rand.NewSource(f.cfg.Seed + int64(t)*104729))
+				for i := range idx {
+					idx[i] = rng.Intn(len(x))
+				}
+				f.trees[t] = f.grow(x, y, idx, mtry, 0, rng)
+			}
+		}()
+	}
+	for t := 0; t < f.cfg.Trees; t++ {
+		work <- t
+	}
+	close(work)
 	wg.Wait()
 	return nil
 }
@@ -235,6 +253,102 @@ func (f *Forest) Predict(x []float64) (int, error) {
 		}
 	}
 	return best, nil
+}
+
+// Scores returns the fraction of trees voting for each class, one row per
+// sample. Trees vote over the whole batch in parallel: each worker owns a
+// private vote grid and walks a contiguous range of trees, and the grids
+// are reduced in worker order, so the tallies (and the argmax tie-breaks)
+// are identical to a serial vote.
+func (f *Forest) Scores(x *linalg.Matrix) (*linalg.Matrix, error) {
+	votes, err := f.voteBatch(x)
+	if err != nil {
+		return nil, err
+	}
+	inv := 1 / float64(len(f.trees))
+	for i, v := range votes.Data {
+		votes.Data[i] = v * inv
+	}
+	return votes, nil
+}
+
+// PredictBatch majority-votes the trees over every row of x.
+func (f *Forest) PredictBatch(x *linalg.Matrix) ([]int, error) {
+	votes, err := f.voteBatch(x)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, votes.Rows)
+	for i := range out {
+		row := votes.Row(i)
+		best := 0
+		for c, n := range row {
+			if n > row[best] {
+				best = c
+			}
+		}
+		out[i] = best
+	}
+	return out, nil
+}
+
+// voteBatch tallies per-sample, per-class tree votes for a feature batch.
+func (f *Forest) voteBatch(x *linalg.Matrix) (*linalg.Matrix, error) {
+	if f.trees == nil {
+		return nil, fmt.Errorf("forest: model not fitted")
+	}
+	if x.Cols != f.dim {
+		return nil, fmt.Errorf("forest: feature dim %d, model expects %d", x.Cols, f.dim)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(f.trees) {
+		workers = len(f.trees)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	grids := make([]*linalg.Matrix, workers)
+	chunk := (len(f.trees) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(f.trees) {
+			grids[w] = nil
+			continue
+		}
+		hi := lo + chunk
+		if hi > len(f.trees) {
+			hi = len(f.trees)
+		}
+		grids[w] = linalg.NewMatrix(x.Rows, f.cfg.Classes)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			// Row views hoisted out of the hot loop; samples stay outermost
+			// so each feature row is walked by every tree while hot.
+			gRows := grids[w].RowSlices()
+			xRows := x.RowSlices()
+			trees := f.trees[lo:hi]
+			for i, row := range xRows {
+				g := gRows[i]
+				for _, t := range trees {
+					g[classify(t, row)]++
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	votes := linalg.NewMatrix(x.Rows, f.cfg.Classes)
+	for _, g := range grids {
+		if g == nil {
+			continue
+		}
+		for i, v := range g.Data {
+			votes.Data[i] += v
+		}
+	}
+	return votes, nil
 }
 
 // classify walks one tree.

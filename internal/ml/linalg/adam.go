@@ -58,6 +58,38 @@ func (a *Adam) Step(params, grads []float64) {
 	}
 }
 
+// StepSum applies one Adam update from sharded gradients: the effective
+// gradient is scale·Σ parts[w][i], summed in shard order. It fuses the
+// reduce, the 1/batch scaling, and the moment update into a single pass,
+// replacing the Zero/Axpy/Scale/Step sequence minibatch loops used to run —
+// and produces bit-identical results to that sequence, since the shard-order
+// sum and the scale multiply happen in the same order.
+func (a *Adam) StepSum(params []float64, parts [][]float64, scale float64) {
+	if len(params) != len(a.m) {
+		panic(fmt.Sprintf("linalg: adam size mismatch: state %d, params %d", len(a.m), len(params)))
+	}
+	for w, p := range parts {
+		if len(p) != len(a.m) {
+			panic(fmt.Sprintf("linalg: adam size mismatch: state %d, grad shard %d has %d", len(a.m), w, len(p)))
+		}
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.beta2, float64(a.t))
+	for i := range params {
+		var g float64
+		for _, p := range parts {
+			g += p[i]
+		}
+		g *= scale
+		a.m[i] = a.beta1*a.m[i] + (1-a.beta1)*g
+		a.v[i] = a.beta2*a.v[i] + (1-a.beta2)*g*g
+		mHat := a.m[i] / c1
+		vHat := a.v[i] / c2
+		params[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.eps)
+	}
+}
+
 // Reset clears the moment estimates and step count, keeping the size.
 func (a *Adam) Reset() {
 	Zero(a.m)

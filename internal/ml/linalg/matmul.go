@@ -1,0 +1,187 @@
+package linalg
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Batch matrix kernels. Every product below is blocked over the inner
+// dimension for cache locality and fans rows out over GOMAXPROCS
+// goroutines once the work is large enough to amortize the scheduling;
+// small products run serially. The inner accumulation always walks the
+// shared dimension in ascending order, so parallel results are
+// bit-identical to the serial path regardless of worker count.
+
+const (
+	// parallelFlops is the approximate multiply-add count below which a
+	// product runs serially; goroutine fan-out costs more than it saves
+	// under this size.
+	parallelFlops = 64 * 1024
+	// blockK is the inner-dimension tile: one A-row tile plus the touched
+	// B rows stay resident in L1/L2 while a C row accumulates.
+	blockK = 256
+)
+
+// FromRows builds a matrix whose rows copy the given slices. All rows must
+// share one length.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("linalg: no rows")
+	}
+	cols := len(rows[0])
+	if cols == 0 {
+		return nil, fmt.Errorf("linalg: zero-width rows")
+	}
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("linalg: row %d has %d cols, want %d", i, len(r), cols)
+		}
+		copy(m.Row(i), r)
+	}
+	return m, nil
+}
+
+// RowSlices returns every row as a shared view; mutating a slice mutates
+// the matrix.
+func (m *Matrix) RowSlices() [][]float64 {
+	out := make([][]float64, m.Rows)
+	for i := range out {
+		out[i] = m.Row(i)
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// parallelRows partitions [0, rows) into contiguous chunks and runs fn on
+// each chunk concurrently. flops gates the fan-out: below parallelFlops
+// everything runs on the calling goroutine.
+func parallelRows(rows, flops int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 || flops < parallelFlops {
+		fn(0, rows)
+		return
+	}
+	chunk := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMul returns C = A·B. Shapes: (n×k)·(k×m) → n×m.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewMatrix(a.Rows, b.Cols)
+	parallelRows(a.Rows, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			aRow := a.Row(i)
+			cRow := c.Row(i)
+			// i-k-j with k tiling: every access walks rows of B, so the
+			// whole product streams cache lines forward.
+			for k0 := 0; k0 < a.Cols; k0 += blockK {
+				k1 := k0 + blockK
+				if k1 > a.Cols {
+					k1 = a.Cols
+				}
+				for k := k0; k < k1; k++ {
+					Axpy(cRow, b.Row(k), aRow[k])
+				}
+			}
+		}
+	})
+	return c
+}
+
+// MatMulT returns C = A·Bᵀ. Shapes: (n×k)·(m×k)ᵀ → n×m. Both operands are
+// traversed along rows, the cache-ideal layout for row-major storage.
+func MatMulT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: matmulT shape mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewMatrix(a.Rows, b.Rows)
+	parallelRows(a.Rows, a.Rows*a.Cols*b.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			aRow := a.Row(i)
+			cRow := c.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				cRow[j] = Dot(aRow, b.Row(j))
+			}
+		}
+	})
+	return c
+}
+
+// AffineT returns C = A·Wᵀ + bias, the batched affine layer: row i of C is
+// W·a_i + bias. len(bias) must equal w.Rows. Each cell computes the full
+// dot product first and adds the bias with one final add — exactly the
+// serial per-sample form bias + Dot(w, x) — so batch and single-sample
+// forwards agree bit for bit.
+func AffineT(a, w *Matrix, bias []float64) *Matrix {
+	if a.Cols != w.Cols {
+		panic(fmt.Sprintf("linalg: affineT shape mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, w.Rows, w.Cols))
+	}
+	if len(bias) != w.Rows {
+		panic(fmt.Sprintf("linalg: affineT bias length %d, want %d", len(bias), w.Rows))
+	}
+	c := NewMatrix(a.Rows, w.Rows)
+	parallelRows(a.Rows, a.Rows*a.Cols*w.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			aRow := a.Row(i)
+			cRow := c.Row(i)
+			for j := 0; j < w.Rows; j++ {
+				cRow[j] = bias[j] + Dot(w.Row(j), aRow)
+			}
+		}
+	})
+	return c
+}
+
+// ReLURows clamps every element of m to [0, ∞) in place.
+func ReLURows(m *Matrix) {
+	for i, v := range m.Data {
+		if v < 0 {
+			m.Data[i] = 0
+		}
+	}
+}
+
+// SoftmaxRows applies the softmax row-wise in place.
+func SoftmaxRows(m *Matrix) {
+	parallelRows(m.Rows, m.Rows*m.Cols*8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Row(i)
+			Softmax(row, row)
+		}
+	})
+}
+
+// ArgMaxRows returns the per-row argmax (first index on ties).
+func ArgMaxRows(m *Matrix) []int {
+	out := make([]int, m.Rows)
+	for i := range out {
+		out[i] = ArgMax(m.Row(i))
+	}
+	return out
+}

@@ -6,15 +6,27 @@ package ml
 import (
 	"fmt"
 	"sort"
+
+	"elevprivacy/internal/ml/linalg"
 )
 
-// Classifier is a multi-class model over dense feature vectors.
+// Classifier is a multi-class model over dense feature vectors. The batch
+// methods are the serving contract: implementations evaluate whole feature
+// matrices natively (matrix kernels, parallel tree votes) rather than
+// looping over Predict, and must return exactly the labels the per-sample
+// path would.
 type Classifier interface {
 	// Fit trains on features X (n×d) with integer class labels y in
 	// [0, classes). Implementations may be re-fit to warm-start.
 	Fit(x [][]float64, y []int) error
 	// Predict returns the most likely class for one feature vector.
 	Predict(x []float64) (int, error)
+	// PredictBatch returns the most likely class for every row of x.
+	PredictBatch(x *linalg.Matrix) ([]int, error)
+	// Scores returns one row of per-class scores for every row of x.
+	// The score scale is model-specific (margins, vote fractions, or
+	// probabilities); the row argmax is always the predicted class.
+	Scores(x *linalg.Matrix) (*linalg.Matrix, error)
 }
 
 // ValidateTrainingSet performs the shape checks every classifier needs:

@@ -1,0 +1,69 @@
+package mlp
+
+import (
+	"testing"
+
+	"elevprivacy/internal/ml/linalg"
+)
+
+// TestPredictBatchMatchesPredict pins the batch contract: the matrix
+// forward (AffineT → ReLURows → AffineT → SoftmaxRows) must be
+// bit-identical to the per-sample forward on every row.
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	x, y := blobs([][]float64{{0, 0}, {4, 0}, {0, 4}}, 20, 0.6, 7)
+	m, err := New(testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+
+	xm, err := linalg.FromRows(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := m.PredictBatch(xm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := m.Scores(xm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		want, err := m.Predict(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i] != want {
+			t.Errorf("sample %d: batch %d, serial %d", i, batch[i], want)
+		}
+		probs, err := m.Probabilities(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, p := range probs {
+			if scores.At(i, k) != p {
+				t.Errorf("sample %d prob %d: batch %g, serial %g", i, k, scores.At(i, k), p)
+			}
+		}
+	}
+}
+
+func TestPredictBatchValidation(t *testing.T) {
+	m, err := New(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.PredictBatch(linalg.NewMatrix(1, 1)); err == nil {
+		t.Error("batch predict before fit accepted")
+	}
+	x, y := blobs([][]float64{{0}, {3}}, 6, 0.3, 8)
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.PredictBatch(linalg.NewMatrix(2, 4)); err == nil {
+		t.Error("wrong-dim batch accepted")
+	}
+}

@@ -1,0 +1,56 @@
+package mlp
+
+import (
+	"testing"
+
+	"elevprivacy/internal/ml/linalg"
+)
+
+func benchFitted(b *testing.B, n int) (*MLP, [][]float64, *linalg.Matrix) {
+	b.Helper()
+	centers := [][]float64{make([]float64, 128), make([]float64, 128), make([]float64, 128)}
+	for c, center := range centers {
+		for d := c * 40; d < c*40+40; d++ {
+			center[d] = 1
+		}
+	}
+	x, y := blobs(centers, n/3, 0.3, 1)
+	cfg := testConfig(3)
+	cfg.Epochs = 10
+	m, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Fit(x, y); err != nil {
+		b.Fatal(err)
+	}
+	xm, err := linalg.FromRows(x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, x, xm
+}
+
+func BenchmarkPredictLoop(b *testing.B) {
+	m, x, _ := benchFitted(b, 240)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range x {
+			if _, err := m.Predict(x[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkPredictBatch(b *testing.B) {
+	m, _, xm := benchFitted(b, 240)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.PredictBatch(xm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

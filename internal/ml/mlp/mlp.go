@@ -134,8 +134,8 @@ func (m *MLP) Fit(x [][]float64, y []int) error {
 			for _, i := range order[start:end] {
 				m.backward(x[i], y[i], grads, scratch)
 			}
-			linalg.Scale(grads, 1/float64(end-start))
-			m.adam.Step(m.params, grads)
+			// Fused scale + update (identical numbers to Scale then Step).
+			m.adam.StepSum(m.params, [][]float64{grads}, 1/float64(end-start))
 		}
 	}
 	return nil
@@ -225,6 +225,44 @@ func (m *MLP) Probabilities(x []float64) ([]float64, error) {
 	out := make([]float64, len(s.probs))
 	copy(out, s.probs)
 	return out, nil
+}
+
+// weight1 and weight2 view the flat parameter vector as the two layer
+// matrices (shared storage, no copies).
+func (m *MLP) weight1() *linalg.Matrix {
+	return &linalg.Matrix{Rows: m.cfg.Hidden, Cols: m.dim, Data: m.params[m.w1:m.b1]}
+}
+
+func (m *MLP) weight2() *linalg.Matrix {
+	return &linalg.Matrix{Rows: m.cfg.Classes, Cols: m.cfg.Hidden, Data: m.params[m.w2:m.b2]}
+}
+
+// Scores runs the whole feature batch through the network as two affine
+// matrix kernels — H = ReLU(X·W1ᵀ + b1), P = softmax(H·W2ᵀ + b2) — and
+// returns the n×Classes probability matrix. Row i equals Probabilities of
+// row i bit for bit: both paths compute bias + Dot(w, x) per unit.
+func (m *MLP) Scores(x *linalg.Matrix) (*linalg.Matrix, error) {
+	if m.params == nil {
+		return nil, fmt.Errorf("mlp: model not fitted")
+	}
+	if x.Cols != m.dim {
+		return nil, fmt.Errorf("mlp: feature dim %d, model expects %d", x.Cols, m.dim)
+	}
+	hidden := linalg.AffineT(x, m.weight1(), m.params[m.b1:m.w2])
+	linalg.ReLURows(hidden)
+	logits := linalg.AffineT(hidden, m.weight2(), m.params[m.b2:])
+	linalg.SoftmaxRows(logits)
+	return logits, nil
+}
+
+// PredictBatch returns the most probable class for every row of x via the
+// batched forward pass.
+func (m *MLP) PredictBatch(x *linalg.Matrix) ([]int, error) {
+	probs, err := m.Scores(x)
+	if err != nil {
+		return nil, err
+	}
+	return linalg.ArgMaxRows(probs), nil
 }
 
 // savedConfig is the persisted MLP description: the architecture plus the

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"elevprivacy/internal/ml/linalg"
 )
 
 // Model persistence: a tiny container format shared by the classifiers.
@@ -63,6 +65,29 @@ func WriteModel(w io.Writer, h Header, blocks ...[]float64) error {
 		}
 	}
 	return nil
+}
+
+// RowBlocks exposes a matrix as per-row parameter blocks (shared views, not
+// copies) for WriteModel, keeping the on-disk layout of models that
+// historically saved one block per row.
+func RowBlocks(m *linalg.Matrix) [][]float64 {
+	return m.RowSlices()
+}
+
+// MatrixFromBlocks reassembles row blocks read by ReadModel into a matrix,
+// validating that every block has the expected width.
+func MatrixFromBlocks(blocks [][]float64, cols int) (*linalg.Matrix, error) {
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("ml: no blocks")
+	}
+	m := linalg.NewMatrix(len(blocks), cols)
+	for i, b := range blocks {
+		if len(b) != cols {
+			return nil, fmt.Errorf("ml: block %d has %d values, want %d", i, len(b), cols)
+		}
+		copy(m.Row(i), b)
+	}
+	return m, nil
 }
 
 // maxBlockLen bounds a parameter block read from disk (64M values = 512 MB),

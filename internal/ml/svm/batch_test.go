@@ -1,0 +1,69 @@
+package svm
+
+import (
+	"testing"
+
+	"elevprivacy/internal/ml/linalg"
+)
+
+// TestPredictBatchMatchesPredict pins the batch contract: one PredictBatch
+// call over the matrix must agree with per-sample Predict on every row, and
+// each Scores row must be bit-identical to DecisionValues.
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	x, y := gaussianBlobs([][]float64{{0, 0}, {6, 0}, {0, 6}}, 25, 0.8, 7)
+	clf, err := New(DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clf.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+
+	xm, err := linalg.FromRows(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := clf.PredictBatch(xm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := clf.Scores(xm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		want, err := clf.Predict(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i] != want {
+			t.Errorf("sample %d: batch %d, serial %d", i, batch[i], want)
+		}
+		dv, err := clf.DecisionValues(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range dv {
+			if scores.At(i, k) != v {
+				t.Errorf("sample %d score %d: batch %g, serial %g", i, k, scores.At(i, k), v)
+			}
+		}
+	}
+}
+
+func TestPredictBatchValidation(t *testing.T) {
+	clf, err := New(DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clf.PredictBatch(linalg.NewMatrix(1, 1)); err == nil {
+		t.Error("batch predict before fit accepted")
+	}
+	x, y := gaussianBlobs([][]float64{{0, 0}, {5, 5}}, 8, 0.3, 8)
+	if err := clf.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clf.PredictBatch(linalg.NewMatrix(2, 5)); err == nil {
+		t.Error("wrong-dim batch accepted")
+	}
+}

@@ -1,0 +1,58 @@
+package svm
+
+import (
+	"testing"
+
+	"elevprivacy/internal/ml/linalg"
+)
+
+// benchFitted trains a classifier on a BoW-sized problem (512 features,
+// the text-attack vocabulary size) for the inference benchmarks.
+func benchFitted(b *testing.B, n int) (*SVM, [][]float64, *linalg.Matrix) {
+	b.Helper()
+	centers := make([][]float64, 4)
+	for c := range centers {
+		center := make([]float64, 512)
+		for d := c * 128; d < (c+1)*128; d++ {
+			center[d] = 1
+		}
+		centers[c] = center
+	}
+	x, y := gaussianBlobs(centers, n/4, 0.2, 1)
+	clf, err := New(DefaultConfig(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := clf.Fit(x, y); err != nil {
+		b.Fatal(err)
+	}
+	xm, err := linalg.FromRows(x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return clf, x, xm
+}
+
+func BenchmarkPredictLoop(b *testing.B) {
+	clf, x, _ := benchFitted(b, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range x {
+			if _, err := clf.Predict(x[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkPredictBatch(b *testing.B) {
+	clf, _, xm := benchFitted(b, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := clf.PredictBatch(xm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -47,8 +47,10 @@ func DefaultConfig(classes int) Config {
 type SVM struct {
 	cfg Config
 	dim int
-	// w[c] and b[c] are the hyperplane of the class-c-vs-rest problem.
-	w [][]float64
+	// w row c and b[c] are the hyperplane of the class-c-vs-rest problem;
+	// keeping all hyperplanes in one Classes×dim matrix makes batch
+	// scoring a single affine kernel.
+	w *linalg.Matrix
 	b []float64
 }
 
@@ -80,7 +82,7 @@ func (s *SVM) Fit(x [][]float64, y []int) error {
 	if s.cfg.NormalizeL2 {
 		x = normalizeAll(x)
 	}
-	s.w = make([][]float64, s.cfg.Classes)
+	s.w = linalg.NewMatrix(s.cfg.Classes, dim)
 	s.b = make([]float64, s.cfg.Classes)
 
 	var wg sync.WaitGroup
@@ -88,17 +90,18 @@ func (s *SVM) Fit(x [][]float64, y []int) error {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			s.w[c], s.b[c] = s.fitBinary(x, y, c)
+			s.b[c] = s.fitBinary(x, y, c, s.w.Row(c))
 		}(c)
 	}
 	wg.Wait()
 	return nil
 }
 
-// fitBinary runs averaged Pegasos for the class-c-vs-rest problem: the
+// fitBinary runs averaged Pegasos for the class-c-vs-rest problem, writing
+// the averaged weight vector into wOut and returning the intercept: the
 // returned hyperplane is the average of the iterates over the second half
 // of training, which substantially stabilizes the stochastic solution.
-func (s *SVM) fitBinary(x [][]float64, y []int, c int) ([]float64, float64) {
+func (s *SVM) fitBinary(x [][]float64, y []int, c int, wOut []float64) float64 {
 	rng := rand.New(rand.NewSource(s.cfg.Seed + int64(c)*7919))
 	w := make([]float64, s.dim)
 	avgW := make([]float64, s.dim)
@@ -131,9 +134,11 @@ func (s *SVM) fitBinary(x [][]float64, y []int, c int) ([]float64, float64) {
 	}
 	if averaged > 0 {
 		linalg.Scale(avgW, 1/float64(averaged))
-		return avgW, avgB / float64(averaged)
+		copy(wOut, avgW)
+		return avgB / float64(averaged)
 	}
-	return w, b
+	copy(wOut, w)
+	return b
 }
 
 // Predict returns the class with the largest decision value.
@@ -158,9 +163,34 @@ func (s *SVM) DecisionValues(x []float64) ([]float64, error) {
 	}
 	scores := make([]float64, s.cfg.Classes)
 	for c := range scores {
-		scores[c] = linalg.Dot(s.w[c], x) + s.b[c]
+		scores[c] = s.b[c] + linalg.Dot(s.w.Row(c), x)
 	}
 	return scores, nil
+}
+
+// Scores computes the decision-value matrix for a feature batch in one
+// affine kernel: row i holds the per-class hyperplane scores of sample i.
+func (s *SVM) Scores(x *linalg.Matrix) (*linalg.Matrix, error) {
+	if s.w == nil {
+		return nil, fmt.Errorf("svm: model not fitted")
+	}
+	if x.Cols != s.dim {
+		return nil, fmt.Errorf("svm: feature dim %d, model expects %d", x.Cols, s.dim)
+	}
+	if s.cfg.NormalizeL2 {
+		x = normalizedMatrix(x)
+	}
+	return linalg.AffineT(x, s.w, s.b), nil
+}
+
+// PredictBatch returns the predicted class for every row of x, scoring the
+// whole batch natively through the matrix kernel.
+func (s *SVM) PredictBatch(x *linalg.Matrix) ([]int, error) {
+	scores, err := s.Scores(x)
+	if err != nil {
+		return nil, err
+	}
+	return linalg.ArgMaxRows(scores), nil
 }
 
 // normalized returns x scaled to unit L2 norm (copies; zero vectors pass
@@ -186,6 +216,25 @@ func normalizeAll(x [][]float64) [][]float64 {
 	return out
 }
 
+// normalizedMatrix returns a copy of m with unit-L2 rows (zero rows pass
+// through unchanged), written in a single pass per row.
+func normalizedMatrix(m *linalg.Matrix) *linalg.Matrix {
+	out := linalg.NewMatrix(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		src := m.Row(i)
+		dst := out.Row(i)
+		n := linalg.Norm2(src)
+		if n == 0 {
+			copy(dst, src)
+			continue
+		}
+		for j, v := range src {
+			dst[j] = v / n
+		}
+	}
+	return out
+}
+
 // savedConfig is the persisted SVM description.
 type savedConfig struct {
 	Config Config `json:"config"`
@@ -203,7 +252,7 @@ func (s *SVM) Save(w io.Writer) error {
 		return fmt.Errorf("svm: marshaling config: %w", err)
 	}
 	blocks := make([][]float64, 0, s.cfg.Classes+1)
-	blocks = append(blocks, s.w...)
+	blocks = append(blocks, ml.RowBlocks(s.w)...)
 	blocks = append(blocks, s.b)
 	return ml.WriteModel(w, ml.Header{Kind: "svm", Config: cfgJSON}, blocks...)
 }
@@ -229,13 +278,11 @@ func Load(r io.Reader) (*SVM, error) {
 		return nil, fmt.Errorf("svm: %d blocks for %d classes", len(blocks), sc.Config.Classes)
 	}
 	s.dim = sc.Dim
-	s.w = make([][]float64, sc.Config.Classes)
-	for c := 0; c < sc.Config.Classes; c++ {
-		if len(blocks[c]) != sc.Dim {
-			return nil, fmt.Errorf("svm: class %d weights have dim %d, want %d", c, len(blocks[c]), sc.Dim)
-		}
-		s.w[c] = blocks[c]
+	w, err := ml.MatrixFromBlocks(blocks[:sc.Config.Classes], sc.Dim)
+	if err != nil {
+		return nil, fmt.Errorf("svm: weights: %w", err)
 	}
+	s.w = w
 	b := blocks[sc.Config.Classes]
 	if len(b) != sc.Config.Classes {
 		return nil, fmt.Errorf("svm: intercept block has %d values, want %d", len(b), sc.Config.Classes)

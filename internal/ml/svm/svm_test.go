@@ -162,11 +162,9 @@ func TestDeterministicTraining(t *testing.T) {
 	if err := b.Fit(x, y); err != nil {
 		t.Fatal(err)
 	}
-	for c := range a.w {
-		for d := range a.w[c] {
-			if a.w[c][d] != b.w[c][d] {
-				t.Fatal("same-seed training diverges (parallelism nondeterminism?)")
-			}
+	for i, v := range a.w.Data {
+		if v != b.w.Data[i] {
+			t.Fatal("same-seed training diverges (parallelism nondeterminism?)")
 		}
 	}
 }

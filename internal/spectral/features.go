@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"elevprivacy/internal/imagerep"
+	"elevprivacy/internal/ml/linalg"
 )
 
 // FeatureConfig controls spectral feature extraction.
@@ -123,15 +124,22 @@ func stats(signal []float64) []float64 {
 	return []float64{mean, math.Sqrt(variance), gain}
 }
 
-// FeaturesAll extracts features for a batch of signals.
-func FeaturesAll(signals [][]float64, cfg FeatureConfig) ([][]float64, error) {
-	out := make([][]float64, len(signals))
+// FeaturesAll extracts features for a batch of signals as one dense
+// feature matrix, ready for the batch classifier contract.
+func FeaturesAll(signals [][]float64, cfg FeatureConfig) (*linalg.Matrix, error) {
+	if len(signals) == 0 {
+		return nil, fmt.Errorf("spectral: empty batch")
+	}
+	var out *linalg.Matrix
 	for i, sig := range signals {
 		f, err := Features(sig, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("spectral: signal %d: %w", i, err)
 		}
-		out[i] = f
+		if out == nil {
+			out = linalg.NewMatrix(len(signals), len(f))
+		}
+		copy(out.Row(i), f)
 	}
 	return out, nil
 }

@@ -216,11 +216,17 @@ func TestFeaturesAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(fs) != 2 {
-		t.Fatalf("len = %d", len(fs))
+	if fs.Rows != 2 {
+		t.Fatalf("rows = %d", fs.Rows)
+	}
+	if fs.Cols != DefaultFeatureConfig().Bands {
+		t.Fatalf("cols = %d", fs.Cols)
 	}
 	if _, err := FeaturesAll([][]float64{{1}, nil}, DefaultFeatureConfig()); err == nil {
 		t.Error("batch with empty signal accepted")
+	}
+	if _, err := FeaturesAll(nil, DefaultFeatureConfig()); err == nil {
+		t.Error("empty batch accepted")
 	}
 }
 

@@ -3,6 +3,8 @@ package textrep
 import (
 	"encoding/json"
 	"fmt"
+
+	"elevprivacy/internal/ml/linalg"
 )
 
 // Pipeline bundles the full text-like preprocessing chain — discretize,
@@ -87,11 +89,13 @@ func (p *Pipeline) Features(signal []float64) []float64 {
 	return p.vocab.Vectorize(p.encoder.Encode(signal))
 }
 
-// FeaturesAll converts a batch of signals.
-func (p *Pipeline) FeaturesAll(signals [][]float64) [][]float64 {
-	out := make([][]float64, len(signals))
+// FeaturesAll converts a batch of signals into one dense n×Dim feature
+// matrix, each sample vectorized straight into its row — the shape the
+// batch classifier contract consumes.
+func (p *Pipeline) FeaturesAll(signals [][]float64) *linalg.Matrix {
+	out := linalg.NewMatrix(len(signals), p.vocab.Size())
 	for i, sig := range signals {
-		out[i] = p.Features(sig)
+		p.vocab.VectorizeInto(p.encoder.Encode(sig), out.Row(i))
 	}
 	return out
 }

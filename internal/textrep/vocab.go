@@ -116,8 +116,17 @@ func (v *Vocabulary) Grams() []string { return v.grams }
 // vector to sum 1 so each feature is an occurrence probability.
 func (v *Vocabulary) Vectorize(text string) []float64 {
 	vec := make([]float64, len(v.grams))
+	v.VectorizeInto(text, vec)
+	return vec
+}
+
+// VectorizeInto vectorizes text into dst (len = Size()), which must be
+// zeroed; it lets batch callers fill rows of a preallocated matrix without
+// per-sample allocations.
+func (v *Vocabulary) VectorizeInto(text string, dst []float64) {
+	vec := dst
 	if len(text) == 0 {
-		return vec
+		return
 	}
 	var total float64
 	for n := v.minN; n <= v.maxN; n++ {
@@ -138,7 +147,6 @@ func (v *Vocabulary) Vectorize(text string) []float64 {
 			vec[i] /= total
 		}
 	}
-	return vec
 }
 
 // VectorizeAll vectorizes every text.

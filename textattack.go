@@ -121,7 +121,7 @@ func TrainTextAttack(d *Dataset, cfg TextAttackConfig) (*TextAttack, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := model.Fit(pipe.FeaturesAll(signals), y); err != nil {
+	if err := model.Fit(pipe.FeaturesAll(signals).RowSlices(), y); err != nil {
 		return nil, fmt.Errorf("elevprivacy: training: %w", err)
 	}
 	return &TextAttack{pipeline: pipe, labels: enc, model: model}, nil
@@ -137,6 +137,32 @@ func (a *TextAttack) PredictLocation(elevations []float64) (string, error) {
 		return "", err
 	}
 	return a.labels.Decode(idx)
+}
+
+// PredictLocations infers the location label for a batch of elevation
+// profiles in one pass: the profiles are featurized into a dense matrix
+// and scored with a single PredictBatch call, the serving-path shape for
+// high-traffic inference.
+func (a *TextAttack) PredictLocations(profiles [][]float64) ([]string, error) {
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("elevprivacy: empty batch")
+	}
+	for i, p := range profiles {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("elevprivacy: empty elevation profile %d", i)
+		}
+	}
+	preds, err := a.model.PredictBatch(a.pipeline.FeaturesAll(profiles))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(preds))
+	for i, idx := range preds {
+		if out[i], err = a.labels.Decode(idx); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // Labels returns the class names the attack can predict.
