@@ -18,10 +18,11 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-## check is the full gate: the tier-1 build/vet/test sequence plus the race
-## detector over every package (the batch kernels, the forest pool, and the
-## concurrent k-fold all fan out goroutines). The raised timeout covers the
-## race detector's ~10-20x slowdown on the experiment suites.
+## check is the full gate, run by CI on every PR (.github/workflows/ci.yml):
+## the tier-1 build/vet/test sequence plus the race detector over every
+## package (the batch kernels, the forest pool, the concurrent k-fold, and
+## the httpx/miner concurrency all fan out goroutines). The raised timeout
+## covers the race detector's ~10-20x slowdown on the experiment suites.
 check: build vet test
 	$(GO) test -race -timeout 45m ./...
 

@@ -4,10 +4,17 @@
 // sweeps each city boundary with the grid miner and reports what it
 // recovered.
 //
+// Both service clients run through the internal/httpx resilience layer
+// (per-attempt timeouts, bounded retries with backoff, optional rate limit),
+// and -faultrate injects a seeded schedule of transient 503s at the
+// transport seam to demonstrate the sweep shrugging them off.
+//
 // Usage:
 //
 //	elevmine                       # mine every city at laptop scale
 //	elevmine -city SF -grid 12     # one city, finer grid
+//	elevmine -workers 16           # wider concurrent sweep
+//	elevmine -faultrate 0.2        # flaky network demo (same output)
 //	elevmine -serve :8080,:8081    # keep both services listening instead
 package main
 
@@ -25,6 +32,7 @@ import (
 	"elevprivacy/internal/dem"
 	"elevprivacy/internal/elevsvc"
 	"elevprivacy/internal/geo"
+	"elevprivacy/internal/httpx"
 	"elevprivacy/internal/segments"
 	"elevprivacy/internal/terrain"
 )
@@ -68,12 +76,15 @@ func (ws *worldSource) ElevationAt(p geo.LatLng) (float64, error) {
 
 func run() error {
 	var (
-		cityFlag = flag.String("city", "", "mine a single city (name or abbreviation; default all)")
-		perCity  = flag.Int("segments", 120, "synthetic segments created per city")
-		grid     = flag.Int("grid", 8, "miner grid divisions per side")
-		samples  = flag.Int("samples", 100, "elevation samples per profile")
-		seed     = flag.Int64("seed", 1, "random seed")
-		serve    = flag.String("serve", "", "comma-separated listen addrs for segment,elevation services (keeps serving)")
+		cityFlag  = flag.String("city", "", "mine a single city (name or abbreviation; default all)")
+		perCity   = flag.Int("segments", 120, "synthetic segments created per city")
+		grid      = flag.Int("grid", 8, "miner grid divisions per side")
+		samples   = flag.Int("samples", 100, "elevation samples per profile")
+		seed      = flag.Int64("seed", 1, "random seed")
+		workers   = flag.Int("workers", segments.DefaultWorkers, "concurrent service calls per sweep phase")
+		rps       = flag.Float64("rps", 0, "client-side rate limit in requests/sec per service (0 = unlimited)")
+		faultRate = flag.Float64("faultrate", 0, "inject transient 503s at this probability per request (seeded)")
+		serve     = flag.String("serve", "", "comma-separated listen addrs for segment,elevation services (keeps serving)")
 	)
 	flag.Parse()
 
@@ -125,30 +136,75 @@ func run() error {
 	}()
 
 	miner := segments.NewMiner(
-		segments.NewClient(segURL, nil),
-		elevsvc.NewClient(elevURL, nil),
+		segments.NewClient(segURL, resilientClient(*rps, *faultRate, *seed)),
+		elevsvc.NewClient(elevURL, resilientClient(*rps, *faultRate, *seed+1)),
 	)
 	miner.GridRows = *grid
 	miner.GridCols = *grid
 	miner.Samples = *samples
+	miner.Workers = *workers
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
 
-	var total int
+	classes := make(map[string]geo.BBox, len(cities))
 	for _, c := range cities {
-		start := time.Now()
-		mined, err := miner.MineBoundary(ctx, c.Name, c.Bounds)
-		if err != nil {
-			return fmt.Errorf("mining %s: %w", c.Name, err)
-		}
-		total += len(mined)
-		fmt.Printf("%-18s mined %4d/%d segments in %v\n",
-			c.Name, len(mined), *perCity, time.Since(start).Round(time.Millisecond))
+		classes[c.Name] = c.Bounds
 	}
-	fmt.Printf("total mined: %d segments (grid %dx%d, top-%d per cell)\n",
-		total, *grid, *grid, segments.ExploreLimit)
+	start := time.Now()
+	mined, sweepErr := miner.MineClassesPartial(ctx, classes)
+	elapsed := time.Since(start).Round(time.Millisecond)
+
+	perLabel := make(map[string]int, len(classes))
+	for _, ms := range mined {
+		perLabel[ms.Label]++
+	}
+	for _, c := range cities {
+		fmt.Printf("%-18s mined %4d/%d segments\n", c.Name, perLabel[c.Name], *perCity)
+	}
+	fmt.Printf("total mined: %d segments in %v (grid %dx%d, top-%d per cell, %d workers)\n",
+		len(mined), elapsed, *grid, *grid, segments.ExploreLimit, *workers)
+	if sweepErr != nil {
+		for _, ce := range sweepErr.PerClass {
+			fmt.Fprintf(os.Stderr, "elevmine: class %s failed: %v\n", ce.Label, ce.Err)
+		}
+		return fmt.Errorf("%d of %d classes failed", len(sweepErr.PerClass), len(classes))
+	}
 	return nil
+}
+
+// resilientClient builds the httpx client a sweep talks through: default
+// retry policy, optional rate limit, and — for the -faultrate demo — a
+// seeded fault-injecting transport underneath, so the output stays
+// identical while the transport misbehaves.
+func resilientClient(rps, faultRate float64, seed int64) *httpx.Client {
+	var transport http.RoundTripper = http.DefaultTransport
+	if faultRate > 0 {
+		ft := httpx.NewFaultTripper(transport)
+		ft.Stub(httpx.MatchAll, httpx.RandomFaults(seed, 1<<16, faultRate, httpx.Fault{
+			Delay:  2 * time.Millisecond,
+			Status: http.StatusServiceUnavailable,
+			Body:   "injected transient fault",
+		})...)
+		transport = ft
+	}
+	opts := []httpx.Option{
+		// 8 attempts keeps even a -faultrate 0.3 schedule's unlucky runs
+		// (p^7 per request) from exhausting the budget mid-demo.
+		httpx.WithPolicy(httpx.Policy{
+			MaxAttempts:       8,
+			PerAttemptTimeout: 10 * time.Second,
+			BaseDelay:         25 * time.Millisecond,
+			MaxDelay:          2 * time.Second,
+			Multiplier:        2,
+			Jitter:            0.2,
+		}),
+		httpx.WithBreaker(httpx.NewBreaker(16, 5*time.Second)),
+	}
+	if rps > 0 {
+		opts = append(opts, httpx.WithLimiter(httpx.NewLimiter(rps, 10)))
+	}
+	return httpx.NewClient(&http.Client{Transport: transport, Timeout: 30 * time.Second}, opts...)
 }
 
 // listen opens a loopback listener and returns its base URL.

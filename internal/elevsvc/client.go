@@ -5,11 +5,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 
 	"elevprivacy/internal/geo"
+	"elevprivacy/internal/httpx"
 )
 
 // Client queries an elevation service over HTTP. It implements the same
@@ -17,14 +20,17 @@ import (
 // plus a sample count, answered with evenly spaced elevations.
 type Client struct {
 	baseURL string
-	httpc   *http.Client
+	httpc   httpx.Doer
 }
 
 // NewClient creates a client for the service at baseURL (no trailing slash
-// required). httpc may be nil to use http.DefaultClient.
-func NewClient(baseURL string, httpc *http.Client) *Client {
+// required). httpc may be a bare *http.Client or an httpx.Client carrying
+// retries and rate limits; nil gets a default httpx.Client with per-attempt
+// timeouts and bounded retries, so a hung server can never block a sweep
+// forever.
+func NewClient(baseURL string, httpc httpx.Doer) *Client {
 	if httpc == nil {
-		httpc = http.DefaultClient
+		httpc = httpx.NewClient(nil)
 	}
 	return &Client{baseURL: baseURL, httpc: httpc}
 }
@@ -103,6 +109,18 @@ func (c *Client) get(ctx context.Context, endpoint string, q url.Values) (*Respo
 		_ = httpResp.Body.Close()
 	}()
 
+	// A proxy or load balancer in front of the service answers errors in
+	// plain text or HTML; decoding those as JSON used to misreport a 502
+	// as "invalid character" noise. Only JSON bodies carry the envelope.
+	if !jsonBody(httpResp) {
+		snippet := bodySnippet(httpResp.Body)
+		return nil, &APIError{
+			Status:   fmt.Sprintf("HTTP_%d", httpResp.StatusCode),
+			Message:  snippet,
+			HTTPCode: httpResp.StatusCode,
+		}
+	}
+
 	var resp Response
 	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
 		return nil, fmt.Errorf("elevsvc: decoding response: %w", err)
@@ -111,4 +129,19 @@ func (c *Client) get(ctx context.Context, endpoint string, q url.Values) (*Respo
 		return nil, &APIError{Status: resp.Status, Message: resp.ErrorMessage, HTTPCode: httpResp.StatusCode}
 	}
 	return &resp, nil
+}
+
+// jsonBody reports whether the response declares a JSON media type.
+func jsonBody(resp *http.Response) bool {
+	mt, _, err := mime.ParseMediaType(resp.Header.Get("Content-Type"))
+	if err != nil {
+		return false
+	}
+	return mt == "application/json" || strings.HasSuffix(mt, "+json")
+}
+
+// bodySnippet reads a bounded prefix of an error body for diagnostics.
+func bodySnippet(r io.Reader) string {
+	b, _ := io.ReadAll(io.LimitReader(r, 256))
+	return strings.TrimSpace(string(b))
 }

@@ -13,6 +13,7 @@ import (
 
 	"elevprivacy/internal/dem"
 	"elevprivacy/internal/geo"
+	"elevprivacy/internal/httpx"
 	"elevprivacy/internal/terrain"
 )
 
@@ -142,6 +143,45 @@ func TestInternalErrorsAreOpaque(t *testing.T) {
 	}
 	if strings.Contains(apiErr.Message, "disk on fire") {
 		t.Error("internal error detail leaked to client")
+	}
+}
+
+// TestNonJSONErrorBodyBecomesAPIError pins the fix for the proxy-error bug:
+// a plain-text 502 used to surface as "decoding response: invalid character
+// ..." instead of an *APIError carrying the HTTP code.
+func TestNonJSONErrorBodyBecomesAPIError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "Bad Gateway: upstream connect error", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+
+	client := NewClient(srv.URL, srv.Client())
+	_, err := client.ElevationAt(context.Background(), geo.LatLng{Lat: 1, Lng: 1})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if apiErr.HTTPCode != http.StatusBadGateway {
+		t.Errorf("http code = %d, want 502", apiErr.HTTPCode)
+	}
+	if apiErr.Status != "HTTP_502" {
+		t.Errorf("status = %q, want HTTP_502", apiErr.Status)
+	}
+	if !strings.Contains(apiErr.Message, "upstream connect error") {
+		t.Errorf("message %q lost the body snippet", apiErr.Message)
+	}
+	if strings.Contains(err.Error(), "invalid character") {
+		t.Errorf("err = %v still reads like a JSON decode failure", err)
+	}
+}
+
+// TestDefaultClientHasTimeout pins the NewClient(nil) contract: the fallback
+// is a resilient client with timeouts, never the timeout-less
+// http.DefaultClient that let a hung server block the miner forever.
+func TestDefaultClientHasTimeout(t *testing.T) {
+	c := NewClient("http://127.0.0.1:0", nil)
+	if _, ok := c.httpc.(*httpx.Client); !ok {
+		t.Fatalf("nil fallback is %T, want *httpx.Client", c.httpc)
 	}
 }
 

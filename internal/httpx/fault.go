@@ -1,0 +1,155 @@
+package httpx
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Fault describes one injected behavior for a single request. The zero
+// Fault is a passthrough (the request proceeds untouched); Delay alone adds
+// latency before forwarding; Err short-circuits with a transport error;
+// Status synthesizes a response without touching the real server.
+type Fault struct {
+	// Delay is injected latency, applied before Err/Status/forwarding and
+	// interruptible by the request context.
+	Delay time.Duration
+	// Err, when non-nil, is returned as a transport-level error.
+	Err error
+	// Status, when non-zero, synthesizes a response with this code.
+	Status int
+	// Body is the synthesized response body.
+	Body string
+	// Header carries extra synthesized headers (e.g. Retry-After).
+	// Content-Type defaults to text/plain, matching what a proxy's error
+	// page would carry.
+	Header http.Header
+}
+
+func (f Fault) passthrough() bool { return f.Err == nil && f.Status == 0 && f.Delay == 0 }
+
+// FaultTripper is an http.RoundTripper that replays fault schedules at the
+// transport seam. Each rule pairs a request matcher with a queue of Faults;
+// every matching request (including retries — each attempt consumes one
+// slot) pops the head of the queue. An exhausted queue passes requests
+// through, so "flaky then recovered" is just a finite schedule.
+type FaultTripper struct {
+	next http.RoundTripper
+
+	mu       sync.Mutex
+	rules    []*faultRule
+	calls    int
+	injected int
+}
+
+type faultRule struct {
+	match func(*http.Request) bool
+	queue []Fault
+}
+
+// NewFaultTripper wraps next (http.DefaultTransport when nil).
+func NewFaultTripper(next http.RoundTripper) *FaultTripper {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &FaultTripper{next: next}
+}
+
+// Stub appends a rule: requests accepted by match consume faults in order.
+// Rules are checked in registration order; the first match with a non-empty
+// queue wins.
+func (f *FaultTripper) Stub(match func(*http.Request) bool, faults ...Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = append(f.rules, &faultRule{match: match, queue: faults})
+}
+
+// MatchPath matches requests whose URL path contains substr. MatchAll
+// matches everything.
+func MatchPath(substr string) func(*http.Request) bool {
+	return func(r *http.Request) bool { return strings.Contains(r.URL.Path, substr) }
+}
+
+// MatchAll matches every request.
+func MatchAll(*http.Request) bool { return true }
+
+// Calls returns how many requests the tripper has seen; Injected how many
+// carried a non-passthrough fault.
+func (f *FaultTripper) Calls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+// Injected returns how many requests carried a non-passthrough fault.
+func (f *FaultTripper) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// RoundTrip implements http.RoundTripper.
+func (f *FaultTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	f.mu.Lock()
+	f.calls++
+	var fault Fault
+	for _, r := range f.rules {
+		if len(r.queue) > 0 && r.match(req) {
+			fault = r.queue[0]
+			r.queue = r.queue[1:]
+			break
+		}
+	}
+	if !fault.passthrough() {
+		f.injected++
+	}
+	f.mu.Unlock()
+
+	if fault.Delay > 0 {
+		if err := sleepContext(req.Context(), fault.Delay); err != nil {
+			return nil, err
+		}
+	}
+	if fault.Err != nil {
+		return nil, fault.Err
+	}
+	if fault.Status != 0 {
+		header := http.Header{}
+		for k, vs := range fault.Header {
+			header[k] = append([]string(nil), vs...)
+		}
+		if header.Get("Content-Type") == "" {
+			header.Set("Content-Type", "text/plain; charset=utf-8")
+		}
+		return &http.Response{
+			Status:        fmt.Sprintf("%d %s", fault.Status, http.StatusText(fault.Status)),
+			StatusCode:    fault.Status,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        header,
+			Body:          io.NopCloser(strings.NewReader(fault.Body)),
+			ContentLength: int64(len(fault.Body)),
+			Request:       req,
+		}, nil
+	}
+	return f.next.RoundTrip(req)
+}
+
+// RandomFaults builds a length-n schedule in which each slot independently
+// carries template with probability p, drawn from a fixed seed — the seeded
+// "flaky network" the acceptance tests replay deterministically.
+func RandomFaults(seed int64, n int, p float64, template Fault) []Fault {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Fault, n)
+	for i := range out {
+		if rng.Float64() < p {
+			out[i] = template
+		}
+	}
+	return out
+}

@@ -1,0 +1,290 @@
+// Package httpx is the resilience layer between the mining pipeline and the
+// remote services it hammers. The paper's Fig. 4 data-collection stage issues
+// one ExploreSegments call per grid cell and one elevation-profile call per
+// segment — thousands of requests per sweep — so every client request goes
+// through a Client that adds per-attempt timeouts, bounded retries with
+// exponential backoff and jitter (honoring Retry-After), an optional
+// token-bucket rate limiter, and an optional circuit breaker, all behind the
+// same Do contract as *http.Client.
+//
+// A FaultTripper (fault.go) injects seeded error/latency/status schedules at
+// the http.RoundTripper seam, so every failure path is testable hermetically
+// against the in-process elevsvc and segments servers.
+package httpx
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Doer is the slice of *http.Client the service clients need. Both
+// *http.Client and *Client satisfy it, so call sites choose their resilience
+// by picking which one they hand to a constructor.
+type Doer interface {
+	Do(req *http.Request) (*http.Response, error)
+}
+
+// Policy bounds the retry loop.
+type Policy struct {
+	// MaxAttempts is the total number of tries, including the first.
+	// Values below 1 behave as 1.
+	MaxAttempts int
+	// PerAttemptTimeout bounds each individual attempt via a derived
+	// context; 0 disables it (the request context still applies).
+	PerAttemptTimeout time.Duration
+	// BaseDelay is the backoff before the first retry; each further retry
+	// multiplies it by Multiplier, capped at MaxDelay.
+	BaseDelay  time.Duration
+	MaxDelay   time.Duration
+	Multiplier float64
+	// Jitter spreads each delay uniformly over [1-Jitter, 1+Jitter] to
+	// decorrelate concurrent workers' retry storms. 0 disables it.
+	Jitter float64
+}
+
+// DefaultPolicy is the policy NewClient starts from: 4 attempts, 10 s per
+// attempt, 100 ms base delay doubling to a 5 s cap, ±20 % jitter.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxAttempts:       4,
+		PerAttemptTimeout: 10 * time.Second,
+		BaseDelay:         100 * time.Millisecond,
+		MaxDelay:          5 * time.Second,
+		Multiplier:        2,
+		Jitter:            0.2,
+	}
+}
+
+// RetryableStatus reports whether an HTTP status is worth retrying:
+// 429 Too Many Requests and every 5xx.
+func RetryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || (code >= 500 && code <= 599)
+}
+
+// Client wraps a Doer with the retry policy, rate limiter and circuit
+// breaker. The zero value is not usable; construct with NewClient.
+type Client struct {
+	base    Doer
+	policy  Policy
+	limiter *Limiter
+	breaker *Breaker
+	sleep   func(context.Context, time.Duration) error
+
+	mu  sync.Mutex
+	rnd *rand.Rand
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithPolicy replaces the default retry policy.
+func WithPolicy(p Policy) Option { return func(c *Client) { c.policy = p } }
+
+// WithLimiter rate-limits attempts (nil means unlimited).
+func WithLimiter(l *Limiter) Option { return func(c *Client) { c.limiter = l } }
+
+// WithBreaker guards attempts with a circuit breaker (nil means none).
+func WithBreaker(b *Breaker) Option { return func(c *Client) { c.breaker = b } }
+
+// WithSleep overrides how the client waits between attempts; tests use it to
+// capture delays instead of sleeping through them.
+func WithSleep(sleep func(context.Context, time.Duration) error) Option {
+	return func(c *Client) { c.sleep = sleep }
+}
+
+// WithJitterSeed fixes the jitter RNG, making backoff schedules
+// reproducible.
+func WithJitterSeed(seed int64) Option {
+	return func(c *Client) { c.rnd = rand.New(rand.NewSource(seed)) }
+}
+
+// NewClient builds a resilient client over base. A nil base gets an
+// *http.Client with a 30 s overall timeout, so even a misconfigured caller
+// can never hang forever on a dead server.
+func NewClient(base Doer, opts ...Option) *Client {
+	if base == nil {
+		base = &http.Client{Timeout: 30 * time.Second}
+	}
+	c := &Client{
+		base:   base,
+		policy: DefaultPolicy(),
+		sleep:  sleepContext,
+		rnd:    rand.New(rand.NewSource(rand.Int63())),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Do issues the request, retrying transport errors and retryable statuses
+// (429/5xx) up to Policy.MaxAttempts. Requests with a non-replayable body
+// (Body set but GetBody nil) get exactly one attempt. On a retryable status
+// that survives every attempt the final response is returned unconsumed, so
+// callers can map it to their own error types; on a transport error that
+// survives every attempt the last error is returned wrapped.
+func (c *Client) Do(req *http.Request) (*http.Response, error) {
+	attempts := c.policy.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	if req.Body != nil && req.GetBody == nil {
+		attempts = 1
+	}
+
+	var lastErr error
+	for i := 0; ; i++ {
+		if err := req.Context().Err(); err != nil {
+			return nil, err
+		}
+		if err := c.limiter.Wait(req.Context()); err != nil {
+			return nil, err
+		}
+		if err := c.breaker.Allow(); err != nil {
+			return nil, fmt.Errorf("httpx: %w", err)
+		}
+
+		resp, err := c.attempt(req)
+		var delay time.Duration
+		switch {
+		case err != nil:
+			c.breaker.Record(false)
+			// A dead parent context is the caller giving up, not the
+			// server failing: surface it without burning attempts.
+			if ctxErr := req.Context().Err(); ctxErr != nil {
+				return nil, err
+			}
+			lastErr = err
+			if i == attempts-1 {
+				return nil, fmt.Errorf("httpx: %d attempts: %w", attempts, lastErr)
+			}
+			delay = c.backoff(i)
+		case RetryableStatus(resp.StatusCode):
+			c.breaker.Record(false)
+			if i == attempts-1 {
+				return resp, nil
+			}
+			delay = c.backoff(i)
+			if ra := retryAfter(resp); ra > delay {
+				delay = ra
+				if c.policy.MaxDelay > 0 && delay > c.policy.MaxDelay {
+					delay = c.policy.MaxDelay
+				}
+			}
+			drainClose(resp)
+		default:
+			c.breaker.Record(true)
+			return resp, nil
+		}
+
+		if err := c.sleep(req.Context(), delay); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// attempt runs one try under the per-attempt timeout. The derived context's
+// cancel is tied to the response body so the connection is released when the
+// caller closes it.
+func (c *Client) attempt(req *http.Request) (*http.Response, error) {
+	ctx := req.Context()
+	cancel := context.CancelFunc(func() {})
+	if c.policy.PerAttemptTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, c.policy.PerAttemptTimeout)
+	}
+	r2 := req.Clone(ctx)
+	if req.GetBody != nil && req.Body != nil {
+		body, err := req.GetBody()
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("httpx: rewinding body: %w", err)
+		}
+		r2.Body = body
+	}
+	resp, err := c.base.Do(r2)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
+}
+
+// backoff returns the jittered exponential delay before retry i (0-based).
+func (c *Client) backoff(retry int) time.Duration {
+	p := c.policy
+	d := float64(p.BaseDelay)
+	if p.Multiplier > 0 {
+		d *= math.Pow(p.Multiplier, float64(retry))
+	}
+	if p.Jitter > 0 {
+		c.mu.Lock()
+		f := c.rnd.Float64()
+		c.mu.Unlock()
+		d *= 1 + p.Jitter*(2*f-1)
+	}
+	if p.MaxDelay > 0 && d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// retryAfter parses a Retry-After header as either delta-seconds or an HTTP
+// date; 0 means absent or unparseable.
+func retryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// cancelBody releases the per-attempt context when the response body is
+// closed.
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
+func drainClose(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	_ = resp.Body.Close()
+}
+
+func sleepContext(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,61 @@
+package httpx
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Limiter is a token-bucket rate limiter: capacity burst tokens, refilled at
+// rate tokens per second. Wait reserves a token and sleeps until the
+// reservation matures, so callers self-pace instead of thundering at a
+// remote quota. A nil *Limiter never limits.
+type Limiter struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+	sleep  func(context.Context, time.Duration) error
+}
+
+// NewLimiter creates a limiter allowing rate requests per second with the
+// given burst capacity. rate must be positive; burst below 1 behaves as 1.
+func NewLimiter(rate float64, burst int) *Limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	l := &Limiter{
+		rate:   rate,
+		burst:  float64(burst),
+		tokens: float64(burst),
+		now:    time.Now,
+		sleep:  sleepContext,
+	}
+	l.last = l.now()
+	return l
+}
+
+// Wait blocks until a token is available or ctx is done. The token is
+// consumed either way: a cancelled wait forfeits its reservation, which
+// keeps the bookkeeping simple at a negligible cost in throughput.
+func (l *Limiter) Wait(ctx context.Context) error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	now := l.now()
+	l.tokens += now.Sub(l.last).Seconds() * l.rate
+	if l.tokens > l.burst {
+		l.tokens = l.burst
+	}
+	l.last = now
+	l.tokens--
+	var wait time.Duration
+	if l.tokens < 0 {
+		wait = time.Duration(-l.tokens / l.rate * float64(time.Second))
+	}
+	l.mu.Unlock()
+	return l.sleep(ctx, wait)
+}

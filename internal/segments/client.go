@@ -5,24 +5,29 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 
 	"elevprivacy/internal/geo"
+	"elevprivacy/internal/httpx"
 )
 
 // Client calls an ExploreSegments service over HTTP.
 type Client struct {
 	baseURL string
-	httpc   *http.Client
+	httpc   httpx.Doer
 }
 
-// NewClient creates a client for the service at baseURL. httpc may be nil
-// to use http.DefaultClient.
-func NewClient(baseURL string, httpc *http.Client) *Client {
+// NewClient creates a client for the service at baseURL. httpc may be a
+// bare *http.Client or an httpx.Client carrying retries and rate limits;
+// nil gets a default httpx.Client with per-attempt timeouts and bounded
+// retries, so a hung server can never block a sweep forever.
+func NewClient(baseURL string, httpc httpx.Doer) *Client {
 	if httpc == nil {
-		httpc = http.DefaultClient
+		httpc = httpx.NewClient(nil)
 	}
 	return &Client{baseURL: baseURL, httpc: httpc}
 }
@@ -65,6 +70,18 @@ func (c *Client) Explore(ctx context.Context, bounds geo.BBox) ([]Segment, error
 		_ = httpResp.Body.Close()
 	}()
 
+	// A proxy or load balancer in front of the service answers errors in
+	// plain text or HTML; decoding those as JSON used to misreport a 502
+	// as "invalid character" noise. Only JSON bodies carry the envelope.
+	if !jsonBody(httpResp) {
+		snippet := bodySnippet(httpResp.Body)
+		return nil, &APIError{
+			Status:   fmt.Sprintf("HTTP_%d", httpResp.StatusCode),
+			Message:  snippet,
+			HTTPCode: httpResp.StatusCode,
+		}
+	}
+
 	var resp ExploreResponse
 	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
 		return nil, fmt.Errorf("segments: decoding response: %w", err)
@@ -87,4 +104,19 @@ func (c *Client) Explore(ctx context.Context, bounds geo.BBox) ([]Segment, error
 		})
 	}
 	return out, nil
+}
+
+// jsonBody reports whether the response declares a JSON media type.
+func jsonBody(resp *http.Response) bool {
+	mt, _, err := mime.ParseMediaType(resp.Header.Get("Content-Type"))
+	if err != nil {
+		return false
+	}
+	return mt == "application/json" || strings.HasSuffix(mt, "+json")
+}
+
+// bodySnippet reads a bounded prefix of an error body for diagnostics.
+func bodySnippet(r io.Reader) string {
+	b, _ := io.ReadAll(io.LimitReader(r, 256))
+	return strings.TrimSpace(string(b))
 }

@@ -2,7 +2,11 @@ package segments
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
+	"strings"
+	"sync"
 
 	"elevprivacy/internal/elevsvc"
 	"elevprivacy/internal/geo"
@@ -34,10 +38,17 @@ type Miner struct {
 	// GridRows and GridCols control the boundary decomposition.
 	GridRows int
 	GridCols int
+	// Workers bounds the number of concurrent service calls per sweep
+	// phase. 1 reproduces the old serial behavior; the output is identical
+	// either way (see MineBoundary's ordering guarantee).
+	Workers int
 }
 
+// DefaultWorkers is the default per-sweep concurrency.
+const DefaultWorkers = 8
+
 // NewMiner wires a miner to its two services. Defaults: 100 elevation
-// samples per segment, 8×8 grid.
+// samples per segment, 8×8 grid, 8 concurrent workers.
 func NewMiner(segClient *Client, elevClient *elevsvc.Client) *Miner {
 	return &Miner{
 		segments:  segClient,
@@ -45,6 +56,7 @@ func NewMiner(segClient *Client, elevClient *elevsvc.Client) *Miner {
 		Samples:   100,
 		GridRows:  8,
 		GridCols:  8,
+		Workers:   DefaultWorkers,
 	}
 }
 
@@ -53,6 +65,14 @@ func NewMiner(segClient *Client, elevClient *elevsvc.Client) *Miner {
 // yields the top-10 paths per region; each path is augmented with its
 // elevation profile elev_i^j. Duplicate segment IDs across regions are
 // dropped (regions are disjoint, so duplicates only arise from re-runs).
+//
+// Both the explore and elevation phases fan out over at most Workers
+// concurrent calls, but the result is deterministic: cells are merged in
+// grid order and segments keep per-cell service order, so any Workers value
+// produces byte-identical output for the same services. The first failure
+// cancels the sweep's in-flight calls; when several calls fail, the error
+// of the earliest grid cell (or segment) is reported, keeping failures as
+// reproducible as successes.
 func (m *Miner) MineBoundary(ctx context.Context, label string, boundary geo.BBox) ([]MinedSegment, error) {
 	if m.GridRows < 1 || m.GridCols < 1 {
 		return nil, fmt.Errorf("segments: invalid grid %dx%d", m.GridRows, m.GridCols)
@@ -61,44 +81,218 @@ func (m *Miner) MineBoundary(ctx context.Context, label string, boundary geo.BBo
 		return nil, fmt.Errorf("segments: invalid sample count %d", m.Samples)
 	}
 
-	seen := make(map[string]bool)
-	var out []MinedSegment
-	for _, cell := range boundary.Grid(m.GridRows, m.GridCols) {
-		hits, err := m.segments.Explore(ctx, cell)
+	// Phase 1: explore every grid cell concurrently, results in cell order.
+	cells := boundary.Grid(m.GridRows, m.GridCols)
+	perCell := make([][]Segment, len(cells))
+	err := forEachIndex(ctx, m.workers(), len(cells), func(ctx context.Context, i int) error {
+		hits, err := m.segments.Explore(ctx, cells[i])
 		if err != nil {
-			return nil, fmt.Errorf("segments: exploring %v: %w", cell, err)
+			return fmt.Errorf("segments: exploring %v: %w", cells[i], err)
 		}
+		perCell[i] = hits
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Deduplicate in deterministic merge order: grid order outer, service
+	// rank order inner — exactly the order the serial sweep produced.
+	seen := make(map[string]bool)
+	var uniq []Segment
+	for _, hits := range perCell {
 		for _, seg := range hits {
 			if seen[seg.ID] {
 				continue
 			}
 			seen[seg.ID] = true
-
-			elevs, err := m.elevation.ElevationAlongPath(ctx, seg.Path, m.Samples)
-			if err != nil {
-				return nil, fmt.Errorf("segments: elevation for %s: %w", seg.ID, err)
-			}
-			out = append(out, MinedSegment{
-				ID:         seg.ID,
-				Label:      label,
-				Path:       seg.Path,
-				Elevations: elevs,
-			})
+			uniq = append(uniq, seg)
 		}
+	}
+
+	// Phase 2: fetch elevation profiles concurrently, one slot per segment.
+	profiles := make([][]float64, len(uniq))
+	err = forEachIndex(ctx, m.workers(), len(uniq), func(ctx context.Context, i int) error {
+		elevs, err := m.elevation.ElevationAlongPath(ctx, uniq[i].Path, m.Samples)
+		if err != nil {
+			return fmt.Errorf("segments: elevation for %s: %w", uniq[i].ID, err)
+		}
+		profiles[i] = elevs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]MinedSegment, 0, len(uniq))
+	for i, seg := range uniq {
+		out = append(out, MinedSegment{
+			ID:         seg.ID,
+			Label:      label,
+			Path:       seg.Path,
+			Elevations: profiles[i],
+		})
 	}
 	return out, nil
 }
 
-// MineClasses runs MineBoundary for every (label, boundary) pair and
-// concatenates the results.
+func (m *Miner) workers() int {
+	if m.Workers < 1 {
+		return 1
+	}
+	return m.Workers
+}
+
+// MineClasses runs MineBoundary for every (label, boundary) pair in
+// ascending label order and concatenates the results, so the mined dataset
+// is identical across runs regardless of map iteration order. The first
+// failing class aborts the sweep; use MineClassesPartial to keep going.
 func (m *Miner) MineClasses(ctx context.Context, classes map[string]geo.BBox) ([]MinedSegment, error) {
 	var out []MinedSegment
-	for label, boundary := range classes {
-		mined, err := m.MineBoundary(ctx, label, boundary)
+	for _, label := range sortedLabels(classes) {
+		mined, err := m.MineBoundary(ctx, label, classes[label])
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, mined...)
 	}
 	return out, nil
+}
+
+// ClassError records the failure of one class's sweep.
+type ClassError struct {
+	Label string
+	Err   error
+}
+
+// SweepError aggregates the per-class failures of a partial sweep, in
+// label order.
+type SweepError struct {
+	PerClass []ClassError
+}
+
+// Error implements the error interface.
+func (e *SweepError) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "segments: %d class(es) failed:", len(e.PerClass))
+	for _, ce := range e.PerClass {
+		fmt.Fprintf(&sb, " %s: %v;", ce.Label, ce.Err)
+	}
+	return strings.TrimSuffix(sb.String(), ";")
+}
+
+// Unwrap exposes the per-class errors to errors.Is / errors.As.
+func (e *SweepError) Unwrap() []error {
+	errs := make([]error, len(e.PerClass))
+	for i, ce := range e.PerClass {
+		errs[i] = ce.Err
+	}
+	return errs
+}
+
+// MineClassesPartial is MineClasses with partial-failure semantics: every
+// class is attempted (in ascending label order), successful classes
+// contribute their samples, and failing classes are reported together in
+// the returned *SweepError (nil when everything succeeded). A dead context
+// stops the sweep early, charging the context error to every class not yet
+// attempted.
+func (m *Miner) MineClassesPartial(ctx context.Context, classes map[string]geo.BBox) ([]MinedSegment, *SweepError) {
+	var out []MinedSegment
+	var sweepErr SweepError
+	labels := sortedLabels(classes)
+	for i, label := range labels {
+		if err := ctx.Err(); err != nil {
+			for _, rest := range labels[i:] {
+				sweepErr.PerClass = append(sweepErr.PerClass, ClassError{Label: rest, Err: err})
+			}
+			break
+		}
+		mined, err := m.MineBoundary(ctx, label, classes[label])
+		if err != nil {
+			sweepErr.PerClass = append(sweepErr.PerClass, ClassError{Label: label, Err: err})
+			continue
+		}
+		out = append(out, mined...)
+	}
+	if len(sweepErr.PerClass) == 0 {
+		return out, nil
+	}
+	return out, &sweepErr
+}
+
+func sortedLabels(classes map[string]geo.BBox) []string {
+	labels := make([]string, 0, len(classes))
+	for label := range classes {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	return labels
+}
+
+// forEachIndex runs fn(ctx, i) for i in [0, n) over a pool of at most
+// workers goroutines. The first failure cancels the shared context; after
+// all workers drain, the error with the lowest index wins, so concurrent
+// sweeps fail deterministically.
+func forEachIndex(ctx context.Context, workers, n int, fn func(context.Context, int) error) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errs := make([]error, n)
+	var failed sync.Once
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					errs[i] = err
+					failed.Do(cancel)
+				}
+			}
+		}()
+	}
+
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	// Report the lowest-index root-cause error. With a live parent context,
+	// context.Canceled errors are fallout from our own cancel after some
+	// other index failed — skip past them to the cause.
+	var fallback error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if fallback == nil {
+			fallback = err
+		}
+		if parent.Err() == nil && errors.Is(err, context.Canceled) {
+			continue
+		}
+		return err
+	}
+	if fallback != nil {
+		return fallback
+	}
+	return parent.Err()
 }

@@ -318,6 +318,26 @@ func TestClientSurfacesAPIError(t *testing.T) {
 	}
 }
 
+// TestExploreNonJSONErrorBodyBecomesAPIError pins the fix for the
+// proxy-error bug: a plain-text 502 used to surface as a JSON decode
+// failure instead of an *APIError carrying the HTTP code.
+func TestExploreNonJSONErrorBodyBecomesAPIError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "Bad Gateway", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+
+	client := NewClient(srv.URL, srv.Client())
+	_, err := client.Explore(context.Background(), cityBounds())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if apiErr.HTTPCode != http.StatusBadGateway || apiErr.Status != "HTTP_502" {
+		t.Errorf("got %+v, want HTTP_502 with code 502", apiErr)
+	}
+}
+
 func TestClientEmptyResult(t *testing.T) {
 	srv := httptest.NewServer(NewServer(NewStore(), WithLogf(t.Logf)).Handler())
 	defer srv.Close()
