@@ -27,9 +27,12 @@ check: build vet test
 	$(GO) test -race -timeout 45m ./...
 
 ## bench runs every experiment benchmark at smoke scale plus the substrate
-## micro-benchmarks.
+## micro-benchmarks, then the text-pipeline comparison harness, which
+## measures the legacy string+dense path against the token+sparse path at
+## Table-II scale and writes BENCH_textpipeline.json.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+	$(GO) run ./cmd/textbench -out BENCH_textpipeline.json
 
 ## bench-full runs the experiment benchmarks at the laptop scale that
 ## EXPERIMENTS.md records (tens of minutes).

@@ -7,12 +7,15 @@
 //	experiments -quick           # smoke-scale run (minutes)
 //	experiments -run tm3-text    # one experiment by name
 //	experiments -list            # list experiment names
+//	experiments -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"elevprivacy/internal/experiments"
@@ -27,12 +30,40 @@ func main() {
 
 func run() error {
 	var (
-		quick = flag.Bool("quick", false, "smoke-scale configuration (minutes instead of tens of minutes)")
-		list  = flag.Bool("list", false, "list experiment names and exit")
-		only  = flag.String("run", "", "run a single experiment by name")
-		seed  = flag.Int64("seed", 1, "global random seed")
+		quick      = flag.Bool("quick", false, "smoke-scale configuration (minutes instead of tens of minutes)")
+		list       = flag.Bool("list", false, "list experiment names and exit")
+		only       = flag.String("run", "", "run a single experiment by name")
+		seed       = flag.Int64("seed", 1, "global random seed")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
+		memprofile = flag.String("memprofile", "", "write an allocation profile at exit to this path")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush recently freed objects so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, r := range experiments.All() {

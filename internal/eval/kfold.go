@@ -61,6 +61,21 @@ func sortInts(v []int) {
 // split and every classifier seed derive from seed, so results are
 // deterministic regardless of scheduling.
 func CrossValidate(x *linalg.Matrix, y []int, classes, k int, seed int64, factory func() (ml.Classifier, error)) (Metrics, error) {
+	return crossValidate(x, nil, y, classes, k, seed, factory)
+}
+
+// CrossValidateSparse runs the same k-fold protocol over a CSR feature
+// matrix. Training still walks dense rows (the Fit contract), materialized
+// once here; held-out folds are gathered as CSR sub-matrices and scored
+// through PredictBatchSparse whenever the classifier implements
+// ml.SparseBatchClassifier, which is bit-identical to the dense score by
+// that interface's contract — so metrics match CrossValidate on ToDense()
+// exactly.
+func CrossValidateSparse(sp *linalg.SparseMatrix, y []int, classes, k int, seed int64, factory func() (ml.Classifier, error)) (Metrics, error) {
+	return crossValidate(sp.ToDense(), sp, y, classes, k, seed, factory)
+}
+
+func crossValidate(x *linalg.Matrix, sp *linalg.SparseMatrix, y []int, classes, k int, seed int64, factory func() (ml.Classifier, error)) (Metrics, error) {
 	if x.Rows != len(y) {
 		return Metrics{}, fmt.Errorf("eval: %d samples but %d labels", x.Rows, len(y))
 	}
@@ -70,7 +85,7 @@ func CrossValidate(x *linalg.Matrix, y []int, classes, k int, seed int64, factor
 		return Metrics{}, err
 	}
 
-	cms, err := runFolds(x, y, classes, folds, factory)
+	cms, err := runFolds(x, sp, y, classes, folds, factory)
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -93,7 +108,7 @@ func CrossValidateConfusion(x *linalg.Matrix, y []int, classes, k int, seed int6
 	if err != nil {
 		return nil, err
 	}
-	cms, err := runFolds(x, y, classes, folds, factory)
+	cms, err := runFolds(x, nil, y, classes, folds, factory)
 	if err != nil {
 		return nil, err
 	}
@@ -117,7 +132,7 @@ func CrossValidateConfusion(x *linalg.Matrix, y []int, classes, k int, seed int6
 
 // runFolds evaluates every fold concurrently; per-fold confusion matrices
 // land in fixed slots, so results are deterministic.
-func runFolds(x *linalg.Matrix, y []int, classes int, folds [][]int, factory func() (ml.Classifier, error)) ([]*ConfusionMatrix, error) {
+func runFolds(x *linalg.Matrix, sp *linalg.SparseMatrix, y []int, classes int, folds [][]int, factory func() (ml.Classifier, error)) ([]*ConfusionMatrix, error) {
 	cms := make([]*ConfusionMatrix, len(folds))
 	errs := make([]error, len(folds))
 	var wg sync.WaitGroup
@@ -125,7 +140,7 @@ func runFolds(x *linalg.Matrix, y []int, classes int, folds [][]int, factory fun
 		wg.Add(1)
 		go func(f int) {
 			defer wg.Done()
-			cms[f], errs[f] = evaluateFold(x, y, classes, folds[f], factory)
+			cms[f], errs[f] = evaluateFold(x, sp, y, classes, folds[f], factory)
 		}(f)
 	}
 	wg.Wait()
@@ -139,9 +154,10 @@ func runFolds(x *linalg.Matrix, y []int, classes int, folds [][]int, factory fun
 
 // evaluateFold trains a fresh classifier on everything outside the fold
 // and scores the fold in one batch prediction. Training rows are zero-copy
-// views into the feature matrix; only the held-out fold is gathered into a
-// dense test matrix for PredictBatch.
-func evaluateFold(x *linalg.Matrix, y []int, classes int, fold []int, factory func() (ml.Classifier, error)) (*ConfusionMatrix, error) {
+// views into the feature matrix; the held-out fold is gathered into a CSR
+// sub-matrix when a sparse companion is supplied and the classifier scores
+// CSR natively, and into a dense test matrix otherwise.
+func evaluateFold(x *linalg.Matrix, sp *linalg.SparseMatrix, y []int, classes int, fold []int, factory func() (ml.Classifier, error)) (*ConfusionMatrix, error) {
 	holdout := map[int]bool{}
 	for _, i := range fold {
 		holdout[i] = true
@@ -163,11 +179,16 @@ func evaluateFold(x *linalg.Matrix, y []int, classes int, fold []int, factory fu
 		return nil, fmt.Errorf("fit: %w", err)
 	}
 
-	testX := linalg.NewMatrix(len(fold), x.Cols)
-	for k, i := range fold {
-		copy(testX.Row(k), x.Row(i))
+	var preds []int
+	if sc, ok := clf.(ml.SparseBatchClassifier); ok && sp != nil {
+		preds, err = sc.PredictBatchSparse(sp.GatherRows(fold))
+	} else {
+		testX := linalg.NewMatrix(len(fold), x.Cols)
+		for k, i := range fold {
+			copy(testX.Row(k), x.Row(i))
+		}
+		preds, err = clf.PredictBatch(testX)
 	}
-	preds, err := clf.PredictBatch(testX)
 	if err != nil {
 		return nil, fmt.Errorf("predict: %w", err)
 	}

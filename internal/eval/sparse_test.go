@@ -1,0 +1,48 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"elevprivacy/internal/ml"
+	"elevprivacy/internal/ml/linalg"
+	"elevprivacy/internal/ml/svm"
+)
+
+// TestCrossValidateSparseMatchesDense pins that the sparse CV entry point
+// produces exactly the metrics of the dense one on the same data — folds,
+// seeds, and scores all line up bit for bit.
+func TestCrossValidateSparseMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var x [][]float64
+	var y []int
+	// Mostly-zero rows with class-indicative nonzero positions, the shape
+	// of a bag-of-words batch.
+	for c := 0; c < 3; c++ {
+		for i := 0; i < 20; i++ {
+			row := make([]float64, 30)
+			row[c*7] = 1 + rng.Float64()
+			row[c*7+2] = rng.Float64()
+			row[rng.Intn(30)] += 0.1
+			x = append(x, row)
+			y = append(y, c)
+		}
+	}
+	xm, err := linalg.FromRows(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func() (ml.Classifier, error) { return svm.New(svm.DefaultConfig(3)) }
+
+	dense, err := CrossValidate(xm, y, 3, 5, 7, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := CrossValidateSparse(linalg.SparseFromDense(xm), y, 3, 5, 7, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense != sparse {
+		t.Fatalf("sparse CV metrics %+v, dense %+v", sparse, dense)
+	}
+}

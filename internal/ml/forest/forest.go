@@ -50,7 +50,10 @@ type Forest struct {
 	trees []*node
 }
 
-var _ ml.Classifier = (*Forest)(nil)
+var (
+	_ ml.Classifier            = (*Forest)(nil)
+	_ ml.SparseBatchClassifier = (*Forest)(nil)
+)
 
 // node is one CART tree node; leaves carry a class.
 type node struct {
@@ -348,6 +351,88 @@ func (f *Forest) voteBatch(x *linalg.Matrix) (*linalg.Matrix, error) {
 			votes.Data[i] += v
 		}
 	}
+	return votes, nil
+}
+
+// ScoresSparse returns the per-class vote fractions for a CSR feature
+// batch. Identical tallies to Scores on the dense form of x: votes are
+// integers, exactly representable, so reduction order cannot drift.
+func (f *Forest) ScoresSparse(x *linalg.SparseMatrix) (*linalg.Matrix, error) {
+	votes, err := f.voteBatchSparse(x)
+	if err != nil {
+		return nil, err
+	}
+	inv := 1 / float64(len(f.trees))
+	for i, v := range votes.Data {
+		votes.Data[i] = v * inv
+	}
+	return votes, nil
+}
+
+// PredictBatchSparse majority-votes the trees over every row of a CSR
+// feature batch.
+func (f *Forest) PredictBatchSparse(x *linalg.SparseMatrix) ([]int, error) {
+	votes, err := f.voteBatchSparse(x)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, votes.Rows)
+	for i := range out {
+		row := votes.Row(i)
+		best := 0
+		for c, n := range row {
+			if n > row[best] {
+				best = c
+			}
+		}
+		out[i] = best
+	}
+	return out, nil
+}
+
+// voteBatchSparse tallies tree votes for a CSR batch. Unlike the dense
+// path (workers split the TREES), workers here split the ROWS: each
+// scatters its row once into a private dense scratch, walks every tree
+// while the row is hot, then clears only the touched positions. Per-row
+// tallies are independent, so any worker count produces the dense path's
+// exact counts.
+func (f *Forest) voteBatchSparse(x *linalg.SparseMatrix) (*linalg.Matrix, error) {
+	if f.trees == nil {
+		return nil, fmt.Errorf("forest: model not fitted")
+	}
+	if x.Cols != f.dim {
+		return nil, fmt.Errorf("forest: feature dim %d, model expects %d", x.Cols, f.dim)
+	}
+	votes := linalg.NewMatrix(x.Rows, f.cfg.Classes)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > x.Rows {
+		workers = x.Rows
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunk := (x.Rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < x.Rows; lo += chunk {
+		hi := lo + chunk
+		if hi > x.Rows {
+			hi = x.Rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			scratch := make([]float64, f.dim)
+			for i := lo; i < hi; i++ {
+				x.ScatterRow(i, scratch)
+				g := votes.Row(i)
+				for _, t := range f.trees {
+					g[classify(t, scratch)]++
+				}
+				x.ClearRow(i, scratch)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
 	return votes, nil
 }
 

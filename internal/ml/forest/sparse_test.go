@@ -1,0 +1,97 @@
+package forest
+
+import (
+	"testing"
+
+	"elevprivacy/internal/ml/linalg"
+)
+
+// padSparse embeds each sample in a wider feature space with zero columns,
+// so the CSR form actually skips entries.
+func padSparse(x [][]float64, dim int) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		wide := make([]float64, dim)
+		for j, v := range row {
+			wide[j*3] = v
+		}
+		out[i] = wide
+	}
+	return out
+}
+
+// TestSparseMatchesDense pins the SparseBatchClassifier contract: voting
+// over scatter/clear scratch rows must reproduce the dense batch vote
+// exactly — tree traversal compares the same feature values either way.
+func TestSparseMatchesDense(t *testing.T) {
+	raw, y := blobs([][]float64{{0, 0}, {4, 0}, {0, 4}}, 20, 0.6, 31)
+	x := padSparse(raw, 10)
+	cfg := DefaultConfig(3)
+	cfg.Trees = 25
+	clf, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clf.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+
+	xm, err := linalg.FromRows(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := linalg.SparseFromDense(xm)
+
+	dense, err := clf.Scores(xm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := clf.ScoresSparse(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dense.Data {
+		if dense.Data[i] != sparse.Data[i] {
+			t.Fatalf("vote share %d: dense %v, sparse %v", i, dense.Data[i], sparse.Data[i])
+		}
+	}
+
+	dPreds, err := clf.PredictBatch(xm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sPreds, err := clf.PredictBatchSparse(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dPreds {
+		if dPreds[i] != sPreds[i] {
+			t.Fatalf("sample %d: dense class %d, sparse class %d", i, dPreds[i], sPreds[i])
+		}
+	}
+}
+
+func TestSparsePredictValidation(t *testing.T) {
+	clf, err := New(DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := linalg.SparseFromDense(linalg.NewMatrix(1, 2))
+	if _, err := clf.PredictBatchSparse(one); err == nil {
+		t.Error("sparse predict before fit accepted")
+	}
+	x, y := blobs([][]float64{{0, 0}, {5, 5}}, 8, 0.3, 32)
+	cfg := DefaultConfig(2)
+	cfg.Trees = 5
+	clf, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clf.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	wrong := linalg.SparseFromDense(linalg.NewMatrix(2, 5))
+	if _, err := clf.PredictBatchSparse(wrong); err == nil {
+		t.Error("wrong-dim sparse batch accepted")
+	}
+}

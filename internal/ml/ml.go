@@ -29,6 +29,17 @@ type Classifier interface {
 	Scores(x *linalg.Matrix) (*linalg.Matrix, error)
 }
 
+// SparseBatchClassifier is implemented by classifiers that score CSR
+// feature batches natively — the serving path for bag-of-words features,
+// which are >95% zeros. Implementations must return exactly what the dense
+// batch methods return on ToDense() of the same matrix, bit for bit.
+type SparseBatchClassifier interface {
+	// PredictBatchSparse returns the most likely class for every row of x.
+	PredictBatchSparse(x *linalg.SparseMatrix) ([]int, error)
+	// ScoresSparse returns one row of per-class scores for every row of x.
+	ScoresSparse(x *linalg.SparseMatrix) (*linalg.Matrix, error)
+}
+
 // ValidateTrainingSet performs the shape checks every classifier needs:
 // non-empty X with consistent dimensionality, matching y, labels within
 // [0, classes).

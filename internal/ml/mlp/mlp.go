@@ -55,7 +55,10 @@ type MLP struct {
 	w1, b1, w2, b2 int
 }
 
-var _ ml.Classifier = (*MLP)(nil)
+var (
+	_ ml.Classifier            = (*MLP)(nil)
+	_ ml.SparseBatchClassifier = (*MLP)(nil)
+)
 
 // New creates an untrained MLP.
 func New(cfg Config) (*MLP, error) {
@@ -259,6 +262,35 @@ func (m *MLP) Scores(x *linalg.Matrix) (*linalg.Matrix, error) {
 // batched forward pass.
 func (m *MLP) PredictBatch(x *linalg.Matrix) ([]int, error) {
 	probs, err := m.Scores(x)
+	if err != nil {
+		return nil, err
+	}
+	return linalg.ArgMaxRows(probs), nil
+}
+
+// ScoresSparse runs a CSR feature batch through the network. Only the
+// first layer touches the input, so it alone switches to the sparse
+// kernel — H = ReLU(X_csr·W1ᵀ + b1) — and the dense hidden activations
+// flow through the unchanged second layer. Bit-identical to Scores on the
+// dense form of x.
+func (m *MLP) ScoresSparse(x *linalg.SparseMatrix) (*linalg.Matrix, error) {
+	if m.params == nil {
+		return nil, fmt.Errorf("mlp: model not fitted")
+	}
+	if x.Cols != m.dim {
+		return nil, fmt.Errorf("mlp: feature dim %d, model expects %d", x.Cols, m.dim)
+	}
+	hidden := linalg.SparseAffineT(x, m.weight1(), m.params[m.b1:m.w2])
+	linalg.ReLURows(hidden)
+	logits := linalg.AffineT(hidden, m.weight2(), m.params[m.b2:])
+	linalg.SoftmaxRows(logits)
+	return logits, nil
+}
+
+// PredictBatchSparse returns the most probable class for every row of a
+// CSR feature batch.
+func (m *MLP) PredictBatchSparse(x *linalg.SparseMatrix) ([]int, error) {
+	probs, err := m.ScoresSparse(x)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,90 @@
+package svm
+
+import (
+	"testing"
+
+	"elevprivacy/internal/ml/linalg"
+)
+
+// padSparse embeds each sample in a wider feature space with zero columns,
+// so the CSR form actually skips entries.
+func padSparse(x [][]float64, dim int) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		wide := make([]float64, dim)
+		for j, v := range row {
+			wide[j*3] = v
+		}
+		out[i] = wide
+	}
+	return out
+}
+
+// TestSparseMatchesDense pins the SparseBatchClassifier contract:
+// ScoresSparse and PredictBatchSparse on a CSR batch must reproduce
+// Scores/PredictBatch on its dense form bit for bit — including through
+// the L2 input normalization.
+func TestSparseMatchesDense(t *testing.T) {
+	raw, y := gaussianBlobs([][]float64{{0, 0}, {6, 0}, {0, 6}}, 25, 0.8, 11)
+	x := padSparse(raw, 12)
+	clf, err := New(DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clf.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+
+	xm, err := linalg.FromRows(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := linalg.SparseFromDense(xm)
+
+	dense, err := clf.Scores(xm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := clf.ScoresSparse(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dense.Data {
+		if dense.Data[i] != sparse.Data[i] {
+			t.Fatalf("score %d: dense %v, sparse %v", i, dense.Data[i], sparse.Data[i])
+		}
+	}
+
+	dPreds, err := clf.PredictBatch(xm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sPreds, err := clf.PredictBatchSparse(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dPreds {
+		if dPreds[i] != sPreds[i] {
+			t.Fatalf("sample %d: dense class %d, sparse class %d", i, dPreds[i], sPreds[i])
+		}
+	}
+}
+
+func TestSparsePredictValidation(t *testing.T) {
+	clf, err := New(DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := linalg.SparseFromDense(linalg.NewMatrix(1, 2))
+	if _, err := clf.PredictBatchSparse(one); err == nil {
+		t.Error("sparse predict before fit accepted")
+	}
+	x, y := gaussianBlobs([][]float64{{0, 0}, {5, 5}}, 8, 0.3, 12)
+	if err := clf.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	wrong := linalg.SparseFromDense(linalg.NewMatrix(2, 5))
+	if _, err := clf.PredictBatchSparse(wrong); err == nil {
+		t.Error("wrong-dim sparse batch accepted")
+	}
+}

@@ -14,20 +14,42 @@ const DefaultAlphabet = "abcdefghijklmnopqrstuvwxyz"
 // whole signals as texts. It is built once over the full corpus (the paper
 // builds its vocabulary "from all encoded signals regardless of labels")
 // and is immutable afterwards.
+//
+// The hot path is the token form: a discrete value's identity is its RANK
+// in sortedVals (a uint32), found by binary search, and the word string of
+// rank i is just indexWord(i). EncodeTokens therefore never builds strings
+// or hashes floats; Encode remains as the thin string-compatibility layer
+// on top of the same rank lookup.
 type Encoder struct {
 	disc     Discretizer
 	alphabet string
 	wordSize int
-	words    map[float64]string
-	// sortedVals supports nearest-value fallback for values unseen at build
-	// time (a fresh victim profile can contain new elevations).
+	// wordByRank[i] is the base-l word of the i-th smallest discrete value.
+	wordByRank []string
+	// sortedVals supports rank lookup and nearest-value fallback for values
+	// unseen at build time (a fresh victim profile can contain new
+	// elevations).
 	sortedVals []float64
+	// blockLast[k] is the last value of sortedVals block k (rankBlock values
+	// per block): a small cache-resident array searched first, so the full
+	// table is touched only inside one block per lookup.
+	blockLast []float64
+	// exact resolves values seen at build time in one table probe, keyed by
+	// their bit pattern; only unseen values (and -0.0, whose bits differ
+	// from the stored +0.0) fall through to the binary search.
+	exact openTable
 }
+
+// rankBlock is the two-level rank-search block size: 64 float64s span 8
+// cache lines, while the block-max array stays ~1/64th of the value table.
+const rankBlock = 64
 
 // BuildEncoder derives the word mapping from every signal in the corpus:
 // signals are discretized, unique values are collected and sorted, the word
 // size w = ⌈log_l c⌉ is computed, and the i-th smallest value is assigned
-// the i-th base-l word.
+// the i-th base-l word. Non-finite elevations (NaN, ±Inf) are rejected: a
+// NaN key would be unfindable later (NaN ≠ NaN) and would corrupt the
+// sorted value table every rank lookup depends on.
 func BuildEncoder(signals [][]float64, disc Discretizer, alphabet string) (*Encoder, error) {
 	if disc == nil {
 		return nil, fmt.Errorf("textrep: nil discretizer")
@@ -36,9 +58,16 @@ func BuildEncoder(signals [][]float64, disc Discretizer, alphabet string) (*Enco
 		return nil, fmt.Errorf("textrep: alphabet needs >= 2 letters, got %d", len(alphabet))
 	}
 	seen := map[float64]bool{}
-	for _, sig := range signals {
-		for _, e := range sig {
-			seen[disc(e)] = true
+	for si, sig := range signals {
+		for j, e := range sig {
+			if math.IsNaN(e) || math.IsInf(e, 0) {
+				return nil, fmt.Errorf("textrep: signal %d value %d is %v; elevations must be finite", si, j, e)
+			}
+			v := disc(e)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("textrep: discretizer mapped signal %d value %d (%v) to %v; discrete keys must be finite", si, j, e, v)
+			}
+			seen[v] = true
 		}
 	}
 	if len(seen) == 0 {
@@ -56,13 +85,31 @@ func BuildEncoder(signals [][]float64, disc Discretizer, alphabet string) (*Enco
 		disc:       disc,
 		alphabet:   alphabet,
 		wordSize:   w,
-		words:      make(map[float64]string, len(vals)),
+		wordByRank: make([]string, len(vals)),
 		sortedVals: vals,
 	}
-	for i, v := range vals {
-		enc.words[v] = indexWord(i, w, alphabet)
+	for i := range vals {
+		enc.wordByRank[i] = indexWord(i, w, alphabet)
 	}
+	enc.buildRankIndex()
 	return enc, nil
+}
+
+// buildRankIndex derives the rank-lookup accelerators from sortedVals: the
+// block-max array of the two-level binary search and the exact-hit table.
+func (e *Encoder) buildRankIndex() {
+	vals := e.sortedVals
+	e.blockLast = make([]float64, 0, (len(vals)+rankBlock-1)/rankBlock)
+	for end := rankBlock; end < len(vals); end += rankBlock {
+		e.blockLast = append(e.blockLast, vals[end-1])
+	}
+	e.blockLast = append(e.blockLast, vals[len(vals)-1])
+
+	byBits := make(map[uint64]int32, len(vals))
+	for i, v := range vals {
+		byBits[math.Float64bits(v)] = int32(i)
+	}
+	e.exact = buildOpenTable(byBits)
 }
 
 // indexWord renders index i as a base-l word of exactly w letters.
@@ -84,17 +131,13 @@ func (e *Encoder) UniqueValues() int { return len(e.sortedVals) }
 
 // Encode converts a signal into its text: the concatenation of the word of
 // every discretized value. Values unseen at build time map to the nearest
-// known discrete value.
+// known discrete value. This is the string-compatibility wrapper over the
+// token path; both produce the word sequence rank-for-rank.
 func (e *Encoder) Encode(signal []float64) string {
 	var sb strings.Builder
 	sb.Grow(len(signal) * e.wordSize)
 	for _, raw := range signal {
-		v := e.disc(raw)
-		word, ok := e.words[v]
-		if !ok {
-			word = e.words[e.nearest(v)]
-		}
-		sb.WriteString(word)
+		sb.WriteString(e.wordByRank[e.rank(e.disc(raw))])
 	}
 	return sb.String()
 }
@@ -109,18 +152,84 @@ func (e *Encoder) EncodeAll(signals [][]float64) []string {
 	return out
 }
 
-// nearest returns the known discrete value closest to v.
-func (e *Encoder) nearest(v float64) float64 {
-	i := sort.SearchFloat64s(e.sortedVals, v)
+// EncodeTokens converts a signal into rank ids: token i is the rank of the
+// i-th discretized value in the encoder's sorted value table, with unseen
+// values snapping to the nearest known value exactly as Encode does. dst
+// is reused when its capacity suffices, so batch callers encode with zero
+// allocations.
+func (e *Encoder) EncodeTokens(signal []float64, dst []uint32) []uint32 {
+	if cap(dst) < len(signal) {
+		dst = make([]uint32, len(signal))
+	}
+	dst = dst[:len(signal)]
+	for i, raw := range signal {
+		dst[i] = uint32(e.rank(e.disc(raw)))
+	}
+	return dst
+}
+
+// Word returns the word assigned to rank r (for inspection/tests).
+func (e *Encoder) Word(r int) string { return e.wordByRank[r] }
+
+// rank returns the index of v in sortedVals when present, and the index of
+// the nearest known value otherwise. NaN (only reachable through a
+// pathological custom discretizer at encode time — BuildEncoder rejects
+// non-finite corpora) deterministically clamps to the highest rank, the
+// same value the historical map-miss fallback produced.
+func (e *Encoder) rank(v float64) int {
+	if gi := e.exact.get(math.Float64bits(v)); gi >= 0 {
+		return int(gi)
+	}
+	if math.IsNaN(v) {
+		return len(e.sortedVals) - 1
+	}
+	i := e.searchVals(v)
 	switch {
-	case i == 0:
-		return e.sortedVals[0]
 	case i == len(e.sortedVals):
-		return e.sortedVals[len(e.sortedVals)-1]
+		return len(e.sortedVals) - 1
+	case e.sortedVals[i] == v:
+		return i
+	case i == 0:
+		return 0
 	}
 	lo, hi := e.sortedVals[i-1], e.sortedVals[i]
 	if math.Abs(v-lo) <= math.Abs(hi-v) {
-		return lo
+		return i - 1
 	}
-	return hi
+	return i
+}
+
+// searchVals returns the smallest index i with sortedVals[i] >= v, and
+// len(sortedVals) when no such value exists — sort.SearchFloat64s in two
+// levels: the block-max array locates the block, then only that block of
+// the full table is searched, keeping lookups cache-resident on corpora
+// with tens of thousands of discrete values.
+func (e *Encoder) searchVals(v float64) int {
+	k := searchFloat64s(e.blockLast, v)
+	if k == len(e.blockLast) {
+		return len(e.sortedVals)
+	}
+	lo := k * rankBlock
+	hi := min(lo+rankBlock, len(e.sortedVals))
+	return lo + searchFloat64s(e.sortedVals[lo:hi], v)
+}
+
+// searchFloat64s is sort.SearchFloat64s without the sort.Search closure
+// indirection, in branchless form: the half-step is applied via a
+// conditional move instead of a data-dependent branch, which would
+// mispredict near-always on random probe values. One call per signal
+// point makes this the single hottest loop of encoding.
+func searchFloat64s(a []float64, v float64) int {
+	base, n := 0, len(a)
+	for n > 1 {
+		half := n >> 1
+		if a[base+half-1] < v {
+			base += half
+		}
+		n -= half
+	}
+	if n == 1 && a[base] < v {
+		base++
+	}
+	return base
 }

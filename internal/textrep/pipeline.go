@@ -3,12 +3,18 @@ package textrep
 import (
 	"encoding/json"
 	"fmt"
+	"runtime"
+	"slices"
+	"sync"
 
 	"elevprivacy/internal/ml/linalg"
 )
 
 // Pipeline bundles the full text-like preprocessing chain — discretize,
-// encode, vectorize — behind one object, built once per dataset.
+// encode, vectorize — behind one object, built once per dataset. The hot
+// path is integer end to end: signals encode to rank-id tokens (no string
+// build), n-grams resolve through uint64 keys (no substring hashing), and
+// batches can come out as CSR sparse matrices (no >95%-zero dense rows).
 type Pipeline struct {
 	encoder *Encoder
 	vocab   *Vocabulary
@@ -81,21 +87,148 @@ func NewPipeline(signals [][]float64, cfg PipelineConfig) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := vocab.BuildTokenIndex(cfg.Alphabet, enc.UniqueValues()); err != nil {
+		return nil, err
+	}
 	return &Pipeline{encoder: enc, vocab: vocab, precision: cfg.Precision}, nil
 }
 
 // Features converts one raw signal into its normalized BoW feature vector.
 func (p *Pipeline) Features(signal []float64) []float64 {
-	return p.vocab.Vectorize(p.encoder.Encode(signal))
+	out := make([]float64, p.vocab.Size())
+	tv, err := p.vocab.NewTokenVectorizer()
+	if err != nil {
+		// Vocabulary built without a token index (legacy construction):
+		// fall back to the string path, which needs no index.
+		p.vocab.VectorizeInto(p.encoder.Encode(signal), out)
+		return out
+	}
+	tv.VectorizeInto(p.encoder.EncodeTokens(signal, nil), out)
+	return out
+}
+
+// forEachSignal partitions [0, n) into contiguous chunks and runs fn on
+// each concurrently, handing every worker its own TokenVectorizer — the
+// fan-out used by both batch featurizers. Per-sample outputs depend only
+// on the sample, so results are identical at any worker count. Returns
+// false when the vocabulary has no token index.
+func (p *Pipeline) forEachSignal(n int, fn func(lo, hi int, tv *TokenVectorizer)) bool {
+	if !p.vocab.HasTokenIndex() {
+		return false
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		tv, err := p.vocab.NewTokenVectorizer()
+		if err != nil {
+			return false
+		}
+		fn(0, n, tv)
+		return true
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		tv, err := p.vocab.NewTokenVectorizer()
+		if err != nil {
+			return false
+		}
+		wg.Add(1)
+		go func(lo, hi int, tv *TokenVectorizer) {
+			defer wg.Done()
+			fn(lo, hi, tv)
+		}(lo, hi, tv)
+	}
+	wg.Wait()
+	return true
 }
 
 // FeaturesAll converts a batch of signals into one dense n×Dim feature
-// matrix, each sample vectorized straight into its row — the shape the
-// batch classifier contract consumes.
+// matrix, each sample tokenized and vectorized straight into its row by a
+// pool of workers — the shape the batch classifier contract consumes.
 func (p *Pipeline) FeaturesAll(signals [][]float64) *linalg.Matrix {
 	out := linalg.NewMatrix(len(signals), p.vocab.Size())
-	for i, sig := range signals {
-		p.vocab.VectorizeInto(p.encoder.Encode(sig), out.Row(i))
+	ok := p.forEachSignal(len(signals), func(lo, hi int, tv *TokenVectorizer) {
+		var tokens []uint32
+		for i := lo; i < hi; i++ {
+			tokens = p.encoder.EncodeTokens(signals[i], tokens)
+			tv.VectorizeInto(tokens, out.Row(i))
+		}
+	})
+	if !ok {
+		for i, sig := range signals {
+			p.vocab.VectorizeInto(p.encoder.Encode(sig), out.Row(i))
+		}
+	}
+	return out
+}
+
+// FeaturesAllSparse converts a batch of signals into one CSR n×Dim feature
+// matrix. Workers build contiguous row ranges into private buffers that
+// are stitched in order, so the result is byte-identical at any
+// GOMAXPROCS. Feature values match FeaturesAll element for element; only
+// the zeros are gone.
+func (p *Pipeline) FeaturesAllSparse(signals [][]float64) *linalg.SparseMatrix {
+	type shard struct {
+		lo   int
+		cols []int32
+		vals []float64
+		ends []int // per-row nnz end offsets within the shard
+	}
+	n := len(signals)
+	out := linalg.NewSparseMatrix(max(n, 1), p.vocab.Size(), 0)
+	out.Rows = n
+
+	var mu sync.Mutex
+	var shards []shard
+	ok := p.forEachSignal(n, func(lo, hi int, tv *TokenVectorizer) {
+		sh := shard{lo: lo, ends: make([]int, 0, hi-lo)}
+		var tokens []uint32
+		for i := lo; i < hi; i++ {
+			tokens = p.encoder.EncodeTokens(signals[i], tokens)
+			sh.cols, sh.vals = tv.AppendSparse(tokens, sh.cols, sh.vals)
+			sh.ends = append(sh.ends, len(sh.vals))
+		}
+		mu.Lock()
+		shards = append(shards, sh)
+		mu.Unlock()
+	})
+	if !ok {
+		// Legacy vocabulary without a token index: emit rows through the
+		// dense string path and compress.
+		row := make([]float64, p.vocab.Size())
+		for _, sig := range signals {
+			p.vocab.VectorizeInto(p.encoder.Encode(sig), row)
+			for j, v := range row {
+				if v != 0 {
+					out.ColIdx = append(out.ColIdx, int32(j))
+					out.Val = append(out.Val, v)
+				}
+			}
+			out.AppendRow()
+		}
+		return out
+	}
+
+	// Stitch shards in row order.
+	slices.SortFunc(shards, func(a, b shard) int { return a.lo - b.lo })
+	var nnz int
+	for _, sh := range shards {
+		nnz += len(sh.vals)
+	}
+	out.ColIdx = make([]int32, 0, nnz)
+	out.Val = make([]float64, 0, nnz)
+	for _, sh := range shards {
+		prev := 0
+		for _, end := range sh.ends {
+			out.ColIdx = append(out.ColIdx, sh.cols[prev:end]...)
+			out.Val = append(out.Val, sh.vals[prev:end]...)
+			out.AppendRow()
+			prev = end
+		}
 	}
 	return out
 }
@@ -111,7 +244,8 @@ func (p *Pipeline) Vocabulary() *Vocabulary { return p.vocab }
 
 // savedPipeline is the JSON form of a fitted pipeline. The discretizer is
 // identified by its precision (0 = floor), the encoder by its sorted
-// discrete values, and the vocabulary by its gram list.
+// discrete values, and the vocabulary by its gram list; the token index is
+// derived state and is rebuilt on load.
 type savedPipeline struct {
 	Precision int       `json:"precision"`
 	Alphabet  string    `json:"alphabet"`
@@ -138,7 +272,7 @@ func (p *Pipeline) MarshalJSON() ([]byte, error) {
 	})
 }
 
-// UnmarshalJSON reconstructs a fitted pipeline.
+// UnmarshalJSON reconstructs a fitted pipeline, token index included.
 func (p *Pipeline) UnmarshalJSON(data []byte) error {
 	var sp savedPipeline
 	if err := json.Unmarshal(data, &sp); err != nil {
@@ -159,11 +293,12 @@ func (p *Pipeline) UnmarshalJSON(data []byte) error {
 		disc:       disc,
 		alphabet:   sp.Alphabet,
 		wordSize:   sp.WordSize,
-		words:      make(map[float64]string, len(sp.Values)),
+		wordByRank: make([]string, len(sp.Values)),
 		sortedVals: sp.Values,
 	}
-	for i, v := range sp.Values {
-		enc.words[v] = indexWord(i, sp.WordSize, sp.Alphabet)
+	enc.buildRankIndex()
+	for i := range sp.Values {
+		enc.wordByRank[i] = indexWord(i, sp.WordSize, sp.Alphabet)
 	}
 
 	vocab := &Vocabulary{
@@ -175,6 +310,9 @@ func (p *Pipeline) UnmarshalJSON(data []byte) error {
 	}
 	for i, g := range sp.Grams {
 		vocab.index[g] = i
+	}
+	if err := vocab.BuildTokenIndex(sp.Alphabet, len(sp.Values)); err != nil {
+		return fmt.Errorf("textrep: rebuilding token index: %w", err)
 	}
 
 	p.encoder = enc

@@ -112,7 +112,7 @@ func TestBuildEncoderAssignsDistinctWords(t *testing.T) {
 	}
 	seen := map[string]bool{}
 	for _, v := range []float64{1, 2, 3, 4} {
-		word := enc.words[v]
+		word := enc.Encode([]float64{v})
 		if len(word) != 1 {
 			t.Errorf("word %q has wrong length", word)
 		}

@@ -1,0 +1,294 @@
+package textrep
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// tokenTestSignals generates corpora with a controllable unique-value
+// count; classes differ by base elevation so vocabularies are non-trivial.
+func tokenTestSignals(n, points int, spread float64, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		sig := make([]float64, points)
+		base := float64(rng.Intn(5)) * spread
+		for j := range sig {
+			sig[j] = base + rng.Float64()*spread
+		}
+		out[i] = sig
+	}
+	return out
+}
+
+func TestEncodeTokensMatchesEncode(t *testing.T) {
+	signals := tokenTestSignals(40, 60, 30, 7)
+	enc, err := BuildEncoder(signals, FloorDiscretizer, DefaultAlphabet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probe trained signals plus fresh ones with unseen values (nearest
+	// fallback) and out-of-range clamps.
+	probes := append(tokenTestSignals(10, 60, 30, 8), []float64{-500, 0.5, 9999, 17.3})
+	var tokens []uint32
+	for _, sig := range probes {
+		tokens = enc.EncodeTokens(sig, tokens)
+		if len(tokens) != len(sig) {
+			t.Fatalf("token count %d for %d samples", len(tokens), len(sig))
+		}
+		text := enc.Encode(sig)
+		for i, tok := range tokens {
+			word := enc.Word(int(tok))
+			if got := text[i*enc.WordSize() : (i+1)*enc.WordSize()]; got != word {
+				t.Fatalf("sample %d: string path word %q, token path word %q", i, got, word)
+			}
+		}
+	}
+}
+
+func TestEncodeTokensReusesBuffer(t *testing.T) {
+	enc, err := BuildEncoder([][]float64{{1, 2, 3}}, FloorDiscretizer, DefaultAlphabet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]uint32, 0, 16)
+	got := enc.EncodeTokens([]float64{1, 2}, buf)
+	if &got[0] != &buf[:1][0] {
+		t.Error("EncodeTokens reallocated despite sufficient capacity")
+	}
+}
+
+// newTestPipeline builds a pipeline and fails the test on error.
+func newTestPipeline(t *testing.T, signals [][]float64, cfg PipelineConfig) *Pipeline {
+	t.Helper()
+	p, err := NewPipeline(signals, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// assertTokenStringParity checks, for every signal, that the token
+// vectorizer and the string vectorizer produce bitwise-identical rows, and
+// that the sparse row re-densifies to the same bits.
+func assertTokenStringParity(t *testing.T, p *Pipeline, signals [][]float64) {
+	t.Helper()
+	tv, err := p.Vocabulary().NewTokenVectorizer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := p.Dim()
+	stringRow := make([]float64, dim)
+	tokenRow := make([]float64, dim)
+	sparseRow := make([]float64, dim)
+	var tokens []uint32
+	for si, sig := range signals {
+		p.Vocabulary().VectorizeInto(p.Encoder().Encode(sig), stringRow)
+		tokens = p.Encoder().EncodeTokens(sig, tokens)
+		tv.VectorizeInto(tokens, tokenRow)
+
+		cols, vals := tv.AppendSparse(tokens, nil, nil)
+		for i := range sparseRow {
+			sparseRow[i] = 0
+		}
+		for k, c := range cols {
+			if k > 0 && cols[k-1] >= c {
+				t.Fatalf("signal %d: sparse columns not strictly ascending: %v", si, cols)
+			}
+			sparseRow[c] = vals[k]
+		}
+
+		for i := range stringRow {
+			if stringRow[i] != tokenRow[i] {
+				t.Fatalf("signal %d feature %d: string %v, token %v", si, i, stringRow[i], tokenRow[i])
+			}
+			if stringRow[i] != sparseRow[i] {
+				t.Fatalf("signal %d feature %d: string %v, sparse %v", si, i, stringRow[i], sparseRow[i])
+			}
+		}
+	}
+}
+
+func TestTokenVectorizePackedParity(t *testing.T) {
+	// Narrow value range: every order bit-packs.
+	signals := tokenTestSignals(60, 80, 20, 11)
+	cfg := DefaultPipelineConfig()
+	cfg.MinFrequency = 1
+	p := newTestPipeline(t, signals, cfg)
+	if p.Vocabulary().hashedFrom <= p.Vocabulary().maxN {
+		t.Fatalf("expected fully packed index, hashedFrom = %d", p.Vocabulary().hashedFrom)
+	}
+	assertTokenStringParity(t, p, signals)
+	assertTokenStringParity(t, p, tokenTestSignals(10, 80, 25, 12)) // unseen values
+}
+
+func TestTokenVectorizeHashedParity(t *testing.T) {
+	// Wide value range: enough unique discrete values that high orders
+	// overflow 64-bit packing and take the verified rolling-hash path.
+	signals := tokenTestSignals(80, 120, 400, 13)
+	cfg := DefaultPipelineConfig()
+	cfg.MinFrequency = 1
+	p := newTestPipeline(t, signals, cfg)
+	v := p.Vocabulary()
+	if v.hashedFrom > v.maxN {
+		t.Fatalf("expected hashed orders (c = %d ranks), all packed", p.Encoder().UniqueValues())
+	}
+	assertTokenStringParity(t, p, signals)
+	assertTokenStringParity(t, p, tokenTestSignals(10, 120, 420, 14)) // unseen values
+}
+
+func TestFeaturesAllSparseMatchesDense(t *testing.T) {
+	for _, spread := range []float64{20, 400} { // packed and hashed regimes
+		signals := tokenTestSignals(50, 90, spread, 17)
+		cfg := DefaultPipelineConfig()
+		p := newTestPipeline(t, signals, cfg)
+
+		dense := p.FeaturesAll(signals)
+		sparse := p.FeaturesAllSparse(signals)
+		if sparse.Rows != dense.Rows || sparse.Cols != dense.Cols {
+			t.Fatalf("sparse shape %dx%d, dense %dx%d", sparse.Rows, sparse.Cols, dense.Rows, dense.Cols)
+		}
+		back := sparse.ToDense()
+		for i := range dense.Data {
+			if dense.Data[i] != back.Data[i] {
+				t.Fatalf("spread %v: element %d dense %v sparse %v", spread, i, dense.Data[i], back.Data[i])
+			}
+		}
+		if sparse.NNZ() >= dense.Rows*dense.Cols/2 {
+			t.Errorf("sparse matrix is not sparse: %d nnz of %d", sparse.NNZ(), dense.Rows*dense.Cols)
+		}
+	}
+}
+
+func TestBuildEncoderRejectsNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := BuildEncoder([][]float64{{1, bad, 3}}, FloorDiscretizer, DefaultAlphabet); err == nil {
+			t.Errorf("corpus containing %v accepted", bad)
+		}
+	}
+	// A discretizer that manufactures non-finite keys from finite input is
+	// rejected too.
+	badDisc := func(e float64) float64 { return math.NaN() }
+	if _, err := BuildEncoder([][]float64{{1}}, badDisc, DefaultAlphabet); err == nil {
+		t.Error("NaN-producing discretizer accepted")
+	}
+}
+
+func TestEncodeNaNDeterministicClamp(t *testing.T) {
+	enc, err := BuildEncoder([][]float64{{10, 20, 30}}, FloorDiscretizer, DefaultAlphabet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A NaN at encode time (impossible to train on) deterministically
+	// clamps to the highest rank on both paths.
+	if got, want := enc.Encode([]float64{math.NaN()}), enc.Encode([]float64{30}); got != want {
+		t.Errorf("Encode(NaN) = %q, want %q", got, want)
+	}
+	toks := enc.EncodeTokens([]float64{math.NaN()}, nil)
+	if int(toks[0]) != enc.UniqueValues()-1 {
+		t.Errorf("EncodeTokens(NaN) = rank %d, want %d", toks[0], enc.UniqueValues()-1)
+	}
+}
+
+func TestVectorizeIntoZeroesDirtyDst(t *testing.T) {
+	vocab, err := BuildVocabulary([]string{"aabb"}, VocabConfig{WordSize: 1, MinN: 1, MaxN: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := vocab.Vectorize("aabb")
+	dirty := make([]float64, vocab.Size())
+	for i := range dirty {
+		dirty[i] = 99
+	}
+	vocab.VectorizeInto("aabb", dirty)
+	for i := range want {
+		if dirty[i] != want[i] {
+			t.Fatalf("feature %d = %v after dirty reuse, want %v", i, dirty[i], want[i])
+		}
+	}
+	// Empty text must also clear stale counts.
+	for i := range dirty {
+		dirty[i] = 99
+	}
+	vocab.VectorizeInto("", dirty)
+	for i, v := range dirty {
+		if v != 0 {
+			t.Fatalf("feature %d = %v for empty text, want 0", i, v)
+		}
+	}
+}
+
+func TestBuildTokenIndexValidation(t *testing.T) {
+	vocab, err := BuildVocabulary([]string{"abab"}, VocabConfig{WordSize: 1, MinN: 1, MaxN: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vocab.BuildTokenIndex("a", 2); err == nil {
+		t.Error("1-letter alphabet accepted")
+	}
+	if err := vocab.BuildTokenIndex("ab", 0); err == nil {
+		t.Error("zero ranks accepted")
+	}
+	// Gram "b" decodes to rank 1, out of range for a 1-rank encoder.
+	if err := vocab.BuildTokenIndex("ab", 1); err == nil {
+		t.Error("out-of-range gram rank accepted")
+	}
+	if vocab.HasTokenIndex() {
+		t.Error("failed build left a token index behind")
+	}
+	if err := vocab.BuildTokenIndex("ab", 2); err != nil {
+		t.Fatal(err)
+	}
+	if !vocab.HasTokenIndex() {
+		t.Error("token index missing after successful build")
+	}
+}
+
+func TestPipelinePersistenceTokenPath(t *testing.T) {
+	// Spread wide enough to exercise the hashed orders in the reloaded
+	// index as well.
+	signals := tokenTestSignals(60, 100, 350, 19)
+	cfg := DefaultPipelineConfig()
+	cfg.Discretizer = nil
+	cfg.Precision = 1
+	p := newTestPipeline(t, signals, cfg)
+
+	blob, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Pipeline
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Vocabulary().HasTokenIndex() {
+		t.Fatal("reloaded pipeline lost its token index")
+	}
+
+	// Unseen-value signals (nearest-value fallback included) featurize
+	// identically before and after the round-trip, on the token path.
+	fresh := append(tokenTestSignals(8, 100, 360, 20), []float64{-1000, 0.05, 5000, 123.4567})
+	var wantToks, gotToks []uint32
+	for si, sig := range fresh {
+		wantToks = p.Encoder().EncodeTokens(sig, wantToks)
+		gotToks = back.Encoder().EncodeTokens(sig, gotToks)
+		for i := range wantToks {
+			if wantToks[i] != gotToks[i] {
+				t.Fatalf("signal %d token %d: %d before save, %d after", si, i, wantToks[i], gotToks[i])
+			}
+		}
+	}
+	want := p.FeaturesAllSparse(fresh)
+	got := back.FeaturesAllSparse(fresh)
+	if want.NNZ() != got.NNZ() {
+		t.Fatalf("nnz %d before save, %d after", want.NNZ(), got.NNZ())
+	}
+	for k := range want.Val {
+		if want.ColIdx[k] != got.ColIdx[k] || want.Val[k] != got.Val[k] {
+			t.Fatalf("nonzero %d: (%d,%v) before save, (%d,%v) after",
+				k, want.ColIdx[k], want.Val[k], got.ColIdx[k], got.Val[k])
+		}
+	}
+}

@@ -2,12 +2,20 @@ package textrep
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 )
 
 // Vocabulary is the set of unique word-aligned n-grams observed in a
 // corpus, with the machinery to turn a text into a normalized bag-of-words
 // feature vector (paper Fig. 6 and §III-C).
+//
+// Alongside the string index it can carry a token index (BuildTokenIndex):
+// an n-gram of encoder rank ids becomes one uint64 key — bit-packed while
+// n·⌈log₂ c⌉ ≤ 64, keyed by a seeded polynomial rolling hash beyond, with
+// every hash hit verified against the stored rank sequence so the token
+// path matches the string path exactly. Lookups then cost one integer map
+// probe instead of a substring allocation + string hash.
 type Vocabulary struct {
 	wordSize int
 	minN     int
@@ -16,6 +24,31 @@ type Vocabulary struct {
 	index map[string]int
 	// grams lists the n-grams in feature order (sorted for determinism).
 	grams []string
+
+	// Token index (nil until BuildTokenIndex). tokIndex[n-minN] resolves
+	// uint64 keys of order n to feature positions.
+	tokIndex []map[uint64]int32
+	// tokGrams[i] is gram i as a rank sequence, used to verify hash hits.
+	tokGrams [][]uint32
+	// rank1 short-circuits order-1 lookups: rank1[rank] is the feature
+	// position of the 1-gram with that rank id, or -1. The order-1 key
+	// space is dense (one rank id), so an array probe replaces the map.
+	rank1 []int32
+	// tables[n-minN] is the open-addressed mirror of tokIndex[n-minN] the
+	// scan actually probes: flat arrays at 25% load resolve both hits and
+	// misses in one or two cache-resident accesses, where a Go map costs a
+	// hash-function call plus bucket-group probing.
+	tables []openTable
+	// packBits is the bit width of one rank id; orders with n·packBits ≤ 64
+	// use exact bit-packed keys.
+	packBits uint
+	// hashedFrom is the smallest order keyed by the rolling hash
+	// (maxN+1 when every order packs).
+	hashedFrom int
+	// hashBase is the seeded odd multiplier of the rolling hash; powBase[k]
+	// caches hashBase^k for O(1) window hashes from prefix hashes.
+	hashBase uint64
+	powBase  []uint64
 }
 
 // VocabConfig controls vocabulary construction.
@@ -120,11 +153,13 @@ func (v *Vocabulary) Vectorize(text string) []float64 {
 	return vec
 }
 
-// VectorizeInto vectorizes text into dst (len = Size()), which must be
-// zeroed; it lets batch callers fill rows of a preallocated matrix without
-// per-sample allocations.
+// VectorizeInto vectorizes text into dst (len = Size()). dst is zeroed
+// first, so scratch rows reused across samples cannot leak counts.
 func (v *Vocabulary) VectorizeInto(text string, dst []float64) {
 	vec := dst
+	for i := range vec {
+		vec[i] = 0
+	}
 	if len(text) == 0 {
 		return
 	}
@@ -156,4 +191,396 @@ func (v *Vocabulary) VectorizeAll(texts []string) [][]float64 {
 		out[i] = v.Vectorize(t)
 	}
 	return out
+}
+
+// hashBase0 seeds the rolling-hash multiplier (an arbitrary odd 64-bit
+// constant, splitmix64's increment); collisions among vocabulary grams
+// deterministically reseed by hashStep.
+const (
+	hashBase0 uint64 = 0x9e3779b97f4a7c15
+	hashStep  uint64 = 0xbf58476d1ce4e5b9
+	// maxReseeds bounds the collision-reseed loop; with ≤ a few thousand
+	// grams per order a single 64-bit hash collision is already ~2⁻⁴⁰
+	// unlikely, so hitting this bound indicates a bug, not bad luck.
+	maxReseeds = 64
+)
+
+// BuildTokenIndex derives the integer-keyed n-gram index from the string
+// grams. alphabet must be the encoder's alphabet (it decodes words back to
+// rank ids) and ranks the encoder's unique-value count c; every rank id is
+// then < ranks and fits in ⌈log₂ c⌉ bits. Orders whose packed width
+// exceeds 64 bits fall back to a seeded rolling hash whose hits are
+// verified against the stored rank sequences, so lookups stay exact.
+func (v *Vocabulary) BuildTokenIndex(alphabet string, ranks int) error {
+	if len(alphabet) < 2 {
+		return fmt.Errorf("textrep: alphabet needs >= 2 letters, got %d", len(alphabet))
+	}
+	if ranks < 1 {
+		return fmt.Errorf("textrep: rank count %d", ranks)
+	}
+
+	var letterVal [256]int16
+	for i := range letterVal {
+		letterVal[i] = -1
+	}
+	for i := 0; i < len(alphabet); i++ {
+		letterVal[alphabet[i]] = int16(i)
+	}
+
+	// Decode every gram into its rank sequence.
+	tokGrams := make([][]uint32, len(v.grams))
+	for gi, g := range v.grams {
+		n := len(g) / v.wordSize
+		if n < v.minN || n > v.maxN || len(g)%v.wordSize != 0 {
+			return fmt.Errorf("textrep: gram %d length %d outside order range", gi, len(g))
+		}
+		seq := make([]uint32, n)
+		for w := 0; w < n; w++ {
+			word := g[w*v.wordSize : (w+1)*v.wordSize]
+			rank := 0
+			for k := 0; k < len(word); k++ {
+				d := letterVal[word[k]]
+				if d < 0 {
+					return fmt.Errorf("textrep: gram %q letter %q outside alphabet", g, word[k])
+				}
+				rank = rank*len(alphabet) + int(d)
+			}
+			if rank >= ranks {
+				return fmt.Errorf("textrep: gram %q decodes to rank %d, encoder has %d", g, rank, ranks)
+			}
+			seq[w] = uint32(rank)
+		}
+		tokGrams[gi] = seq
+	}
+
+	packBits := uint(bits.Len(uint(ranks - 1)))
+	if packBits == 0 {
+		packBits = 1
+	}
+	hashedFrom := v.maxN + 1
+	for n := v.minN; n <= v.maxN; n++ {
+		if uint(n)*packBits > 64 {
+			hashedFrom = n
+			break
+		}
+	}
+
+	// Register keys; on an intra-vocabulary hash collision, reseed and
+	// retry (deterministically) until every gram owns a distinct key.
+	base := hashBase0
+reseed:
+	for attempt := 0; ; attempt++ {
+		if attempt >= maxReseeds {
+			return fmt.Errorf("textrep: token index could not find a collision-free hash seed in %d attempts", maxReseeds)
+		}
+		powBase := make([]uint64, v.maxN+1)
+		powBase[0] = 1
+		for k := 1; k <= v.maxN; k++ {
+			powBase[k] = powBase[k-1] * base
+		}
+		tokIndex := make([]map[uint64]int32, v.maxN-v.minN+1)
+		for i := range tokIndex {
+			tokIndex[i] = map[uint64]int32{}
+		}
+		for gi, seq := range tokGrams {
+			n := len(seq)
+			key := tokenKey(seq, packBits, n >= hashedFrom, base)
+			m := tokIndex[n-v.minN]
+			if prev, dup := m[key]; dup && !rankSeqEqual(tokGrams[prev], seq) {
+				base += hashStep
+				continue reseed
+			}
+			m[key] = int32(gi)
+		}
+		v.tokGrams = tokGrams
+		v.tokIndex = tokIndex
+		v.packBits = packBits
+		v.hashedFrom = hashedFrom
+		v.hashBase = base
+		v.powBase = powBase
+		v.buildFastPaths(ranks)
+		return nil
+	}
+}
+
+// rank1Cap bounds the order-1 direct table: one int32 per encoder rank, so
+// even a corpus where every point is a distinct value stays a few MB.
+const rank1Cap = 1 << 24
+
+// openTable is a linear-probing hash table from uint64 token keys to
+// feature positions, sized to 4x its entry count (25% load). slot[i] < 0
+// marks an empty slot, so a miss usually resolves on the first probe.
+type openTable struct {
+	keys  []uint64
+	slots []int32
+	shift uint
+}
+
+// buildOpenTable mirrors one order's key→position map into flat arrays.
+func buildOpenTable(m map[uint64]int32) openTable {
+	logSize := uint(2)
+	for 1<<logSize < 4*len(m) {
+		logSize++
+	}
+	t := openTable{
+		keys:  make([]uint64, 1<<logSize),
+		slots: make([]int32, 1<<logSize),
+		shift: 64 - logSize,
+	}
+	for i := range t.slots {
+		t.slots[i] = -1
+	}
+	mask := uint64(1<<logSize - 1)
+	for key, gi := range m {
+		i := mixKey(key) >> t.shift
+		for t.slots[i] >= 0 {
+			i = (i + 1) & mask
+		}
+		t.keys[i] = key
+		t.slots[i] = gi
+	}
+	return t
+}
+
+// get resolves a key; gi < 0 means absent.
+func (t *openTable) get(key uint64) int32 {
+	mask := uint64(len(t.keys) - 1)
+	i := mixKey(key) >> t.shift
+	for {
+		gi := t.slots[i]
+		if gi < 0 || t.keys[i] == key {
+			return gi
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// buildFastPaths derives the scan-side lookup structures from the finished
+// token index: the order-1 direct table and per-order open-addressed
+// tables. Both are pure accelerators — they never change which windows
+// match.
+func (v *Vocabulary) buildFastPaths(ranks int) {
+	v.rank1 = nil
+	if v.minN == 1 && ranks <= rank1Cap {
+		v.rank1 = make([]int32, ranks)
+		for i := range v.rank1 {
+			v.rank1[i] = -1
+		}
+		for key, gi := range v.tokIndex[0] {
+			v.rank1[key] = gi
+		}
+	}
+	v.tables = make([]openTable, len(v.tokIndex))
+	for oi, m := range v.tokIndex {
+		if len(m) > 0 {
+			v.tables[oi] = buildOpenTable(m)
+		}
+	}
+}
+
+// mixKey scrambles a token key before table indexing (multiplicative
+// hashing): packed keys concentrate entropy in the low bits, and the
+// multiply moves it into the high bits the probe index uses.
+func mixKey(k uint64) uint64 { return k * hashBase0 }
+
+// HasTokenIndex reports whether BuildTokenIndex has run.
+func (v *Vocabulary) HasTokenIndex() bool { return v.tokIndex != nil }
+
+// tokenKey computes the uint64 key of one rank sequence: exact bit-packing
+// for narrow orders, the rolling polynomial hash otherwise. Ranks are
+// offset by 1 in the hash so a zero rank still advances the state.
+func tokenKey(seq []uint32, packBits uint, hashed bool, base uint64) uint64 {
+	if !hashed {
+		var k uint64
+		for _, t := range seq {
+			k = k<<packBits | uint64(t)
+		}
+		return k
+	}
+	var h uint64
+	for _, t := range seq {
+		h = h*base + uint64(t) + 1
+	}
+	return h
+}
+
+func rankSeqEqual(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TokenVectorizer owns the per-goroutine scratch of the token vectorize
+// path: prefix hashes for rolling-hash windows and a dense count row with
+// its touched set for sparse emission. One vectorizer per worker makes the
+// whole batch path allocation-free after warm-up; it is NOT safe for
+// concurrent use.
+type TokenVectorizer struct {
+	v      *Vocabulary
+	prefix []uint64 // prefix[i] = hash of tokens[:i]
+	counts []float64
+	// mask is the touched-feature bitset of the row being built: bit gi is
+	// set iff counts[gi] != 0. Sparse emission walks its set bits, which
+	// come out in ascending column order for free — no per-row sort.
+	mask []uint64
+}
+
+// NewTokenVectorizer returns a vectorizer bound to v. BuildTokenIndex must
+// have run.
+func (v *Vocabulary) NewTokenVectorizer() (*TokenVectorizer, error) {
+	if v.tokIndex == nil {
+		return nil, fmt.Errorf("textrep: vocabulary has no token index (call BuildTokenIndex)")
+	}
+	return &TokenVectorizer{
+		v:      v,
+		counts: make([]float64, len(v.grams)),
+		mask:   make([]uint64, (len(v.grams)+63)/64),
+	}, nil
+}
+
+// scan walks the token sequence with the exact control flow of the string
+// VectorizeInto — per order, word-aligned windows, non-overlapping jumps
+// on match — calling hit for every matched feature. Returns the total
+// match count.
+//
+// Each populated order runs its fastest exact loop: order 1 indexes the
+// direct rank table, packed orders roll the previous window's key forward
+// with one shift+or, and hashed orders derive window hashes from the
+// prefix array in O(1), verifying every table hit against the stored rank
+// sequence so a colliding out-of-vocabulary window can never masquerade
+// as a feature.
+func (tv *TokenVectorizer) scan(tokens []uint32, hit func(int32)) float64 {
+	v := tv.v
+	needPrefix := false
+	for n := max(v.hashedFrom, v.minN); n <= v.maxN; n++ {
+		if len(v.tokIndex[n-v.minN]) > 0 {
+			needPrefix = true
+			break
+		}
+	}
+	if needPrefix {
+		if cap(tv.prefix) < len(tokens)+1 {
+			tv.prefix = make([]uint64, len(tokens)+1)
+		}
+		tv.prefix = tv.prefix[:len(tokens)+1]
+		tv.prefix[0] = 0
+		for i, t := range tokens {
+			tv.prefix[i+1] = tv.prefix[i]*v.hashBase + uint64(t) + 1
+		}
+	}
+	var total float64
+	for n := v.minN; n <= v.maxN; n++ {
+		oi := n - v.minN
+		if len(v.tokIndex[oi]) == 0 || n > len(tokens) {
+			continue // no grams of this order, or no full window: all miss
+		}
+		if n == 1 && v.rank1 != nil {
+			// Order 1 resolves through the direct table; the jump-on-match
+			// and advance-on-miss steps coincide at n = 1.
+			for _, t := range tokens {
+				if gi := v.rank1[t]; gi >= 0 {
+					hit(gi)
+					total++
+				}
+			}
+			continue
+		}
+		table := &v.tables[oi]
+		if n >= v.hashedFrom {
+			for off := 0; off+n <= len(tokens); {
+				key := tv.prefix[off+n] - tv.prefix[off]*v.powBase[n]
+				if gi := table.get(key); gi >= 0 && rankSeqEqual(v.tokGrams[gi], tokens[off:off+n]) {
+					hit(gi)
+					total++
+					off += n // non-overlapping: jump the whole match
+				} else {
+					off++
+				}
+			}
+			continue
+		}
+		// Packed order: advance-by-one shifts the next token into the
+		// rolling key; a match jumps n words and repacks from scratch.
+		w := uint(n) * v.packBits
+		mask := ^uint64(0)
+		if w < 64 {
+			mask = 1<<w - 1
+		}
+		key := tokenKey(tokens[:n], v.packBits, false, 0)
+		for off := 0; ; {
+			if gi := table.get(key); gi >= 0 {
+				hit(gi)
+				total++
+				off += n
+				if off+n > len(tokens) {
+					break
+				}
+				key = tokenKey(tokens[off:off+n], v.packBits, false, 0)
+			} else {
+				off++
+				if off+n > len(tokens) {
+					break
+				}
+				key = (key<<v.packBits | uint64(tokens[off+n-1])) & mask
+			}
+		}
+	}
+	return total
+}
+
+// VectorizeInto fills dst (len = Size()) with the normalized bag-of-words
+// vector of the token sequence — element-for-element what the string path
+// produces for the corresponding text. dst is zeroed first.
+func (tv *TokenVectorizer) VectorizeInto(tokens []uint32, dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	if len(tokens) == 0 {
+		return
+	}
+	total := tv.scan(tokens, func(gi int32) { dst[gi]++ })
+	if total > 0 {
+		for i := range dst {
+			dst[i] /= total
+		}
+	}
+}
+
+// AppendSparse vectorizes the token sequence directly into CSR row form:
+// the row's nonzero (column, value) pairs, columns ascending, are appended
+// to cols/vals and the grown slices returned. Values are the same
+// count/total probabilities the dense path stores; untouched features are
+// simply never emitted.
+func (tv *TokenVectorizer) AppendSparse(tokens []uint32, cols []int32, vals []float64) ([]int32, []float64) {
+	if len(tokens) == 0 {
+		return cols, vals
+	}
+	total := tv.scan(tokens, func(gi int32) {
+		tv.mask[uint32(gi)>>6] |= 1 << (uint32(gi) & 63)
+		tv.counts[gi]++
+	})
+	if total == 0 {
+		return cols, vals
+	}
+	for w, word := range tv.mask {
+		if word == 0 {
+			continue
+		}
+		tv.mask[w] = 0
+		base := int32(w << 6)
+		for word != 0 {
+			gi := base + int32(bits.TrailingZeros64(word))
+			word &= word - 1
+			cols = append(cols, gi)
+			vals = append(vals, tv.counts[gi]/total)
+			tv.counts[gi] = 0
+		}
+	}
+	return cols, vals
 }

@@ -140,9 +140,11 @@ func (a *TextAttack) PredictLocation(elevations []float64) (string, error) {
 }
 
 // PredictLocations infers the location label for a batch of elevation
-// profiles in one pass: the profiles are featurized into a dense matrix
-// and scored with a single PredictBatch call, the serving-path shape for
-// high-traffic inference.
+// profiles in one pass — the serving-path shape for high-traffic
+// inference. Profiles are tokenized and featurized straight into a CSR
+// matrix and scored with one PredictBatchSparse call when the model
+// supports it (all three text classifiers do); the dense PredictBatch
+// path remains as the fallback and returns identical labels.
 func (a *TextAttack) PredictLocations(profiles [][]float64) ([]string, error) {
 	if len(profiles) == 0 {
 		return nil, fmt.Errorf("elevprivacy: empty batch")
@@ -152,7 +154,13 @@ func (a *TextAttack) PredictLocations(profiles [][]float64) ([]string, error) {
 			return nil, fmt.Errorf("elevprivacy: empty elevation profile %d", i)
 		}
 	}
-	preds, err := a.model.PredictBatch(a.pipeline.FeaturesAll(profiles))
+	var preds []int
+	var err error
+	if sc, ok := a.model.(ml.SparseBatchClassifier); ok {
+		preds, err = sc.PredictBatchSparse(a.pipeline.FeaturesAllSparse(profiles))
+	} else {
+		preds, err = a.model.PredictBatch(a.pipeline.FeaturesAll(profiles))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -189,7 +197,10 @@ func CrossValidateText(d *Dataset, cfg TextAttackConfig, folds int) (Metrics, er
 	if err != nil {
 		return Metrics{}, err
 	}
-	return eval.CrossValidate(pipe.FeaturesAll(signals), y, enc.Len(), folds, cfg.Seed,
+	// Featurize once into CSR form: folds train on dense row views
+	// (materialized inside CrossValidateSparse) and score held-out folds
+	// through the sparse path, which is bit-identical to the dense one.
+	return eval.CrossValidateSparse(pipe.FeaturesAllSparse(signals), y, enc.Len(), folds, cfg.Seed,
 		func() (ml.Classifier, error) { return cfg.newClassifier(enc.Len()) })
 }
 
