@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short check bench bench-full experiments experiments-quick clean
+.PHONY: all build vet staticcheck test test-short check bench bench-full experiments experiments-quick smoke-resume clean
 
 all: build vet test
 
@@ -11,6 +11,16 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+## staticcheck runs honnef.co/go/tools if the binary is on PATH and degrades
+## to a notice otherwise — the repo vendors nothing and offline containers
+## cannot install it, so its absence must not fail the gate.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -23,8 +33,15 @@ test-short:
 ## package (the batch kernels, the forest pool, the concurrent k-fold, and
 ## the httpx/miner concurrency all fan out goroutines). The raised timeout
 ## covers the race detector's ~10-20x slowdown on the experiment suites.
-check: build vet test
+check: build vet staticcheck test
 	$(GO) test -race -timeout 45m ./...
+
+## smoke-resume proves the crash-safety contract end to end: a SIGKILLed
+## mining run, resumed from its journal, produces byte-identical output to an
+## uninterrupted run. CI runs it non-gating (kill timing on shared runners is
+## noisy); locally it is a quick sanity check after touching internal/durable.
+smoke-resume:
+	sh scripts/crash_resume_smoke.sh
 
 ## bench runs every experiment benchmark at smoke scale plus the substrate
 ## micro-benchmarks, then the text-pipeline comparison harness, which

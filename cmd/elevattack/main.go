@@ -7,14 +7,17 @@
 //	elevattack -tm 2 -city SF                # TM-2: borough given the city
 //	elevattack -tm 3 -classifier mlp         # TM-3: city, no prior
 //	elevattack -tm 3 -rep image -mode weighted
+//	elevattack -tm 3 -save attack.bin        # also train on everything and save
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"elevprivacy"
+	"elevprivacy/internal/durable"
 )
 
 func main() {
@@ -35,6 +38,7 @@ func run() error {
 		folds      = flag.Int("folds", 10, "cross-validation folds (text representation)")
 		epochs     = flag.Int("epochs", 16, "CNN epochs (image representation)")
 		seed       = flag.Int64("seed", 1, "random seed")
+		save       = flag.String("save", "", "train on the full dataset and save the attack model to this path")
 	)
 	flag.Parse()
 
@@ -75,6 +79,15 @@ func run() error {
 			return err
 		}
 		printMetrics(fmt.Sprintf("%s, %d-fold CV", *classifier, *folds), m)
+		if *save != "" {
+			attack, err := elevprivacy.TrainTextAttack(d, cfg)
+			if err != nil {
+				return err
+			}
+			if err := saveAttack(*save, attack.Save); err != nil {
+				return err
+			}
+		}
 	case "image":
 		cfg := elevprivacy.DefaultImageAttackConfig(elevprivacy.TrainMode(*mode))
 		cfg.Epochs = *epochs
@@ -84,9 +97,28 @@ func run() error {
 			return err
 		}
 		printMetrics(fmt.Sprintf("CNN (%s loss), 80/20 split", *mode), m)
+		if *save != "" {
+			attack, err := elevprivacy.TrainImageAttack(d, cfg)
+			if err != nil {
+				return err
+			}
+			if err := saveAttack(*save, attack.Save); err != nil {
+				return err
+			}
+		}
 	default:
 		return fmt.Errorf("unknown representation %q", *rep)
 	}
+	return nil
+}
+
+// saveAttack writes a trained attack model atomically: a crash mid-save
+// leaves any previous model file intact, never a half-written one.
+func saveAttack(path string, save func(io.Writer) error) error {
+	if err := durable.WriteFileAtomic(path, 0o644, save); err != nil {
+		return fmt.Errorf("saving attack model: %w", err)
+	}
+	fmt.Printf("saved trained attack to %s\n", path)
 	return nil
 }
 

@@ -13,11 +13,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"elevprivacy"
 	"elevprivacy/internal/dataset"
 	"elevprivacy/internal/defense"
+	"elevprivacy/internal/durable"
 )
 
 func main() {
@@ -82,15 +84,10 @@ func run() error {
 	fmt.Printf("  total-gain distortion   %6.2f%%\n", gainErr*100)
 
 	if *out != "" {
-		w, err := os.Create(*out)
+		err := durable.WriteFileAtomic(*out, 0o644, func(w io.Writer) error {
+			return elevprivacy.SaveDatasetJSON(w, (*elevprivacy.Dataset)(defended))
+		})
 		if err != nil {
-			return err
-		}
-		if err := elevprivacy.SaveDatasetJSON(w, (*elevprivacy.Dataset)(defended)); err != nil {
-			_ = w.Close()
-			return err
-		}
-		if err := w.Close(); err != nil {
 			return err
 		}
 		fmt.Printf("wrote defended dataset to %s\n", *out)

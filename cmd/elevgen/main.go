@@ -12,11 +12,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
 
 	"elevprivacy"
+	"elevprivacy/internal/durable"
 	"elevprivacy/internal/gpx"
 )
 
@@ -91,16 +93,11 @@ func writeUserGPX(dir string, cfg elevprivacy.DatasetConfig) error {
 		if err != nil {
 			return fmt.Errorf("building gpx for %s: %w", s.ID, err)
 		}
-		f, err := os.Create(filepath.Join(dir, s.ID+".gpx"))
+		err = durable.WriteFileAtomic(filepath.Join(dir, s.ID+".gpx"), 0o644, func(w io.Writer) error {
+			return gpx.Write(w, doc)
+		})
 		if err != nil {
-			return err
-		}
-		if err := gpx.Write(f, doc); err != nil {
-			_ = f.Close()
 			return fmt.Errorf("writing %s: %w", s.ID, err)
-		}
-		if err := f.Close(); err != nil {
-			return err
 		}
 	}
 	fmt.Printf("wrote %d GPX activities to %s\n", d.Len(), dir)
@@ -112,16 +109,11 @@ func writeJSON(path string, d *elevprivacy.Dataset) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
-	f, err := os.Create(path)
+	err := durable.WriteFileAtomic(path, 0o644, func(w io.Writer) error {
+		return elevprivacy.SaveDatasetJSON(w, d)
+	})
 	if err != nil {
-		return err
-	}
-	if err := elevprivacy.SaveDatasetJSON(f, d); err != nil {
-		_ = f.Close()
 		return fmt.Errorf("encoding %s: %w", path, err)
-	}
-	if err := f.Close(); err != nil {
-		return err
 	}
 	fmt.Printf("wrote %d samples to %s\n", d.Len(), path)
 	return nil

@@ -16,20 +16,33 @@
 //	elevmine -workers 16           # wider concurrent sweep
 //	elevmine -faultrate 0.2        # flaky network demo (same output)
 //	elevmine -serve :8080,:8081    # keep both services listening instead
+//	elevmine -checkpoint dir -out mined.json   # crash-safe run
+//	elevmine -checkpoint dir -resume ...       # continue after a crash
+//
+// With -checkpoint, every completed work unit (grid-cell explore, elevation
+// profile, class) is journaled; a killed run rerun with -resume reuses the
+// journaled results — no service call is re-issued, and the output is
+// byte-identical to an uninterrupted run. SIGINT/SIGTERM drains gracefully:
+// in-flight calls finish, the journal flushes, and the process exits 0 with
+// a partial-result summary; a second signal aborts in-flight work.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"elevprivacy/internal/dem"
+	"elevprivacy/internal/durable"
 	"elevprivacy/internal/elevsvc"
 	"elevprivacy/internal/geo"
 	"elevprivacy/internal/httpx"
@@ -85,6 +98,9 @@ func run() error {
 		rps       = flag.Float64("rps", 0, "client-side rate limit in requests/sec per service (0 = unlimited)")
 		faultRate = flag.Float64("faultrate", 0, "inject transient 503s at this probability per request (seeded)")
 		serve     = flag.String("serve", "", "comma-separated listen addrs for segment,elevation services (keeps serving)")
+		ckptDir   = flag.String("checkpoint", "", "directory for the crash-safe work journal (enables resumable sweeps)")
+		resume    = flag.Bool("resume", false, "reuse an existing checkpoint journal instead of starting fresh")
+		outPath   = flag.String("out", "", "write the mined dataset as JSON to this path (atomic: never observed torn)")
 	)
 	flag.Parse()
 
@@ -135,17 +151,36 @@ func run() error {
 		_ = elevSrv.Close()
 	}()
 
+	segClient := resilientClient(*rps, *faultRate, *seed)
+	elevClient := resilientClient(*rps, *faultRate, *seed+1)
 	miner := segments.NewMiner(
-		segments.NewClient(segURL, resilientClient(*rps, *faultRate, *seed)),
-		elevsvc.NewClient(elevURL, resilientClient(*rps, *faultRate, *seed+1)),
+		segments.NewClient(segURL, segClient),
+		elevsvc.NewClient(elevURL, elevClient),
 	)
 	miner.GridRows = *grid
 	miner.GridCols = *grid
 	miner.Samples = *samples
 	miner.Workers = *workers
 
+	// Checkpointing: the journal makes every completed unit durable, so a
+	// crashed (or drained) run rerun with -resume skips straight past the
+	// work it already paid for.
+	journal, err := openJournal(*ckptDir, "elevmine.journal", *resume)
+	if err != nil {
+		return err
+	}
+	defer journal.Close()
+	miner.Checkpoint = journal
+	if restored := journal.Restored(); restored > 0 {
+		fmt.Printf("checkpoint: restored %d completed units from journal\n", restored)
+	}
+
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
+	shutdown := durable.NotifyShutdown(ctx)
+	defer shutdown.Stop()
+	miner.Drain = shutdown.Draining
+	ctx = shutdown.Context()
 
 	classes := make(map[string]geo.BBox, len(cities))
 	for _, c := range cities {
@@ -164,13 +199,85 @@ func run() error {
 	}
 	fmt.Printf("total mined: %d segments in %v (grid %dx%d, top-%d per cell, %d workers)\n",
 		len(mined), elapsed, *grid, *grid, segments.ExploreLimit, *workers)
+
+	if *outPath != "" && (sweepErr == nil || sweepErr.Interrupted()) {
+		if err := writeMined(*outPath, mined); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d segments to %s\n", len(mined), *outPath)
+	}
+	if err := writeMeta(*ckptDir, runMeta{
+		Grid: *grid, Samples: *samples, Seed: *seed, Workers: *workers,
+		Mined: len(mined), Journal: journal.Stats(),
+		SegmentClient: segClient.Stats(), ElevationClient: elevClient.Stats(),
+	}); err != nil {
+		return err
+	}
+
 	if sweepErr != nil {
+		if sweepErr.Interrupted() {
+			// A graceful drain is a success with less work done: the journal
+			// is flushed, so -resume picks up exactly where this run stopped.
+			fmt.Printf("interrupted: %d classes pending, journal flushed — rerun with -resume to continue\n",
+				len(sweepErr.PerClass))
+			return nil
+		}
 		for _, ce := range sweepErr.PerClass {
 			fmt.Fprintf(os.Stderr, "elevmine: class %s failed: %v\n", ce.Label, ce.Err)
 		}
 		return fmt.Errorf("%d of %d classes failed", len(sweepErr.PerClass), len(classes))
 	}
 	return nil
+}
+
+// openJournal opens the work journal under dir ("" disables checkpointing;
+// the nil journal remembers nothing). Without -resume any previous journal
+// is discarded, so stale state from an unrelated run can never leak in.
+func openJournal(dir, name string, resume bool) (*durable.Journal, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, name)
+	if !resume {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return nil, err
+		}
+	}
+	return durable.OpenJournal(path)
+}
+
+// runMeta is the checkpoint metadata snapshot: enough to see at a glance
+// what a journal belongs to and how healthy the transport was.
+type runMeta struct {
+	Grid            int                  `json:"grid"`
+	Samples         int                  `json:"samples"`
+	Seed            int64                `json:"seed"`
+	Workers         int                  `json:"workers"`
+	Mined           int                  `json:"mined"`
+	Journal         durable.JournalStats `json:"journal"`
+	SegmentClient   httpx.Stats          `json:"segment_client"`
+	ElevationClient httpx.Stats          `json:"elevation_client"`
+}
+
+// writeMeta snapshots run metadata next to the journal (atomic + checksummed).
+func writeMeta(dir string, meta runMeta) error {
+	if dir == "" {
+		return nil
+	}
+	return durable.SaveSnapshot(filepath.Join(dir, "elevmine.meta"), 1, meta)
+}
+
+// writeMined writes the mined dataset as JSON, atomically: a crash mid-write
+// leaves the previous file intact, never a torn one.
+func writeMined(path string, mined []segments.MinedSegment) error {
+	return durable.WriteFileAtomic(path, 0o644, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		return enc.Encode(mined)
+	})
 }
 
 // resilientClient builds the httpx client a sweep talks through: default

@@ -8,16 +8,28 @@
 //	experiments -run tm3-text    # one experiment by name
 //	experiments -list            # list experiment names
 //	experiments -cpuprofile cpu.pprof -memprofile mem.pprof
+//	experiments -checkpoint dir  # per-experiment checkpoints
+//	experiments -checkpoint dir -resume   # replay finished tables, compute the rest
+//
+// With -checkpoint, every finished experiment's table is journaled under a
+// key bound to the exact configuration; -resume replays those tables
+// byte-identically and only computes what is missing. SIGINT/SIGTERM lets
+// the experiment in flight finish, flushes the journal, and exits 0 with a
+// partial summary; a second signal aborts.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"time"
 
+	"elevprivacy/internal/durable"
 	"elevprivacy/internal/experiments"
 )
 
@@ -36,30 +48,36 @@ func run() error {
 		seed       = flag.Int64("seed", 1, "global random seed")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
 		memprofile = flag.String("memprofile", "", "write an allocation profile at exit to this path")
+		ckptDir    = flag.String("checkpoint", "", "directory for per-experiment checkpoints")
+		resume     = flag.Bool("resume", false, "replay checkpointed experiments instead of starting fresh")
 	)
 	flag.Parse()
 
 	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
+		// The profile streams for the whole run, so the atomic file commits
+		// (and becomes visible) only after profiling stops cleanly.
+		f, err := durable.CreateAtomic(*cpuprofile, 0o644)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		defer func() {
+			if err := f.Commit(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: cpuprofile:", err)
+			}
+		}()
 		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Abort()
 			return err
 		}
 		defer pprof.StopCPUProfile()
 	}
 	if *memprofile != "" {
 		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
-				return
-			}
-			defer f.Close()
 			runtime.GC() // flush recently freed objects so the profile shows live heap
-			if err := pprof.WriteHeapProfile(f); err != nil {
+			err := durable.WriteFileAtomic(*memprofile, 0o644, func(w io.Writer) error {
+				return pprof.WriteHeapProfile(w)
+			})
+			if err != nil {
 				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
 			}
 		}()
@@ -87,14 +105,55 @@ func run() error {
 		runners = []experiments.Runner{r}
 	}
 
-	for _, r := range runners {
-		start := time.Now()
-		table, err := r.Run(cfg)
-		if err != nil {
-			return fmt.Errorf("%s (%s): %w", r.ID, r.Name, err)
-		}
-		fmt.Println(table)
-		fmt.Printf("(%s completed in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	journal, err := openJournal(*ckptDir, "experiments.journal", *resume)
+	if err != nil {
+		return err
+	}
+	defer journal.Close()
+
+	shutdown := durable.NotifyShutdown(context.Background())
+	defer shutdown.Stop()
+
+	report, err := experiments.RunSuite(shutdown.Context(), cfg, runners, journal,
+		shutdown.Draining, func(res experiments.SuiteResult) {
+			switch {
+			case res.Err != nil:
+				fmt.Fprintf(os.Stderr, "experiments: %s (%s): %v\n", res.Runner.ID, res.Runner.Name, res.Err)
+			case res.Restored:
+				fmt.Println(res.Table)
+				fmt.Printf("(%s restored from checkpoint)\n\n", res.Runner.ID)
+			default:
+				fmt.Println(res.Table)
+				fmt.Printf("(%s completed in %v)\n\n", res.Runner.ID, res.Elapsed.Round(time.Millisecond))
+			}
+		})
+	if err != nil {
+		return err
+	}
+	if report.Interrupted {
+		fmt.Printf("interrupted: %s\n", report.Summary())
+		return nil
+	}
+	if failed := report.Failed(); len(failed) > 0 {
+		return fmt.Errorf("%d of %d experiments failed", len(failed), len(report.Units))
 	}
 	return nil
+}
+
+// openJournal opens the checkpoint journal under dir ("" disables
+// checkpointing). Without -resume any previous journal is discarded.
+func openJournal(dir, name string, resume bool) (*durable.Journal, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, name)
+	if !resume {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return nil, err
+		}
+	}
+	return durable.OpenJournal(path)
 }

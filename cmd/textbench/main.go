@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"os"
@@ -23,6 +24,7 @@ import (
 	"strings"
 	"testing"
 
+	"elevprivacy/internal/durable"
 	"elevprivacy/internal/ml/linalg"
 	"elevprivacy/internal/ml/svm"
 	"elevprivacy/internal/textrep"
@@ -72,12 +74,19 @@ func run() error {
 	flag.Parse()
 
 	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
+		// The profile streams for the whole run; the atomic file becomes
+		// visible only once profiling stops cleanly.
+		f, err := durable.CreateAtomic(*cpuprofile, 0o644)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		defer func() {
+			if err := f.Commit(); err != nil {
+				fmt.Fprintln(os.Stderr, "textbench: cpuprofile:", err)
+			}
+		}()
 		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Abort()
 			return err
 		}
 		defer pprof.StopCPUProfile()
@@ -217,7 +226,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+	err = durable.WriteFileAtomic(*out, 0o644, func(w io.Writer) error {
+		_, werr := w.Write(append(blob, '\n'))
+		return werr
+	})
+	if err != nil {
 		return err
 	}
 

@@ -9,8 +9,10 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"elevprivacy/internal/geo"
+	"elevprivacy/internal/httpx"
 )
 
 // TileServer serves SRTM .hgt tiles over HTTP, the way public SRTM mirrors
@@ -18,9 +20,11 @@ import (
 // big-endian payload. Tiles are rasterized on demand from any Source and
 // cached.
 type TileServer struct {
-	source Source
-	size   int
-	logf   func(string, ...any)
+	source      Source
+	size        int
+	logf        func(string, ...any)
+	maxInFlight int
+	reqTimeout  time.Duration
 
 	mu    sync.Mutex
 	cache map[string][]byte
@@ -34,6 +38,19 @@ func WithTileLogf(logf func(string, ...any)) TileServerOption {
 	return func(s *TileServer) { s.logf = logf }
 }
 
+// WithTileMaxInFlight overrides the load-shedding bound (default 64;
+// 0 disables shedding). Rasterizing a cold tile is seconds of CPU, so the
+// mirror sheds earlier than the JSON services.
+func WithTileMaxInFlight(n int) TileServerOption {
+	return func(s *TileServer) { s.maxInFlight = n }
+}
+
+// WithTileRequestTimeout overrides the per-request deadline (default 30s;
+// 0 disables it).
+func WithTileRequestTimeout(d time.Duration) TileServerOption {
+	return func(s *TileServer) { s.reqTimeout = d }
+}
+
 // NewTileServer creates a server rasterizing size×size tiles from source.
 // Use SRTM3Size for realistic tiles or a smaller size for tests.
 func NewTileServer(source Source, size int, opts ...TileServerOption) (*TileServer, error) {
@@ -41,10 +58,12 @@ func NewTileServer(source Source, size int, opts ...TileServerOption) (*TileServ
 		return nil, fmt.Errorf("dem: tile size %d", size)
 	}
 	s := &TileServer{
-		source: source,
-		size:   size,
-		logf:   log.Printf,
-		cache:  map[string][]byte{},
+		source:      source,
+		size:        size,
+		logf:        log.Printf,
+		maxInFlight: 64,
+		reqTimeout:  30 * time.Second,
+		cache:       map[string][]byte{},
 	}
 	for _, o := range opts {
 		o(s)
@@ -52,11 +71,21 @@ func NewTileServer(source Source, size int, opts ...TileServerOption) (*TileServ
 	return s, nil
 }
 
-// Handler returns the HTTP routing for the tile mirror.
+// Handler returns the HTTP routing for the tile mirror, hardened like the
+// JSON services: panic recovery, per-request timeout, and max-in-flight
+// load shedding with 429 + Retry-After; /healthz bypasses shedding.
 func (s *TileServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /tiles/{name}", s.handleTile)
-	return mux
+
+	root := http.NewServeMux()
+	root.Handle("GET /healthz", httpx.HealthHandler("dem-tiles"))
+	root.Handle("/", httpx.Harden(mux, httpx.ServerConfig{
+		MaxInFlight:    s.maxInFlight,
+		RequestTimeout: s.reqTimeout,
+		Logf:           s.logf,
+	}))
+	return root
 }
 
 // handleTile serves one .hgt payload, rasterizing and caching on first use.

@@ -181,3 +181,15 @@ func TestTileMirrorFeedsElevationChain(t *testing.T) {
 		}
 	}
 }
+
+func TestTileMirrorHealthz(t *testing.T) {
+	srv, _ := newTileMirror(t, 11)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,299 @@
+package durable
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// ErrInterrupted marks work units that were never attempted because the run
+// was draining for shutdown. Callers distinguish it from real failures to
+// decide on an exit-0 partial result.
+var ErrInterrupted = errors.New("durable: interrupted, draining for shutdown")
+
+// PanicError wraps a panic recovered from a work unit, carrying the value
+// and the goroutine stack. The unit that panicked is quarantined — reported
+// as failed — while its siblings keep running.
+type PanicError struct {
+	// Value is what the unit passed to panic.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("durable: work unit panicked: %v", e.Value)
+}
+
+// Pool runs indexed work units over bounded workers with the supervision a
+// long sweep needs: per-worker panic recovery (a panicking unit becomes a
+// *PanicError instead of killing the process), an optional per-unit deadline
+// budget, and an optional drain signal that stops dispatching new units
+// while letting in-flight units finish.
+type Pool struct {
+	// Workers bounds concurrency; values below 1 behave as 1.
+	Workers int
+	// UnitTimeout, when positive, bounds each unit via a derived context.
+	UnitTimeout time.Duration
+	// Drain, when non-nil and closed, stops the dispatch of further units.
+	// Units already running complete normally; undispatched units are
+	// charged ErrInterrupted.
+	Drain <-chan struct{}
+}
+
+// ForEachIndex runs fn(ctx, i) for i in [0, n) over the pool. The first
+// failure cancels the shared context; after all workers finish, the
+// lowest-index error among the units that actually ran wins, so concurrent
+// sweeps fail deterministically. (A unit dispatched after the cancel is
+// skipped, not failed — it records no error.)
+// When the pool drains mid-run the lowest undispatched index reports
+// ErrInterrupted (unless an earlier unit failed harder).
+func (p Pool) ForEachIndex(ctx context.Context, n int, fn func(context.Context, int) error) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	workers := p.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errs := make([]error, n)
+	var failed sync.Once
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					return
+				}
+				if err := p.runUnit(ctx, i, fn); err != nil {
+					errs[i] = err
+					failed.Do(cancel)
+				}
+			}
+		}()
+	}
+
+	drained := -1
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		case <-p.drain():
+			drained = i
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if drained >= 0 && errs[drained] == nil {
+		errs[drained] = ErrInterrupted
+	}
+
+	// Report the lowest-index root-cause error. With a live parent context,
+	// context.Canceled errors are fallout from our own cancel after some
+	// other index failed — skip past them to the cause.
+	var fallback error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if fallback == nil {
+			fallback = err
+		}
+		if parent.Err() == nil && errors.Is(err, context.Canceled) {
+			continue
+		}
+		return err
+	}
+	if fallback != nil {
+		return fallback
+	}
+	return parent.Err()
+}
+
+// runUnit executes one unit under the deadline budget, converting a panic
+// into a *PanicError so the worker (and the process) survives it.
+func (p Pool) runUnit(ctx context.Context, i int, fn func(context.Context, int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if p.UnitTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.UnitTimeout)
+		defer cancel()
+	}
+	return fn(ctx, i)
+}
+
+// drain returns the pool's drain channel, or a never-closing one.
+func (p Pool) drain() <-chan struct{} {
+	if p.Drain != nil {
+		return p.Drain
+	}
+	return neverDrain
+}
+
+var neverDrain = make(chan struct{})
+
+// Runner executes an ordered list of keyed, journaled work units — the
+// shape of an experiment suite or a per-class sweep list. Units whose key
+// is already journaled are restored instead of re-run; completed units are
+// journaled as they finish; a drain signal (SIGINT/SIGTERM via
+// ShutdownContext) stops between units, flushes the journal, and reports a
+// partial result instead of an error.
+type Runner struct {
+	// Journal records completed units; nil runs everything, remembers
+	// nothing.
+	Journal *Journal
+	// UnitTimeout, when positive, bounds each unit's context.
+	UnitTimeout time.Duration
+	// Drain, when non-nil and closed, stops dispatch between units.
+	Drain <-chan struct{}
+}
+
+// UnitStatus is the outcome of one unit in a Report.
+type UnitStatus struct {
+	// Key identifies the unit.
+	Key string
+	// Restored is true when the unit's result came from the journal.
+	Restored bool
+	// Err is the unit's failure (possibly a *PanicError), nil on success,
+	// ErrInterrupted when the run drained before the unit started.
+	Err error
+}
+
+// Report summarizes a Runner.Run: per-unit outcomes in input order plus
+// whether the run was interrupted by a drain.
+type Report struct {
+	Units       []UnitStatus
+	Interrupted bool
+}
+
+// Completed counts units that ran (or restored) successfully.
+func (r *Report) Completed() int {
+	n := 0
+	for _, u := range r.Units {
+		if u.Err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Restored counts units whose results were replayed from the journal.
+func (r *Report) Restored() int {
+	n := 0
+	for _, u := range r.Units {
+		if u.Restored {
+			n++
+		}
+	}
+	return n
+}
+
+// Failed returns the units that failed for reasons other than draining.
+func (r *Report) Failed() []UnitStatus {
+	var out []UnitStatus
+	for _, u := range r.Units {
+		if u.Err != nil && !errors.Is(u.Err, ErrInterrupted) {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Summary renders a one-line partial-result summary for shutdown messages.
+func (r *Report) Summary() string {
+	failed := len(r.Failed())
+	s := fmt.Sprintf("%d/%d units done (%d restored from checkpoint, %d failed)",
+		r.Completed(), len(r.Units), r.Restored(), failed)
+	if r.Interrupted {
+		s += ", interrupted — resume to continue"
+	}
+	return s
+}
+
+// Run executes the units in order, one at a time (unit bodies are free to
+// fan out internally). For each key: a journaled result is restored via
+// restore(key); otherwise run(ctx, key) executes and its non-nil result is
+// journaled under the key. Panics in run or restore quarantine that unit.
+// Run only returns an error for journal I/O failures; unit failures live in
+// the Report.
+func (r *Runner) Run(ctx context.Context, keys []string,
+	run func(ctx context.Context, key string) (any, error),
+	restore func(key string) error) (*Report, error) {
+
+	report := &Report{Units: make([]UnitStatus, 0, len(keys))}
+	drain := r.Drain
+	if drain == nil {
+		drain = neverDrain
+	}
+	for _, key := range keys {
+		stopped := ctx.Err() != nil
+		select {
+		case <-drain:
+			stopped = true
+		default:
+		}
+		if stopped {
+			report.Interrupted = true
+			report.Units = append(report.Units, UnitStatus{Key: key, Err: ErrInterrupted})
+			continue
+		}
+		if r.Journal.Has(key) {
+			err := runRecovered(func() error { return restore(key) })
+			report.Units = append(report.Units, UnitStatus{Key: key, Restored: err == nil, Err: err})
+			continue
+		}
+		var value any
+		err := runRecovered(func() error {
+			uctx := ctx
+			if r.UnitTimeout > 0 {
+				var cancel context.CancelFunc
+				uctx, cancel = context.WithTimeout(ctx, r.UnitTimeout)
+				defer cancel()
+			}
+			var uerr error
+			value, uerr = run(uctx, key)
+			return uerr
+		})
+		if err == nil && value != nil {
+			if jerr := r.Journal.Put(key, value); jerr != nil {
+				return report, jerr
+			}
+		}
+		report.Units = append(report.Units, UnitStatus{Key: key, Err: err})
+	}
+	if err := r.Journal.Flush(); err != nil {
+		return report, err
+	}
+	return report, nil
+}
+
+// runRecovered invokes fn, converting a panic into a *PanicError.
+func runRecovered(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}

@@ -1,0 +1,63 @@
+package durable
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// Shutdown is the graceful-stop protocol for a long run. The first
+// SIGINT/SIGTERM closes Draining — dispatch loops stop handing out new work
+// units while in-flight units finish, journals flush, and the process exits
+// 0 with a partial-result summary. A second signal cancels the hard context,
+// aborting in-flight work for callers that honor context cancellation.
+type Shutdown struct {
+	// Draining closes on the first signal (drain: finish in-flight work).
+	Draining <-chan struct{}
+
+	ctx      context.Context
+	stopOnce sync.Once
+	stop     func()
+}
+
+// Context returns the hard-cancel context: it dies on the second signal or
+// when the parent dies.
+func (s *Shutdown) Context() context.Context { return s.ctx }
+
+// Stop releases the signal handlers (restoring default signal behavior).
+func (s *Shutdown) Stop() { s.stopOnce.Do(s.stop) }
+
+// NotifyShutdown installs SIGINT/SIGTERM handling around parent and returns
+// the Shutdown protocol handle. Callers defer Stop.
+func NotifyShutdown(parent context.Context) *Shutdown {
+	ctx, cancel := context.WithCancel(parent)
+	draining := make(chan struct{})
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+
+	go func() {
+		defer signal.Stop(ch)
+		select {
+		case <-ch:
+			close(draining)
+		case <-ctx.Done():
+			return
+		}
+		select {
+		case <-ch:
+			cancel() // second signal: abort in-flight work
+		case <-ctx.Done():
+		}
+	}()
+
+	return &Shutdown{
+		Draining: draining,
+		ctx:      ctx,
+		stop: func() {
+			signal.Stop(ch)
+			cancel()
+		},
+	}
+}

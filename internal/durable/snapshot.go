@@ -1,0 +1,127 @@
+package durable
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Snapshot envelope layout, little-endian:
+//
+//	magic "ELCK" | uint16 version | uint32 payload length | uint32 CRC32(payload) | payload JSON
+//
+// The magic is verified before any allocation, the length is bounded by
+// MaxSnapshotBytes, and the CRC is checked before the payload is parsed, so
+// a truncated or bit-flipped checkpoint surfaces as a *FormatError instead
+// of a huge allocation or JSON garbage.
+
+const snapshotMagic = "ELCK"
+
+// MaxSnapshotBytes bounds a snapshot payload; anything larger is treated as
+// corruption rather than trusted into an allocation.
+const MaxSnapshotBytes = 64 << 20
+
+// FormatError describes a malformed durable file (snapshot or journal): what
+// was being parsed, where, and why. Callers match it with errors.As.
+type FormatError struct {
+	// Path is the file being parsed, when known.
+	Path string
+	// What names the structure that failed to parse ("snapshot magic",
+	// "journal record", ...).
+	What string
+	// Detail explains the mismatch.
+	Detail string
+}
+
+// Error implements the error interface.
+func (e *FormatError) Error() string {
+	if e.Path == "" {
+		return fmt.Sprintf("durable: bad %s: %s", e.What, e.Detail)
+	}
+	return fmt.Sprintf("durable: %s: bad %s: %s", e.Path, e.What, e.Detail)
+}
+
+// WriteSnapshot writes one versioned, checksummed snapshot envelope to w.
+func WriteSnapshot(w io.Writer, version uint16, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("durable: marshaling snapshot: %w", err)
+	}
+	if len(payload) > MaxSnapshotBytes {
+		return fmt.Errorf("durable: snapshot payload %d bytes exceeds limit %d", len(payload), MaxSnapshotBytes)
+	}
+	var hdr [14]byte
+	copy(hdr[:4], snapshotMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], version)
+	binary.LittleEndian.PutUint32(hdr[6:10], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[10:14], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("durable: writing snapshot header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("durable: writing snapshot payload: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot parses a snapshot envelope from r into v, requiring the given
+// version. Corruption in any layer — magic, version, implausible length,
+// truncation, checksum, JSON — is reported as a *FormatError.
+func ReadSnapshot(r io.Reader, version uint16, v any) error {
+	var hdr [14]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return &FormatError{What: "snapshot header", Detail: fmt.Sprintf("truncated: %v", err)}
+	}
+	if string(hdr[:4]) != snapshotMagic {
+		return &FormatError{What: "snapshot magic", Detail: fmt.Sprintf("got %q, want %q", hdr[:4], snapshotMagic)}
+	}
+	if got := binary.LittleEndian.Uint16(hdr[4:6]); got != version {
+		return &FormatError{What: "snapshot version", Detail: fmt.Sprintf("got %d, want %d", got, version)}
+	}
+	n := binary.LittleEndian.Uint32(hdr[6:10])
+	if n > MaxSnapshotBytes {
+		return &FormatError{What: "snapshot length", Detail: fmt.Sprintf("%d bytes exceeds limit %d", n, MaxSnapshotBytes)}
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return &FormatError{What: "snapshot payload", Detail: fmt.Sprintf("truncated before %d bytes: %v", n, err)}
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(hdr[10:14]); got != want {
+		return &FormatError{What: "snapshot checksum", Detail: fmt.Sprintf("crc32 %08x, want %08x", got, want)}
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return &FormatError{What: "snapshot payload", Detail: fmt.Sprintf("parsing JSON: %v", err)}
+	}
+	return nil
+}
+
+// SaveSnapshot atomically writes a snapshot file: a crash mid-save leaves
+// the previous snapshot (or its absence) intact.
+func SaveSnapshot(path string, version uint16, v any) error {
+	return WriteFileAtomic(path, 0o644, func(w io.Writer) error {
+		return WriteSnapshot(w, version, v)
+	})
+}
+
+// LoadSnapshot reads a snapshot file written by SaveSnapshot. A missing file
+// is reported as the underlying fs error (errors.Is(err, fs.ErrNotExist));
+// corruption as a *FormatError carrying the path.
+func LoadSnapshot(path string, version uint16, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := ReadSnapshot(f, version, v); err != nil {
+		var fe *FormatError
+		if errors.As(err, &fe) {
+			fe.Path = path
+		}
+		return err
+	}
+	return nil
+}

@@ -15,9 +15,11 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"time"
 
 	"elevprivacy/internal/dem"
 	"elevprivacy/internal/geo"
+	"elevprivacy/internal/httpx"
 )
 
 // MaxSamples bounds a single path request, mirroring the real API's limit.
@@ -43,10 +45,20 @@ type Response struct {
 	Results      []Result `json:"results,omitempty"`
 }
 
+// DefaultMaxInFlight is the load-shedding bound Handler applies unless
+// overridden: past it, requests get 429 + Retry-After (which the httpx
+// client's retry loop honors).
+const DefaultMaxInFlight = 256
+
+// DefaultRequestTimeout bounds one request's handling.
+const DefaultRequestTimeout = 15 * time.Second
+
 // Server serves elevation queries from a dem.Source.
 type Server struct {
-	source dem.Source
-	logf   func(format string, args ...any)
+	source      dem.Source
+	logf        func(format string, args ...any)
+	maxInFlight int
+	reqTimeout  time.Duration
 }
 
 // Option configures a Server.
@@ -57,21 +69,47 @@ func WithLogf(logf func(string, ...any)) Option {
 	return func(s *Server) { s.logf = logf }
 }
 
+// WithMaxInFlight overrides the load-shedding bound; 0 disables shedding.
+func WithMaxInFlight(n int) Option {
+	return func(s *Server) { s.maxInFlight = n }
+}
+
+// WithRequestTimeout overrides the per-request deadline; 0 disables it.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Server) { s.reqTimeout = d }
+}
+
 // NewServer creates a Server over the given elevation source.
 func NewServer(source dem.Source, opts ...Option) *Server {
-	s := &Server{source: source, logf: log.Printf}
+	s := &Server{
+		source:      source,
+		logf:        log.Printf,
+		maxInFlight: DefaultMaxInFlight,
+		reqTimeout:  DefaultRequestTimeout,
+	}
 	for _, o := range opts {
 		o(s)
 	}
 	return s
 }
 
-// Handler returns the HTTP routing for the service.
+// Handler returns the HTTP routing for the service, hardened for sweep
+// traffic: panic recovery (a panicking source quarantines one request, not
+// the server), a per-request timeout, and max-in-flight load shedding with
+// 429 + Retry-After. The /healthz liveness probe bypasses shedding.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/elevation/path", s.handlePath)
 	mux.HandleFunc("GET /v1/elevation/point", s.handlePoint)
-	return mux
+
+	root := http.NewServeMux()
+	root.Handle("GET /healthz", httpx.HealthHandler("elevsvc"))
+	root.Handle("/", httpx.Harden(mux, httpx.ServerConfig{
+		MaxInFlight:    s.maxInFlight,
+		RequestTimeout: s.reqTimeout,
+		Logf:           s.logf,
+	}))
+	return root
 }
 
 // handlePath samples elevations along an encoded polyline:

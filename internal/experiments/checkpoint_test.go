@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"elevprivacy/internal/durable"
+)
+
+func testRunner(name string, calls *map[string]int, fail error) Runner {
+	return Runner{
+		ID:   "Test " + name,
+		Name: name,
+		Run: func(cfg Config) (*Table, error) {
+			(*calls)[name]++
+			if fail != nil {
+				return nil, fail
+			}
+			return &Table{
+				ID:     "Test " + name,
+				Title:  name,
+				Header: []string{"k", "v"},
+				Rows:   [][]string{{name, fmt.Sprintf("seed=%d", cfg.Seed)}},
+			}, nil
+		},
+	}
+}
+
+func TestRunSuiteCheckpointAndResume(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Quick()
+	calls := map[string]int{}
+	runners := []Runner{
+		testRunner("alpha", &calls, nil),
+		testRunner("beta", &calls, nil),
+		testRunner("gamma", &calls, nil),
+	}
+
+	// First run: drain after the first experiment completes.
+	j, err := durable.OpenJournal(filepath.Join(dir, "suite.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain := make(chan struct{})
+	var firstTables []string
+	report, err := RunSuite(context.Background(), cfg, runners, j, drain, func(res SuiteResult) {
+		if res.Table != nil {
+			firstTables = append(firstTables, res.Table.String())
+			close(drain)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Interrupted {
+		t.Fatalf("drained run not marked interrupted: %s", report.Summary())
+	}
+	if report.Completed() != 1 {
+		t.Fatalf("completed = %d, want 1: %s", report.Completed(), report.Summary())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: alpha must restore from the journal, beta/gamma compute.
+	j2, err := durable.OpenJournal(filepath.Join(dir, "suite.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	var resumedTables []string
+	var restored []string
+	report2, err := RunSuite(context.Background(), cfg, runners, j2, nil, func(res SuiteResult) {
+		if res.Err != nil {
+			t.Fatalf("%s: %v", res.Runner.Name, res.Err)
+		}
+		resumedTables = append(resumedTables, res.Table.String())
+		if res.Restored {
+			restored = append(restored, res.Runner.Name)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report2.Completed() != 3 || report2.Restored() != 1 {
+		t.Fatalf("resume report: %s", report2.Summary())
+	}
+	if len(restored) != 1 || restored[0] != "alpha" {
+		t.Fatalf("restored = %v, want [alpha]", restored)
+	}
+	if calls["alpha"] != 1 {
+		t.Fatalf("alpha recomputed on resume (%d calls)", calls["alpha"])
+	}
+	// The restored table must render byte-identically to the fresh one.
+	if resumedTables[0] != firstTables[0] {
+		t.Fatalf("restored table differs:\n%s\nvs\n%s", resumedTables[0], firstTables[0])
+	}
+}
+
+func TestRunSuiteConfigChangeInvalidatesCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	calls := map[string]int{}
+	runners := []Runner{testRunner("alpha", &calls, nil)}
+
+	j, err := durable.OpenJournal(filepath.Join(dir, "suite.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Quick()
+	if _, err := RunSuite(context.Background(), cfg, runners, j, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := durable.OpenJournal(filepath.Join(dir, "suite.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	cfg.Seed = 99 // different config: the old checkpoint must not be reused
+	rep, err := RunSuite(context.Background(), cfg, runners, j2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Restored() != 0 || calls["alpha"] != 2 {
+		t.Fatalf("stale checkpoint reused across configs: restored=%d calls=%d", rep.Restored(), calls["alpha"])
+	}
+}
+
+func TestRunSuiteQuarantinesPanic(t *testing.T) {
+	calls := map[string]int{}
+	boom := Runner{ID: "Test boom", Name: "boom", Run: func(cfg Config) (*Table, error) {
+		panic("experiment exploded")
+	}}
+	runners := []Runner{testRunner("alpha", &calls, nil), boom, testRunner("gamma", &calls, nil)}
+
+	var failed []SuiteResult
+	rep, err := RunSuite(context.Background(), Quick(), runners, nil, nil, func(res SuiteResult) {
+		if res.Err != nil {
+			failed = append(failed, res)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed() != 2 {
+		t.Fatalf("siblings of panicking experiment did not run: %s", rep.Summary())
+	}
+	if len(failed) != 1 || failed[0].Runner.Name != "boom" {
+		t.Fatalf("failed = %+v", failed)
+	}
+	var pe *durable.PanicError
+	if !errors.As(failed[0].Err, &pe) {
+		t.Fatalf("err = %v, want *durable.PanicError", failed[0].Err)
+	}
+}
+
+// TestRunSuiteRealExperimentResume pins the end-to-end contract on real
+// paper artifacts: a killed-and-resumed suite renders byte-identical tables
+// without re-running the finished experiments.
+func TestRunSuiteRealExperimentResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real experiment runners in -short mode")
+	}
+	cfg := Quick()
+	reruns := map[string]int{}
+	var runners []Runner
+	for _, r := range All()[:2] { // Figure 1 (survey) and Table I: dataset-only, fast
+		r := r
+		inner := r.Run
+		r.Run = func(c Config) (*Table, error) {
+			reruns[r.Name]++
+			return inner(c)
+		}
+		runners = append(runners, r)
+	}
+
+	uninterrupted := map[string]string{}
+	if _, err := RunSuite(context.Background(), cfg, runners, nil, nil, func(res SuiteResult) {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		uninterrupted[res.Runner.Name] = res.Table.String()
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	j, err := durable.OpenJournal(filepath.Join(dir, "suite.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain := make(chan struct{})
+	emitted := 0
+	if _, err := RunSuite(context.Background(), cfg, runners, j, drain, func(res SuiteResult) {
+		if res.Table != nil {
+			emitted++
+			close(drain) // kill the run after the first artifact
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if emitted != 1 {
+		t.Fatalf("drain did not stop the suite (emitted %d)", emitted)
+	}
+
+	j2, err := durable.OpenJournal(filepath.Join(dir, "suite.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	resumed := map[string]string{}
+	if _, err := RunSuite(context.Background(), cfg, runners, j2, nil, func(res SuiteResult) {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		resumed[res.Runner.Name] = res.Table.String()
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, want := range uninterrupted {
+		if resumed[name] != want {
+			t.Fatalf("%s: resumed table differs from uninterrupted run:\n%s\nvs\n%s", name, resumed[name], want)
+		}
+	}
+	if reruns[runners[0].Name] != 2 { // uninterrupted + interrupted, not the resume
+		t.Fatalf("first experiment ran %d times, want 2 (resume must restore it)", reruns[runners[0].Name])
+	}
+}

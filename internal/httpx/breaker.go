@@ -66,6 +66,25 @@ func (b *Breaker) Allow() error {
 	}
 }
 
+// State reports the breaker's current state as "closed", "open", or
+// "half-open" — exposed so checkpoint metadata and shutdown summaries can
+// record transport health. A nil breaker reports "closed".
+func (b *Breaker) State() string {
+	if b == nil {
+		return "closed"
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
 // Record feeds an attempt outcome back into the breaker.
 func (b *Breaker) Record(success bool) {
 	if b == nil {

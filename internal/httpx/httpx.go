@@ -21,6 +21,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -79,6 +80,47 @@ type Client struct {
 
 	mu  sync.Mutex
 	rnd *rand.Rand
+
+	requests         atomic.Int64
+	attempts         atomic.Int64
+	retries          atomic.Int64
+	breakerRejected  atomic.Int64
+	exhaustedRetries atomic.Int64
+}
+
+// Stats is a snapshot of a Client's activity, exposed so long runs can
+// record transport health in checkpoint metadata and shutdown summaries.
+type Stats struct {
+	// Requests counts Do calls.
+	Requests int64 `json:"requests"`
+	// Attempts counts individual tries (>= Requests).
+	Attempts int64 `json:"attempts"`
+	// Retries counts attempts after the first (Attempts - successful or
+	// exhausted first tries).
+	Retries int64 `json:"retries"`
+	// BreakerRejected counts Do calls refused by an open circuit breaker.
+	BreakerRejected int64 `json:"breaker_rejected"`
+	// ExhaustedRetries counts Do calls that burned every attempt and still
+	// failed (transport error) or returned a retryable status.
+	ExhaustedRetries int64 `json:"exhausted_retries"`
+	// Breaker is the circuit breaker's state, empty when none is fitted.
+	Breaker string `json:"breaker,omitempty"`
+}
+
+// Stats returns a point-in-time snapshot of the client's counters and
+// breaker state.
+func (c *Client) Stats() Stats {
+	s := Stats{
+		Requests:         c.requests.Load(),
+		Attempts:         c.attempts.Load(),
+		Retries:          c.retries.Load(),
+		BreakerRejected:  c.breakerRejected.Load(),
+		ExhaustedRetries: c.exhaustedRetries.Load(),
+	}
+	if c.breaker != nil {
+		s.Breaker = c.breaker.State()
+	}
+	return s
 }
 
 // Option configures a Client.
@@ -138,6 +180,7 @@ func (c *Client) Do(req *http.Request) (*http.Response, error) {
 	if req.Body != nil && req.GetBody == nil {
 		attempts = 1
 	}
+	c.requests.Add(1)
 
 	var lastErr error
 	for i := 0; ; i++ {
@@ -148,9 +191,14 @@ func (c *Client) Do(req *http.Request) (*http.Response, error) {
 			return nil, err
 		}
 		if err := c.breaker.Allow(); err != nil {
+			c.breakerRejected.Add(1)
 			return nil, fmt.Errorf("httpx: %w", err)
 		}
 
+		c.attempts.Add(1)
+		if i > 0 {
+			c.retries.Add(1)
+		}
 		resp, err := c.attempt(req)
 		var delay time.Duration
 		switch {
@@ -163,12 +211,14 @@ func (c *Client) Do(req *http.Request) (*http.Response, error) {
 			}
 			lastErr = err
 			if i == attempts-1 {
+				c.exhaustedRetries.Add(1)
 				return nil, fmt.Errorf("httpx: %d attempts: %w", attempts, lastErr)
 			}
 			delay = c.backoff(i)
 		case RetryableStatus(resp.StatusCode):
 			c.breaker.Record(false)
 			if i == attempts-1 {
+				c.exhaustedRetries.Add(1)
 				return resp, nil
 			}
 			delay = c.backoff(i)

@@ -1,0 +1,99 @@
+package httpx
+
+import (
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+)
+
+// Server-side resilience: the elevation and segment services (and the DEM
+// tile mirror) sit under sweeps that fan thousands of requests at them, so
+// they need the mirror image of the client-side protections in this
+// package — recover a panicking handler instead of dropping the connection,
+// bound each request's wall clock, and shed load with 429 + Retry-After
+// when too many requests are in flight (which the retrying Client on the
+// other side honors).
+
+// ServerConfig tunes Harden.
+type ServerConfig struct {
+	// MaxInFlight bounds concurrently served requests; excess requests are
+	// shed with 429 and a Retry-After hint. 0 disables shedding.
+	MaxInFlight int
+	// RequestTimeout bounds one request's handling; 0 disables it.
+	RequestTimeout time.Duration
+	// RetryAfter is the hint attached to shed responses (rounded up to
+	// whole seconds; minimum, and default, 1s).
+	RetryAfter time.Duration
+	// Logf receives panic reports; nil discards them.
+	Logf func(string, ...any)
+}
+
+// Harden wraps h with panic recovery, per-request timeout, and
+// max-in-flight load shedding, outermost first — a shed request is rejected
+// before it can tie up a handler slot or a timeout timer.
+func Harden(h http.Handler, cfg ServerConfig) http.Handler {
+	if cfg.RequestTimeout > 0 {
+		h = http.TimeoutHandler(h, cfg.RequestTimeout, "request timed out")
+	}
+	h = recoverHandler(h, cfg.Logf)
+	if cfg.MaxInFlight > 0 {
+		h = shedHandler(h, cfg.MaxInFlight, cfg.RetryAfter)
+	}
+	return h
+}
+
+// recoverHandler converts a handler panic into a 500 (when the response has
+// not started) and keeps the server alive either way.
+func recoverHandler(h http.Handler, logf func(string, ...any)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec) // deliberate connection abort, not a crash
+				}
+				if logf != nil {
+					logf("httpx: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				}
+				// Best effort: if the handler already wrote, this is a no-op
+				// on the status line and the client sees a torn body.
+				http.Error(w, "internal error", http.StatusInternalServerError)
+			}
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// shedHandler rejects requests beyond maxInFlight with 429 + Retry-After.
+func shedHandler(h http.Handler, maxInFlight int, retryAfter time.Duration) http.Handler {
+	slots := make(chan struct{}, maxInFlight)
+	secs := int(retryAfter / time.Second)
+	if retryAfter > time.Duration(secs)*time.Second {
+		secs++
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case slots <- struct{}{}:
+			defer func() { <-slots }()
+			h.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			http.Error(w, fmt.Sprintf("server at capacity (%d in flight)", maxInFlight), http.StatusTooManyRequests)
+		}
+	})
+}
+
+// HealthHandler answers liveness probes with a tiny JSON body. Mount it at
+// /healthz outside Harden so probes bypass load shedding.
+func HealthHandler(name string) http.Handler {
+	body := []byte(fmt.Sprintf("{\"status\":\"ok\",\"service\":%q}\n", name))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(body)
+	})
+}

@@ -1,0 +1,210 @@
+package httpx
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRecoverHandlerKeepsServerAlive(t *testing.T) {
+	var logged atomic.Int32
+	h := Harden(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/boom" {
+			panic("handler exploded")
+		}
+		fmt.Fprint(w, "ok")
+	}), ServerConfig{Logf: func(string, ...any) { logged.Add(1) }})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler returned %d, want 500", resp.StatusCode)
+	}
+	if logged.Load() == 0 {
+		t.Fatal("panic was not logged")
+	}
+
+	resp, err = http.Get(srv.URL + "/fine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "ok" {
+		t.Fatalf("server did not survive the panic: %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestHardenRequestTimeout(t *testing.T) {
+	h := Harden(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-time.After(5 * time.Second):
+		}
+	}), ServerConfig{RequestTimeout: 30 * time.Millisecond})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	start := time.Now()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("timed-out request returned %d, want 503", resp.StatusCode)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("timeout did not bound the request")
+	}
+}
+
+func TestShedHandler429WithRetryAfter(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	h := Harden(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		started <- struct{}{}
+		<-release
+		fmt.Fprint(w, "slow ok")
+	}), ServerConfig{MaxInFlight: 1, RetryAfter: 1500 * time.Millisecond})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(srv.URL)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	<-started // the slot is taken
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload returned %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want %q (1.5s rounded up)", ra, "2")
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestClientHonorsShedRetryAfter closes the loop between the PR 2 client
+// and this PR's load shedding: a shed 429 + Retry-After makes the retrying
+// Client wait at least the hinted delay and then succeed.
+func TestClientHonorsShedRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "at capacity", http.StatusTooManyRequests)
+			return
+		}
+		fmt.Fprint(w, "ok")
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := NewClient(srv.Client(),
+		WithPolicy(Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Second, Multiplier: 2}),
+		WithSleep(func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return ctx.Err()
+		}),
+	)
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodGet, srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Fatalf("body = %q", body)
+	}
+	if len(slept) != 1 || slept[0] < time.Second {
+		t.Fatalf("client ignored Retry-After: slept %v", slept)
+	}
+
+	s := c.Stats()
+	if s.Requests != 1 || s.Attempts != 2 || s.Retries != 1 {
+		t.Fatalf("stats = %+v, want 1 request, 2 attempts, 1 retry", s)
+	}
+}
+
+func TestHealthHandler(t *testing.T) {
+	srv := httptest.NewServer(HealthHandler("test-svc"))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	if string(body) != "{\"status\":\"ok\",\"service\":\"test-svc\"}\n" {
+		t.Fatalf("healthz body = %q", body)
+	}
+}
+
+func TestClientStatsBreakerState(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	b := NewBreaker(2, time.Hour)
+	c := NewClient(srv.Client(),
+		WithPolicy(Policy{MaxAttempts: 2, BaseDelay: time.Microsecond}),
+		WithSleep(func(ctx context.Context, d time.Duration) error { return ctx.Err() }),
+		WithBreaker(b),
+	)
+	req, _ := http.NewRequestWithContext(context.Background(), http.MethodGet, srv.URL, nil)
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	s := c.Stats()
+	if s.Breaker != "open" {
+		t.Fatalf("breaker state = %q, want open", s.Breaker)
+	}
+	if s.ExhaustedRetries != 1 {
+		t.Fatalf("exhausted = %d, want 1", s.ExhaustedRetries)
+	}
+
+	// A second request is refused outright and counted.
+	req2, _ := http.NewRequestWithContext(context.Background(), http.MethodGet, srv.URL, nil)
+	if _, err := c.Do(req2); err == nil {
+		t.Fatal("open breaker admitted a request")
+	}
+	if got := c.Stats().BreakerRejected; got != 1 {
+		t.Fatalf("breaker_rejected = %d, want 1", got)
+	}
+}

@@ -6,8 +6,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
+	"time"
 
+	"elevprivacy/internal/durable"
 	"elevprivacy/internal/elevsvc"
 	"elevprivacy/internal/geo"
 )
@@ -42,6 +43,22 @@ type Miner struct {
 	// phase. 1 reproduces the old serial behavior; the output is identical
 	// either way (see MineBoundary's ordering guarantee).
 	Workers int
+	// Checkpoint, when non-nil, makes sweeps resumable: every completed
+	// work unit — one grid-cell explore, one elevation profile, one class —
+	// is journaled with its result, and a rerun against the same journal
+	// reuses the recorded results instead of re-issuing the service calls.
+	// A resumed sweep produces byte-identical output to an uninterrupted
+	// one (keys embed the grid and sample configuration, so a journal from
+	// a different configuration is never misapplied).
+	Checkpoint *durable.Journal
+	// UnitTimeout, when positive, is the deadline budget for each work
+	// unit (one service call with its retries).
+	UnitTimeout time.Duration
+	// Drain, when non-nil and closed, stops the dispatch of new work units
+	// while in-flight units finish; undispatched units and unattempted
+	// classes report durable.ErrInterrupted. Wired to SIGINT/SIGTERM by
+	// the CLIs for graceful shutdown.
+	Drain <-chan struct{}
 }
 
 // DefaultWorkers is the default per-sweep concurrency.
@@ -81,16 +98,26 @@ func (m *Miner) MineBoundary(ctx context.Context, label string, boundary geo.BBo
 		return nil, fmt.Errorf("segments: invalid sample count %d", m.Samples)
 	}
 
+	pool := m.pool()
+
 	// Phase 1: explore every grid cell concurrently, results in cell order.
+	// With a checkpoint journal, cells completed by an earlier (crashed or
+	// drained) run restore their recorded hits without a service call.
 	cells := boundary.Grid(m.GridRows, m.GridCols)
 	perCell := make([][]Segment, len(cells))
-	err := forEachIndex(ctx, m.workers(), len(cells), func(ctx context.Context, i int) error {
+	err := pool.ForEachIndex(ctx, len(cells), func(ctx context.Context, i int) error {
+		key := m.exploreKey(label, i)
+		var hits []Segment
+		if ok, jerr := m.Checkpoint.Get(key, &hits); jerr == nil && ok {
+			perCell[i] = hits
+			return nil
+		}
 		hits, err := m.segments.Explore(ctx, cells[i])
 		if err != nil {
 			return fmt.Errorf("segments: exploring %v: %w", cells[i], err)
 		}
 		perCell[i] = hits
-		return nil
+		return m.Checkpoint.Put(key, hits)
 	})
 	if err != nil {
 		return nil, err
@@ -112,13 +139,19 @@ func (m *Miner) MineBoundary(ctx context.Context, label string, boundary geo.BBo
 
 	// Phase 2: fetch elevation profiles concurrently, one slot per segment.
 	profiles := make([][]float64, len(uniq))
-	err = forEachIndex(ctx, m.workers(), len(uniq), func(ctx context.Context, i int) error {
+	err = pool.ForEachIndex(ctx, len(uniq), func(ctx context.Context, i int) error {
+		key := m.elevKey(uniq[i].ID)
+		var elevs []float64
+		if ok, jerr := m.Checkpoint.Get(key, &elevs); jerr == nil && ok {
+			profiles[i] = elevs
+			return nil
+		}
 		elevs, err := m.elevation.ElevationAlongPath(ctx, uniq[i].Path, m.Samples)
 		if err != nil {
 			return fmt.Errorf("segments: elevation for %s: %w", uniq[i].ID, err)
 		}
 		profiles[i] = elevs
-		return nil
+		return m.Checkpoint.Put(key, elevs)
 	})
 	if err != nil {
 		return nil, err
@@ -136,11 +169,28 @@ func (m *Miner) MineBoundary(ctx context.Context, label string, boundary geo.BBo
 	return out, nil
 }
 
-func (m *Miner) workers() int {
-	if m.Workers < 1 {
-		return 1
+// pool builds the supervised worker pool a sweep phase fans out over:
+// bounded concurrency, per-unit deadline budgets, panic recovery (a
+// panicking unit surfaces as a *durable.PanicError that quarantines its
+// class), and drain-aware dispatch.
+func (m *Miner) pool() durable.Pool {
+	workers := m.Workers
+	if workers < 1 {
+		workers = 1
 	}
-	return m.Workers
+	return durable.Pool{Workers: workers, UnitTimeout: m.UnitTimeout, Drain: m.Drain}
+}
+
+// exploreKey names one grid-cell explore unit in the checkpoint journal.
+// The grid shape is part of the key so a journal recorded under a different
+// decomposition is never misapplied.
+func (m *Miner) exploreKey(label string, cell int) string {
+	return fmt.Sprintf("explore/%s/%dx%d/%d", label, m.GridRows, m.GridCols, cell)
+}
+
+// elevKey names one elevation-profile unit in the checkpoint journal.
+func (m *Miner) elevKey(segID string) string {
+	return fmt.Sprintf("elev/%d/%s", m.Samples, segID)
 }
 
 // MineClasses runs MineBoundary for every (label, boundary) pair in
@@ -190,18 +240,49 @@ func (e *SweepError) Unwrap() []error {
 	return errs
 }
 
+// Interrupted reports whether the sweep failure is (entirely) a graceful
+// drain rather than real per-class errors: every recorded failure unwraps
+// to durable.ErrInterrupted. CLIs use it to exit 0 with a partial summary.
+func (e *SweepError) Interrupted() bool {
+	if e == nil {
+		return false
+	}
+	for _, ce := range e.PerClass {
+		if !errors.Is(ce.Err, durable.ErrInterrupted) {
+			return false
+		}
+	}
+	return len(e.PerClass) > 0
+}
+
 // MineClassesPartial is MineClasses with partial-failure semantics: every
 // class is attempted (in ascending label order), successful classes
 // contribute their samples, and failing classes are reported together in
 // the returned *SweepError (nil when everything succeeded). A dead context
 // stops the sweep early, charging the context error to every class not yet
-// attempted.
+// attempted; a drain signal does the same with durable.ErrInterrupted
+// (and SweepError.Interrupted reports true). A panicking work unit
+// quarantines only its class: the panic is recovered into a
+// *durable.PanicError carried by that class's ClassError while the other
+// classes keep mining.
+//
+// With a Checkpoint journal, every completed class is additionally marked
+// (key "class/<label>") and the journal is flushed before returning, so a
+// SIGKILL right after the sweep loses nothing.
 func (m *Miner) MineClassesPartial(ctx context.Context, classes map[string]geo.BBox) ([]MinedSegment, *SweepError) {
 	var out []MinedSegment
 	var sweepErr SweepError
 	labels := sortedLabels(classes)
 	for i, label := range labels {
-		if err := ctx.Err(); err != nil {
+		err := ctx.Err()
+		if err == nil && m.Drain != nil {
+			select {
+			case <-m.Drain:
+				err = durable.ErrInterrupted
+			default:
+			}
+		}
+		if err != nil {
 			for _, rest := range labels[i:] {
 				sweepErr.PerClass = append(sweepErr.PerClass, ClassError{Label: rest, Err: err})
 			}
@@ -212,7 +293,14 @@ func (m *Miner) MineClassesPartial(ctx context.Context, classes map[string]geo.B
 			sweepErr.PerClass = append(sweepErr.PerClass, ClassError{Label: label, Err: err})
 			continue
 		}
+		if err := m.Checkpoint.Put("class/"+label, len(mined)); err != nil {
+			sweepErr.PerClass = append(sweepErr.PerClass, ClassError{Label: label, Err: err})
+			continue
+		}
 		out = append(out, mined...)
+	}
+	if err := m.Checkpoint.Flush(); err != nil && len(sweepErr.PerClass) == 0 {
+		sweepErr.PerClass = append(sweepErr.PerClass, ClassError{Label: "(journal)", Err: err})
 	}
 	if len(sweepErr.PerClass) == 0 {
 		return out, nil
@@ -227,72 +315,4 @@ func sortedLabels(classes map[string]geo.BBox) []string {
 	}
 	sort.Strings(labels)
 	return labels
-}
-
-// forEachIndex runs fn(ctx, i) for i in [0, n) over a pool of at most
-// workers goroutines. The first failure cancels the shared context; after
-// all workers drain, the error with the lowest index wins, so concurrent
-// sweeps fail deterministically.
-func forEachIndex(ctx context.Context, workers, n int, fn func(context.Context, int) error) error {
-	if n == 0 {
-		return ctx.Err()
-	}
-	if workers > n {
-		workers = n
-	}
-	parent := ctx
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	errs := make([]error, n)
-	var failed sync.Once
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				if ctx.Err() != nil {
-					return
-				}
-				if err := fn(ctx, i); err != nil {
-					errs[i] = err
-					failed.Do(cancel)
-				}
-			}
-		}()
-	}
-
-feed:
-	for i := 0; i < n; i++ {
-		select {
-		case idx <- i:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(idx)
-	wg.Wait()
-
-	// Report the lowest-index root-cause error. With a live parent context,
-	// context.Canceled errors are fallout from our own cancel after some
-	// other index failed — skip past them to the cause.
-	var fallback error
-	for _, err := range errs {
-		if err == nil {
-			continue
-		}
-		if fallback == nil {
-			fallback = err
-		}
-		if parent.Err() == nil && errors.Is(err, context.Canceled) {
-			continue
-		}
-		return err
-	}
-	if fallback != nil {
-		return fallback
-	}
-	return parent.Err()
 }

@@ -1,0 +1,385 @@
+package segments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"elevprivacy/internal/durable"
+	"elevprivacy/internal/elevsvc"
+	"elevprivacy/internal/geo"
+	"elevprivacy/internal/httpx"
+	"elevprivacy/internal/terrain"
+)
+
+// Kill-and-resume fault injection: these tests abort seeded sweeps at
+// random work-unit boundaries, resume them from the checkpoint journal, and
+// pin the two durability contracts — byte-identical final output and no
+// re-issued HTTP calls for completed units.
+
+// requestLog records every request URI a test server answers.
+type requestLog struct {
+	mu   sync.Mutex
+	uris []string
+}
+
+func (l *requestLog) wrap(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		l.mu.Lock()
+		l.uris = append(l.uris, r.URL.RequestURI())
+		l.mu.Unlock()
+		h.ServeHTTP(w, r)
+	})
+}
+
+func (l *requestLog) snapshot() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.uris...)
+}
+
+var errSimulatedCrash = errors.New("simulated crash at unit boundary")
+
+// dieAfter is an httpx.Doer that crashes the run after budget requests:
+// the failing request errors before reaching the wire, modeling a process
+// death at a work-unit boundary.
+type dieAfter struct {
+	base   httpx.Doer
+	mu     sync.Mutex
+	budget int
+}
+
+func (d *dieAfter) Do(req *http.Request) (*http.Response, error) {
+	d.mu.Lock()
+	if d.budget <= 0 {
+		d.mu.Unlock()
+		return nil, errSimulatedCrash
+	}
+	d.budget--
+	d.mu.Unlock()
+	return d.base.Do(req)
+}
+
+// panicOn panics on the nth request, exercising worker panic recovery.
+type panicOn struct {
+	base httpx.Doer
+	mu   sync.Mutex
+	n    int
+}
+
+func (p *panicOn) Do(req *http.Request) (*http.Response, error) {
+	p.mu.Lock()
+	p.n--
+	trip := p.n == 0
+	p.mu.Unlock()
+	if trip {
+		panic("injected worker panic")
+	}
+	return p.base.Do(req)
+}
+
+// resumeStack stands up counting servers over the WDC terrain plus a miner
+// whose clients run through the given Doer wrappers.
+type resumeStack struct {
+	miner   *Miner
+	segLog  *requestLog
+	elevLog *requestLog
+	elevURL string
+}
+
+func newResumeStack(tb testing.TB, store *Store, wrap func(httpx.Doer) httpx.Doer) *resumeStack {
+	tb.Helper()
+	world := terrain.World()
+	wdc, err := terrain.CityByName(world, "WDC")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tr, err := wdc.Terrain()
+	if err != nil {
+		tb.Fatal(err)
+	}
+
+	segLog, elevLog := &requestLog{}, &requestLog{}
+	segSrv := httptest.NewServer(segLog.wrap(NewServer(store, WithLogf(tb.Logf)).Handler()))
+	tb.Cleanup(segSrv.Close)
+	elevSrv := httptest.NewServer(elevLog.wrap(elevsvc.NewServer(tr, elevsvc.WithLogf(tb.Logf)).Handler()))
+	tb.Cleanup(elevSrv.Close)
+
+	var segDoer, elevDoer httpx.Doer = segSrv.Client(), elevSrv.Client()
+	if wrap != nil {
+		segDoer, elevDoer = wrap(segDoer), wrap(elevDoer)
+	}
+	m := NewMiner(NewClient(segSrv.URL, segDoer), elevsvc.NewClient(elevSrv.URL, elevDoer))
+	m.Samples = 20
+	m.GridRows, m.GridCols = 4, 4
+	return &resumeStack{miner: m, segLog: segLog, elevLog: elevLog, elevURL: elevSrv.URL}
+}
+
+func resumeClasses() map[string]geo.BBox {
+	b := cityBounds()
+	return map[string]geo.BBox{
+		"alpha": geo.NewBBox(geo.LatLng{Lat: 38.88, Lng: b.SW.Lng}, b.NE),
+		"delta": geo.NewBBox(b.SW, geo.LatLng{Lat: 38.92, Lng: b.NE.Lng}),
+	}
+}
+
+// mustJSON renders mined output for byte-level comparison.
+func mustJSON(tb testing.TB, v any) []byte {
+	tb.Helper()
+	blob, err := json.Marshal(v)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return blob
+}
+
+// TestMineResumeByteIdenticalNoReissuedCalls aborts a seeded sweep at a
+// range of random unit boundaries, resumes each from its journal, and
+// asserts the resumed output is byte-identical to an uninterrupted run with
+// zero overlap between pre-crash and post-resume HTTP requests.
+func TestMineResumeByteIdenticalNoReissuedCalls(t *testing.T) {
+	store := populatedStore(t, 7, 50)
+	classes := resumeClasses()
+
+	// Uninterrupted baseline (no journal).
+	baselineStack := newResumeStack(t, store, nil)
+	baseline, sweepErr := baselineStack.miner.MineClassesPartial(context.Background(), classes)
+	if sweepErr != nil {
+		t.Fatal(sweepErr)
+	}
+	if len(baseline) == 0 {
+		t.Fatal("baseline mined nothing")
+	}
+	baselineCalls := len(baselineStack.segLog.snapshot()) + len(baselineStack.elevLog.snapshot())
+
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 4; trial++ {
+		budget := 1 + rng.Intn(baselineCalls-1)
+		t.Run(fmt.Sprintf("crash_after_%d_calls", budget), func(t *testing.T) {
+			dir := t.TempDir()
+			wal := filepath.Join(dir, "sweep.wal")
+
+			// Phase 1: run serially, crash after `budget` requests.
+			j, err := durable.OpenJournal(wal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Each service gets its own budget, so small budgets crash in
+			// the explore phase and larger ones in the elevation phase.
+			crashed := newResumeStack(t, store, func(d httpx.Doer) httpx.Doer {
+				return &dieAfter{base: d, budget: budget}
+			})
+			crashed.miner.Workers = 1 // unit-boundary crash: nothing in flight
+			crashed.miner.Checkpoint = j
+			_, sweepErr := crashed.miner.MineClassesPartial(context.Background(), classes)
+			if sweepErr == nil {
+				t.Skip("budget outlasted the sweep; nothing to resume")
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			preCrash := append(crashed.segLog.snapshot(), crashed.elevLog.snapshot()...)
+
+			// Phase 2: resume with a fresh process (new stack, same journal).
+			j2, err := durable.OpenJournal(wal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer j2.Close()
+			resumed := newResumeStack(t, store, nil)
+			resumed.miner.Workers = 4
+			resumed.miner.Checkpoint = j2
+			out, sweepErr2 := resumed.miner.MineClassesPartial(context.Background(), classes)
+			if sweepErr2 != nil {
+				t.Fatal(sweepErr2)
+			}
+
+			if !reflect.DeepEqual(out, baseline) {
+				t.Fatal("resumed output differs from uninterrupted run")
+			}
+			if got, want := mustJSON(t, out), mustJSON(t, baseline); string(got) != string(want) {
+				t.Fatal("resumed output not byte-identical to uninterrupted run")
+			}
+
+			// No completed unit may be re-fetched: the pre-crash and
+			// post-resume request sets must be disjoint.
+			seen := make(map[string]bool, len(preCrash))
+			for _, uri := range preCrash {
+				seen[uri] = true
+			}
+			postResume := append(resumed.segLog.snapshot(), resumed.elevLog.snapshot()...)
+			for _, uri := range postResume {
+				if seen[uri] {
+					t.Fatalf("resume re-issued completed unit %s", uri)
+				}
+			}
+		})
+	}
+}
+
+// TestMineResumeAfterTornJournalTail simulates a SIGKILL inside an fsync
+// batch: the journal loses its tail bytes, the resume re-runs only the lost
+// units, and the final output is still byte-identical.
+func TestMineResumeAfterTornJournalTail(t *testing.T) {
+	store := populatedStore(t, 9, 40)
+	classes := resumeClasses()
+
+	baselineStack := newResumeStack(t, store, nil)
+	baseline, sweepErr := baselineStack.miner.MineClassesPartial(context.Background(), classes)
+	if sweepErr != nil {
+		t.Fatal(sweepErr)
+	}
+
+	dir := t.TempDir()
+	wal := filepath.Join(dir, "sweep.wal")
+	j, err := durable.OpenJournal(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed := newResumeStack(t, store, func(d httpx.Doer) httpx.Doer {
+		return &dieAfter{base: d, budget: 30}
+	})
+	crashed.miner.Workers = 1
+	crashed.miner.Checkpoint = j
+	if _, sweepErr := crashed.miner.MineClassesPartial(context.Background(), classes); sweepErr == nil {
+		t.Fatal("crash budget outlasted the sweep")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the journal: chop off the last 17 bytes (mid-record).
+	blob, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) < 32 {
+		t.Fatalf("journal implausibly small: %d bytes", len(blob))
+	}
+	if err := os.WriteFile(wal, blob[:len(blob)-17], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := durable.OpenJournal(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	resumed := newResumeStack(t, store, nil)
+	resumed.miner.Workers = 4
+	resumed.miner.Checkpoint = j2
+	out, sweepErr2 := resumed.miner.MineClassesPartial(context.Background(), classes)
+	if sweepErr2 != nil {
+		t.Fatal(sweepErr2)
+	}
+	if got, want := mustJSON(t, out), mustJSON(t, baseline); string(got) != string(want) {
+		t.Fatal("post-tear resume not byte-identical to uninterrupted run")
+	}
+}
+
+// TestMinePanicQuarantinesClass injects a worker panic into one class's
+// sweep and asserts the panic is recovered, only that class fails, and the
+// failure carries the *durable.PanicError through *SweepError.
+func TestMinePanicQuarantinesClass(t *testing.T) {
+	store := populatedStore(t, 11, 40)
+	classes := resumeClasses()
+
+	stack := newResumeStack(t, store, nil)
+	stack.miner.Workers = 2
+	// Panic on the 3rd elevation request: alpha (first label) is mid-phase-2.
+	stack.miner.elevation = elevsvc.NewClient(
+		stack.elevURL, &panicOn{base: http.DefaultClient, n: 3})
+
+	out, sweepErr := stack.miner.MineClassesPartial(context.Background(), classes)
+	if sweepErr == nil {
+		t.Fatal("panic did not surface in SweepError")
+	}
+	if len(sweepErr.PerClass) != 1 || sweepErr.PerClass[0].Label != "alpha" {
+		t.Fatalf("quarantine leaked beyond the panicking class: %v", sweepErr)
+	}
+	var pe *durable.PanicError
+	if !errors.As(sweepErr.PerClass[0].Err, &pe) {
+		t.Fatalf("class error = %v, want *durable.PanicError", sweepErr.PerClass[0].Err)
+	}
+	if len(out) == 0 {
+		t.Fatal("sibling class delta mined nothing")
+	}
+	for _, ms := range out {
+		if ms.Label != "delta" {
+			t.Fatalf("unexpected label %q in partial output", ms.Label)
+		}
+	}
+}
+
+// TestMineDrainStopsDispatchAndResumes closes the miner's drain channel
+// mid-sweep, asserts the sweep reports a clean interruption, then resumes
+// to a byte-identical result.
+func TestMineDrainStopsDispatchAndResumes(t *testing.T) {
+	store := populatedStore(t, 13, 40)
+	classes := resumeClasses()
+
+	baselineStack := newResumeStack(t, store, nil)
+	baseline, sweepErr := baselineStack.miner.MineClassesPartial(context.Background(), classes)
+	if sweepErr != nil {
+		t.Fatal(sweepErr)
+	}
+
+	dir := t.TempDir()
+	wal := filepath.Join(dir, "sweep.wal")
+	j, err := durable.OpenJournal(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain := make(chan struct{})
+	var once sync.Once
+	interrupted := newResumeStack(t, store, func(d httpx.Doer) httpx.Doer {
+		return doerFunc(func(req *http.Request) (*http.Response, error) {
+			resp, err := d.Do(req)
+			once.Do(func() { close(drain) }) // SIGINT lands after the first request
+			return resp, err
+		})
+	})
+	interrupted.miner.Workers = 2
+	interrupted.miner.Checkpoint = j
+	interrupted.miner.Drain = drain
+	_, sweepErr = interrupted.miner.MineClassesPartial(context.Background(), classes)
+	if sweepErr == nil {
+		t.Fatal("drained sweep reported full success")
+	}
+	if !sweepErr.Interrupted() {
+		t.Fatalf("drain misreported as real failure: %v", sweepErr)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := durable.OpenJournal(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	resumed := newResumeStack(t, store, nil)
+	resumed.miner.Workers = 4
+	resumed.miner.Checkpoint = j2
+	out, sweepErr2 := resumed.miner.MineClassesPartial(context.Background(), classes)
+	if sweepErr2 != nil {
+		t.Fatal(sweepErr2)
+	}
+	if got, want := mustJSON(t, out), mustJSON(t, baseline); string(got) != string(want) {
+		t.Fatal("post-drain resume not byte-identical to uninterrupted run")
+	}
+}
+
+// doerFunc adapts a function to httpx.Doer.
+type doerFunc func(*http.Request) (*http.Response, error)
+
+func (f doerFunc) Do(req *http.Request) (*http.Response, error) { return f(req) }

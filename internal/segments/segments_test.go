@@ -350,3 +350,16 @@ func TestClientEmptyResult(t *testing.T) {
 		t.Errorf("empty store returned %d segments", len(got))
 	}
 }
+
+func TestSegmentServerHealthz(t *testing.T) {
+	srv := httptest.NewServer(NewServer(NewStore(), WithLogf(t.Logf)).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"time"
 
 	"elevprivacy/internal/geo"
+	"elevprivacy/internal/httpx"
 )
 
 // SegmentJSON is the wire form of a segment: the route travels as an
@@ -48,11 +50,22 @@ func NewServer(store *Store, opts ...ServerOption) *Server {
 	return s
 }
 
-// Handler returns the HTTP routing for the service.
+// Handler returns the HTTP routing for the service, hardened the same way
+// as the elevation service: panic recovery, per-request timeout, and
+// max-in-flight load shedding with 429 + Retry-After; /healthz bypasses
+// shedding for liveness probes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/segments/explore", s.handleExplore)
-	return mux
+
+	root := http.NewServeMux()
+	root.Handle("GET /healthz", httpx.HealthHandler("segments"))
+	root.Handle("/", httpx.Harden(mux, httpx.ServerConfig{
+		MaxInFlight:    256,
+		RequestTimeout: 15 * time.Second,
+		Logf:           s.logf,
+	}))
+	return root
 }
 
 // handleExplore implements ExploreSegments:

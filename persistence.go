@@ -22,6 +22,25 @@ import (
 
 const attackMagic = "ELPA"
 
+// maxEnvelopeBytes bounds the length prefix read back from disk. The
+// envelope is a few KB of JSON in practice; anything past this is a corrupt
+// or hostile file, and the bound keeps a flipped length byte from driving a
+// multi-GB allocation before the payload is even read.
+const maxEnvelopeBytes = 64 << 20
+
+// FormatError describes a malformed attack file: wrong magic, an
+// implausible envelope length, a truncated envelope, or an envelope that is
+// not valid JSON. Callers distinguish corrupt files from I/O failures with
+// errors.As.
+type FormatError struct {
+	What   string // which part of the file is malformed
+	Detail string // what was found there
+}
+
+func (e *FormatError) Error() string {
+	return fmt.Sprintf("elevprivacy: malformed attack file: %s: %s", e.What, e.Detail)
+}
+
 // textEnvelope persists a TextAttack's non-model state.
 type textEnvelope struct {
 	Kind     ClassifierKind    `json:"kind"`
@@ -53,28 +72,38 @@ func writeEnvelope(w io.Writer, v any) error {
 	return nil
 }
 
-// readEnvelope parses the magic and envelope into v.
+// readEnvelope parses the magic and envelope into v. The length prefix
+// comes from the file, so it is never trusted: the magic is verified and the
+// length bounded by maxEnvelopeBytes before any payload-sized allocation.
+// Malformed files surface as *FormatError; I/O failures pass through.
 func readEnvelope(r io.Reader, v any) error {
-	magic := make([]byte, len(attackMagic))
-	if _, err := io.ReadFull(r, magic); err != nil {
-		return fmt.Errorf("elevprivacy: reading magic: %w", err)
+	header := make([]byte, len(attackMagic)+4)
+	if n, err := io.ReadFull(r, header); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return &FormatError{What: "header",
+				Detail: fmt.Sprintf("truncated at %d of %d bytes", n, len(header))}
+		}
+		return fmt.Errorf("elevprivacy: reading header: %w", err)
 	}
-	if string(magic) != attackMagic {
-		return fmt.Errorf("elevprivacy: not an attack file (magic %q)", magic)
+	if magic := header[:len(attackMagic)]; string(magic) != attackMagic {
+		return &FormatError{What: "magic",
+			Detail: fmt.Sprintf("%q, want %q", magic, attackMagic)}
 	}
-	var n uint32
-	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
-		return fmt.Errorf("elevprivacy: reading envelope length: %w", err)
-	}
-	if n > 64<<20 {
-		return fmt.Errorf("elevprivacy: implausible envelope length %d", n)
+	n := binary.LittleEndian.Uint32(header[len(attackMagic):])
+	if n > maxEnvelopeBytes {
+		return &FormatError{What: "envelope length",
+			Detail: fmt.Sprintf("%d exceeds the %d-byte bound", n, maxEnvelopeBytes)}
 	}
 	env := make([]byte, n)
-	if _, err := io.ReadFull(r, env); err != nil {
+	if got, err := io.ReadFull(r, env); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return &FormatError{What: "envelope",
+				Detail: fmt.Sprintf("truncated at %d of %d bytes", got, n)}
+		}
 		return fmt.Errorf("elevprivacy: reading envelope: %w", err)
 	}
 	if err := json.Unmarshal(env, v); err != nil {
-		return fmt.Errorf("elevprivacy: parsing envelope: %w", err)
+		return &FormatError{What: "envelope JSON", Detail: err.Error()}
 	}
 	return nil
 }

@@ -2,6 +2,8 @@ package elevprivacy
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -119,5 +121,61 @@ func TestLoadAttackRejectsGarbage(t *testing.T) {
 	}
 	if _, err := LoadImageAttack(bytes.NewReader(buf.Bytes())); err == nil {
 		t.Error("text-attack file loaded as image attack")
+	}
+}
+
+// TestLoadAttackCorruptionIsFormatError pins the readEnvelope hardening: a
+// corrupt file must produce a *FormatError describing what is wrong, and an
+// implausible length prefix must be rejected before any payload-sized
+// allocation could happen.
+func TestLoadAttackCorruptionIsFormatError(t *testing.T) {
+	hugeLength := make([]byte, 0, 8)
+	hugeLength = append(hugeLength, "ELPA"...)
+	hugeLength = binary.LittleEndian.AppendUint32(hugeLength, 0xFFFFFFFF)
+
+	justOverBound := make([]byte, 0, 8)
+	justOverBound = append(justOverBound, "ELPA"...)
+	justOverBound = binary.LittleEndian.AppendUint32(justOverBound, maxEnvelopeBytes+1)
+
+	truncatedEnvelope := make([]byte, 0, 16)
+	truncatedEnvelope = append(truncatedEnvelope, "ELPA"...)
+	truncatedEnvelope = binary.LittleEndian.AppendUint32(truncatedEnvelope, 100)
+	truncatedEnvelope = append(truncatedEnvelope, "{\"labels\""...) // 9 of 100 bytes
+
+	cases := []struct {
+		name  string
+		input string
+		what  string
+	}{
+		{"empty", "", "header"},
+		{"short header", "ELPA\x04\x00", "header"},
+		{"bad magic", "NOPE\x04\x00\x00\x00{}xx", "magic"},
+		{"huge length", string(hugeLength), "envelope length"},
+		{"length just over bound", string(justOverBound), "envelope length"},
+		{"truncated envelope", string(truncatedEnvelope), "envelope"},
+		{"bad JSON", "ELPA\x04\x00\x00\x00[[[[", "envelope JSON"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadTextAttack(strings.NewReader(tc.input))
+			var fe *FormatError
+			if !errors.As(err, &fe) {
+				t.Fatalf("err = %v, want *FormatError", err)
+			}
+			if fe.What != tc.what {
+				t.Fatalf("FormatError.What = %q, want %q (detail: %s)", fe.What, tc.what, fe.Detail)
+			}
+		})
+	}
+
+	// The bound itself is exact: a length of maxEnvelopeBytes is admitted
+	// past the length check (and then fails as truncated, not implausible).
+	atBound := make([]byte, 0, 8)
+	atBound = append(atBound, "ELPA"...)
+	atBound = binary.LittleEndian.AppendUint32(atBound, maxEnvelopeBytes)
+	_, err := LoadTextAttack(strings.NewReader(string(atBound)))
+	var fe *FormatError
+	if !errors.As(err, &fe) || fe.What != "envelope" {
+		t.Fatalf("at-bound length: err = %v, want truncated-envelope *FormatError", err)
 	}
 }
