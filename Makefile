@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet staticcheck test test-short check bench bench-full experiments experiments-quick smoke-resume clean
+.PHONY: all build vet staticcheck test test-short check bench bench-full experiments experiments-quick smoke-resume obs-smoke clean
 
 all: build vet test
 
@@ -42,6 +42,14 @@ check: build vet staticcheck test
 ## noisy); locally it is a quick sanity check after touching internal/durable.
 smoke-resume:
 	sh scripts/crash_resume_smoke.sh
+
+## obs-smoke proves the telemetry layer against a live sweep: /metrics is
+## scraped mid-run and must expose the httpx/pool/journal series in valid
+## Prometheus exposition shape, and -trace-out must produce a well-formed
+## Chrome trace. CI runs it non-gating (scrape timing on shared runners is
+## noisy); locally it is the sanity check after touching internal/obs.
+obs-smoke:
+	sh scripts/obs_smoke.sh
 
 ## bench runs every experiment benchmark at smoke scale plus the substrate
 ## micro-benchmarks, then the text-pipeline comparison harness, which

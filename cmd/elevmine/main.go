@@ -46,6 +46,8 @@ import (
 	"elevprivacy/internal/elevsvc"
 	"elevprivacy/internal/geo"
 	"elevprivacy/internal/httpx"
+	"elevprivacy/internal/obs"
+	"elevprivacy/internal/obsboot"
 	"elevprivacy/internal/segments"
 	"elevprivacy/internal/terrain"
 )
@@ -102,7 +104,18 @@ func run() error {
 		resume    = flag.Bool("resume", false, "reuse an existing checkpoint journal instead of starting fresh")
 		outPath   = flag.String("out", "", "write the mined dataset as JSON to this path (atomic: never observed torn)")
 	)
+	obsFlags := obsboot.Register(nil)
 	flag.Parse()
+
+	tel, err := obsFlags.Start("elevmine")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := tel.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "elevmine:", err)
+		}
+	}()
 
 	world := terrain.World()
 	cities := world
@@ -151,8 +164,8 @@ func run() error {
 		_ = elevSrv.Close()
 	}()
 
-	segClient := resilientClient(*rps, *faultRate, *seed)
-	elevClient := resilientClient(*rps, *faultRate, *seed+1)
+	segClient := resilientClient("segments", *rps, *faultRate, *seed)
+	elevClient := resilientClient("elevation", *rps, *faultRate, *seed+1)
 	miner := segments.NewMiner(
 		segments.NewClient(segURL, segClient),
 		elevsvc.NewClient(elevURL, elevClient),
@@ -173,6 +186,14 @@ func run() error {
 	miner.Checkpoint = journal
 	if restored := journal.Restored(); restored > 0 {
 		fmt.Printf("checkpoint: restored %d completed units from journal\n", restored)
+	}
+	// A resumed run reloads the previous run's metrics snapshot, so the
+	// telemetry on /metrics and in the final meta file is cumulative across
+	// the crash/resume boundary, matching the journal's view of the sweep.
+	if *resume {
+		if err := loadMetaMetrics(*ckptDir); err != nil {
+			fmt.Fprintf(os.Stderr, "elevmine: previous run metrics not restored: %v\n", err)
+		}
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
@@ -206,10 +227,12 @@ func run() error {
 		}
 		fmt.Printf("wrote %d segments to %s\n", len(mined), *outPath)
 	}
+	metrics := obs.DefaultRegistry().Dump()
 	if err := writeMeta(*ckptDir, runMeta{
 		Grid: *grid, Samples: *samples, Seed: *seed, Workers: *workers,
 		Mined: len(mined), Journal: journal.Stats(),
 		SegmentClient: segClient.Stats(), ElevationClient: elevClient.Stats(),
+		Metrics: &metrics,
 	}); err != nil {
 		return err
 	}
@@ -260,6 +283,9 @@ type runMeta struct {
 	Journal         durable.JournalStats `json:"journal"`
 	SegmentClient   httpx.Stats          `json:"segment_client"`
 	ElevationClient httpx.Stats          `json:"elevation_client"`
+	// Metrics is the obs registry snapshot at meta-write time; a resumed
+	// run reloads it so counters and histograms accumulate across crashes.
+	Metrics *obs.Dump `json:"metrics,omitempty"`
 }
 
 // writeMeta snapshots run metadata next to the journal (atomic + checksummed).
@@ -268,6 +294,27 @@ func writeMeta(dir string, meta runMeta) error {
 		return nil
 	}
 	return durable.SaveSnapshot(filepath.Join(dir, "elevmine.meta"), 1, meta)
+}
+
+// loadMetaMetrics replays the previous run's metrics snapshot into the
+// process registry. A missing meta file (first run under this checkpoint
+// dir) is not an error; a present-but-unreadable one is.
+func loadMetaMetrics(dir string) error {
+	if dir == "" {
+		return nil
+	}
+	path := filepath.Join(dir, "elevmine.meta")
+	var meta runMeta
+	if err := durable.LoadSnapshot(path, 1, &meta); err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	if meta.Metrics == nil {
+		return nil
+	}
+	return obs.DefaultRegistry().Load(*meta.Metrics)
 }
 
 // writeMined writes the mined dataset as JSON, atomically: a crash mid-write
@@ -284,7 +331,7 @@ func writeMined(path string, mined []segments.MinedSegment) error {
 // retry policy, optional rate limit, and — for the -faultrate demo — a
 // seeded fault-injecting transport underneath, so the output stays
 // identical while the transport misbehaves.
-func resilientClient(rps, faultRate float64, seed int64) *httpx.Client {
+func resilientClient(service string, rps, faultRate float64, seed int64) *httpx.Client {
 	var transport http.RoundTripper = http.DefaultTransport
 	if faultRate > 0 {
 		ft := httpx.NewFaultTripper(transport)
@@ -307,6 +354,7 @@ func resilientClient(rps, faultRate float64, seed int64) *httpx.Client {
 			Jitter:            0.2,
 		}),
 		httpx.WithBreaker(httpx.NewBreaker(16, 5*time.Second)),
+		httpx.WithMetrics(service),
 	}
 	if rps > 0 {
 		opts = append(opts, httpx.WithLimiter(httpx.NewLimiter(rps, 10)))

@@ -31,6 +31,7 @@ import (
 
 	"elevprivacy/internal/durable"
 	"elevprivacy/internal/experiments"
+	"elevprivacy/internal/obsboot"
 )
 
 func main() {
@@ -51,7 +52,18 @@ func run() error {
 		ckptDir    = flag.String("checkpoint", "", "directory for per-experiment checkpoints")
 		resume     = flag.Bool("resume", false, "replay checkpointed experiments instead of starting fresh")
 	)
+	obsFlags := obsboot.Register(nil)
 	flag.Parse()
+
+	tel, err := obsFlags.Start("experiments")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := tel.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		}
+	}()
 
 	if *cpuprofile != "" {
 		// The profile streams for the whole run, so the atomic file commits

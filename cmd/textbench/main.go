@@ -27,6 +27,7 @@ import (
 	"elevprivacy/internal/durable"
 	"elevprivacy/internal/ml/linalg"
 	"elevprivacy/internal/ml/svm"
+	"elevprivacy/internal/obs"
 	"elevprivacy/internal/textrep"
 )
 
@@ -70,6 +71,7 @@ func run() error {
 		out        = flag.String("out", "BENCH_textpipeline.json", "report path")
 		seed       = flag.Int64("seed", 1, "corpus random seed")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this path")
+		metricsOut = flag.String("metrics-out", "", "also write the bench numbers as Prometheus text to this path")
 	)
 	flag.Parse()
 
@@ -234,6 +236,16 @@ func run() error {
 		return err
 	}
 
+	publishReport(rep)
+	if *metricsOut != "" {
+		err := durable.WriteFileAtomic(*metricsOut, 0o644, func(w io.Writer) error {
+			return obs.DefaultRegistry().WritePrometheus(w)
+		})
+		if err != nil {
+			return err
+		}
+	}
+
 	fmt.Printf("corpus: %d samples x %d points, %d classes, precision %d (%d unique values, %d features)\n",
 		cc.Samples, cc.Points, cc.Classes, cc.Precision, rep.UniqueValues, rep.Features)
 	for _, name := range []string{"encode", "vectorize", "featurize_batch", "predict_batch"} {
@@ -244,6 +256,23 @@ func run() error {
 	fmt.Printf("%-16s %10.0f ns/sample (dense rows; identical on both paths)\n", "train", rep.TrainNsPer)
 	fmt.Printf("report written to %s\n", *out)
 	return nil
+}
+
+// publishReport routes the BENCH report through the metrics registry as
+// gauges, so the same numbers that land in BENCH_textpipeline.json are
+// scrapeable (and renderable with -metrics-out) under the standard naming
+// scheme, one series per stage and path.
+func publishReport(rep report) {
+	for name, s := range rep.Stages {
+		obs.GetGauge(`elevpriv_textbench_stage_ns_per_sample{stage="` + name + `",path="legacy"}`).Set(s.LegacyNsPerSample)
+		obs.GetGauge(`elevpriv_textbench_stage_ns_per_sample{stage="` + name + `",path="token"}`).Set(s.TokenNsPerSample)
+		obs.GetGauge(`elevpriv_textbench_stage_b_per_sample{stage="` + name + `",path="legacy"}`).Set(s.LegacyBPerSample)
+		obs.GetGauge(`elevpriv_textbench_stage_b_per_sample{stage="` + name + `",path="token"}`).Set(s.TokenBPerSample)
+		obs.GetGauge(`elevpriv_textbench_stage_speedup{stage="` + name + `"}`).Set(s.Speedup)
+	}
+	obs.GetGauge("elevpriv_textbench_train_ns_per_sample").Set(rep.TrainNsPer)
+	obs.GetGauge("elevpriv_textbench_corpus_samples").Set(float64(rep.Corpus.Samples))
+	obs.GetGauge("elevpriv_textbench_features").Set(float64(rep.Features))
 }
 
 // compare benchmarks a legacy and a token implementation of one stage,

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"log"
 	"math"
 	"net/http"
 	"strings"
@@ -13,6 +12,7 @@ import (
 
 	"elevprivacy/internal/geo"
 	"elevprivacy/internal/httpx"
+	"elevprivacy/internal/obs"
 )
 
 // TileServer serves SRTM .hgt tiles over HTTP, the way public SRTM mirrors
@@ -25,6 +25,7 @@ type TileServer struct {
 	logf        func(string, ...any)
 	maxInFlight int
 	reqTimeout  time.Duration
+	pprof       bool
 
 	mu    sync.Mutex
 	cache map[string][]byte
@@ -33,9 +34,15 @@ type TileServer struct {
 // TileServerOption configures a TileServer.
 type TileServerOption func(*TileServer)
 
-// WithTileLogf overrides the server's log function.
+// WithTileLogf overrides the server's log function (default: error-level
+// lines on the process obs logger).
 func WithTileLogf(logf func(string, ...any)) TileServerOption {
 	return func(s *TileServer) { s.logf = logf }
+}
+
+// WithTilePprof mounts net/http/pprof under /debug/pprof/.
+func WithTilePprof(enabled bool) TileServerOption {
+	return func(s *TileServer) { s.pprof = enabled }
 }
 
 // WithTileMaxInFlight overrides the load-shedding bound (default 64;
@@ -60,7 +67,7 @@ func NewTileServer(source Source, size int, opts ...TileServerOption) (*TileServ
 	s := &TileServer{
 		source:      source,
 		size:        size,
-		logf:        log.Printf,
+		logf:        func(format string, args ...any) { obs.DefaultLogger().Errorf(format, args...) },
 		maxInFlight: 64,
 		reqTimeout:  30 * time.Second,
 		cache:       map[string][]byte{},
@@ -73,19 +80,21 @@ func NewTileServer(source Source, size int, opts ...TileServerOption) (*TileServ
 
 // Handler returns the HTTP routing for the tile mirror, hardened like the
 // JSON services: panic recovery, per-request timeout, and max-in-flight
-// load shedding with 429 + Retry-After; /healthz bypasses shedding.
+// load shedding with 429 + Retry-After; /healthz bypasses shedding and
+// /metrics exposes the process obs registry; see httpx.NewServeMux.
 func (s *TileServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /tiles/{name}", s.handleTile)
 
-	root := http.NewServeMux()
-	root.Handle("GET /healthz", httpx.HealthHandler("dem-tiles"))
-	root.Handle("/", httpx.Harden(mux, httpx.ServerConfig{
-		MaxInFlight:    s.maxInFlight,
-		RequestTimeout: s.reqTimeout,
-		Logf:           s.logf,
-	}))
-	return root
+	return httpx.NewServeMux(mux, httpx.MuxConfig{
+		Service: "dem-tiles",
+		Harden: httpx.ServerConfig{
+			MaxInFlight:    s.maxInFlight,
+			RequestTimeout: s.reqTimeout,
+			Logf:           s.logf,
+		},
+		Pprof: s.pprof,
+	})
 }
 
 // handleTile serves one .hgt payload, rasterizing and caching on first use.

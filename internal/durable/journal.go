@@ -11,6 +11,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Journal is an append-only log of completed work units. Each unit is a
@@ -89,6 +90,7 @@ func OpenJournal(path string) (*Journal, error) {
 		_ = f.Close()
 		return nil, fmt.Errorf("durable: seeking journal end: %w", err)
 	}
+	journalRestored.Add(int64(len(done)))
 	return &Journal{
 		f:         f,
 		w:         bufio.NewWriter(f),
@@ -216,6 +218,7 @@ func (j *Journal) Put(key string, v any) error {
 	j.done[key] = raw
 	j.appends++
 	j.pending++
+	journalAppends.Inc()
 	batch := j.SyncEvery
 	if batch < 1 {
 		batch = 1
@@ -237,6 +240,7 @@ func (j *Journal) Flush() error {
 }
 
 func (j *Journal) syncLocked() error {
+	start := time.Now()
 	if err := j.w.Flush(); err != nil {
 		return fmt.Errorf("durable: flushing journal: %w", err)
 	}
@@ -245,6 +249,8 @@ func (j *Journal) syncLocked() error {
 	}
 	if j.pending > 0 {
 		j.syncs++
+		journalSyncs.Inc()
+		journalFsync.ObserveSince(start)
 	}
 	j.pending = 0
 	return nil

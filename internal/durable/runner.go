@@ -7,6 +7,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"elevprivacy/internal/obs"
 )
 
 // ErrInterrupted marks work units that were never attempted because the run
@@ -87,11 +89,16 @@ func (p Pool) ForEachIndex(ctx context.Context, n int, fn func(context.Context, 
 		}()
 	}
 
+	poolQueueDepth.Add(float64(n))
+	dispatched := 0
 	drained := -1
 feed:
 	for i := 0; i < n; i++ {
 		select {
 		case idx <- i:
+			dispatched++
+			poolDispatched.Inc()
+			poolQueueDepth.Add(-1)
 		case <-ctx.Done():
 			break feed
 		case <-p.drain():
@@ -101,6 +108,12 @@ feed:
 	}
 	close(idx)
 	wg.Wait()
+	// Undispatched units leave the queue without running; on a drain they
+	// are requeued work a resumed run will pick back up.
+	poolQueueDepth.Add(float64(dispatched - n))
+	if drained >= 0 {
+		poolRequeued.Add(int64(n - dispatched))
+	}
 	if drained >= 0 && errs[drained] == nil {
 		errs[drained] = ErrInterrupted
 	}
@@ -130,9 +143,18 @@ feed:
 // runUnit executes one unit under the deadline budget, converting a panic
 // into a *PanicError so the worker (and the process) survives it.
 func (p Pool) runUnit(ctx context.Context, i int, fn func(context.Context, int) error) (err error) {
+	start := time.Now()
+	poolInFlight.Add(1)
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+		poolInFlight.Add(-1)
+		poolUnitSecs.ObserveSince(start)
+		if err != nil {
+			poolFailed.Inc()
+		} else {
+			poolCompleted.Inc()
 		}
 	}()
 	if p.UnitTimeout > 0 {
@@ -260,6 +282,11 @@ func (r *Runner) Run(ctx context.Context, keys []string,
 		}
 		if r.Journal.Has(key) {
 			err := runRecovered(func() error { return restore(key) })
+			if err == nil {
+				runnerRestored.Inc()
+			} else {
+				runnerFailed.Inc()
+			}
 			report.Units = append(report.Units, UnitStatus{Key: key, Restored: err == nil, Err: err})
 			continue
 		}
@@ -271,14 +298,24 @@ func (r *Runner) Run(ctx context.Context, keys []string,
 				uctx, cancel = context.WithTimeout(ctx, r.UnitTimeout)
 				defer cancel()
 			}
+			uctx, span := obs.StartSpan(uctx, "unit/"+key)
+			defer span.End()
 			var uerr error
 			value, uerr = run(uctx, key)
+			if uerr != nil {
+				span.SetAttr("error", uerr.Error())
+			}
 			return uerr
 		})
 		if err == nil && value != nil {
 			if jerr := r.Journal.Put(key, value); jerr != nil {
 				return report, jerr
 			}
+		}
+		if err == nil {
+			runnerCompleted.Inc()
+		} else {
+			runnerFailed.Inc()
 		}
 		report.Units = append(report.Units, UnitStatus{Key: key, Err: err})
 	}

@@ -12,12 +12,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"net/http"
 	"strconv"
 	"time"
 
 	"elevprivacy/internal/dem"
+	"elevprivacy/internal/obs"
 	"elevprivacy/internal/geo"
 	"elevprivacy/internal/httpx"
 )
@@ -59,12 +59,14 @@ type Server struct {
 	logf        func(format string, args ...any)
 	maxInFlight int
 	reqTimeout  time.Duration
+	pprof       bool
 }
 
 // Option configures a Server.
 type Option func(*Server)
 
-// WithLogf overrides the server's log function (default log.Printf).
+// WithLogf overrides the server's log function (default: error-level lines
+// on the process obs logger).
 func WithLogf(logf func(string, ...any)) Option {
 	return func(s *Server) { s.logf = logf }
 }
@@ -79,11 +81,22 @@ func WithRequestTimeout(d time.Duration) Option {
 	return func(s *Server) { s.reqTimeout = d }
 }
 
+// WithPprof mounts net/http/pprof under /debug/pprof/.
+func WithPprof(enabled bool) Option {
+	return func(s *Server) { s.pprof = enabled }
+}
+
+// obsErrorf is the default logf: error-level lines on the process obs
+// logger, resolved per call so SetDefaultLogger takes effect everywhere.
+func obsErrorf(format string, args ...any) {
+	obs.DefaultLogger().Errorf(format, args...)
+}
+
 // NewServer creates a Server over the given elevation source.
 func NewServer(source dem.Source, opts ...Option) *Server {
 	s := &Server{
 		source:      source,
-		logf:        log.Printf,
+		logf:        obsErrorf,
 		maxInFlight: DefaultMaxInFlight,
 		reqTimeout:  DefaultRequestTimeout,
 	}
@@ -96,20 +109,22 @@ func NewServer(source dem.Source, opts ...Option) *Server {
 // Handler returns the HTTP routing for the service, hardened for sweep
 // traffic: panic recovery (a panicking source quarantines one request, not
 // the server), a per-request timeout, and max-in-flight load shedding with
-// 429 + Retry-After. The /healthz liveness probe bypasses shedding.
+// 429 + Retry-After. The /healthz liveness probe bypasses shedding, and
+// /metrics exposes the process obs registry; see httpx.NewServeMux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/elevation/path", s.handlePath)
 	mux.HandleFunc("GET /v1/elevation/point", s.handlePoint)
 
-	root := http.NewServeMux()
-	root.Handle("GET /healthz", httpx.HealthHandler("elevsvc"))
-	root.Handle("/", httpx.Harden(mux, httpx.ServerConfig{
-		MaxInFlight:    s.maxInFlight,
-		RequestTimeout: s.reqTimeout,
-		Logf:           s.logf,
-	}))
-	return root
+	return httpx.NewServeMux(mux, httpx.MuxConfig{
+		Service: "elevsvc",
+		Harden: httpx.ServerConfig{
+			MaxInFlight:    s.maxInFlight,
+			RequestTimeout: s.reqTimeout,
+			Logf:           s.logf,
+		},
+		Pprof: s.pprof,
+	})
 }
 
 // handlePath samples elevations along an encoded polyline:
@@ -198,6 +213,6 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.WriteHeader(code)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		// Headers are gone; nothing more to do than note it.
-		log.Printf("elevsvc: encoding response: %v", err)
+		obsErrorf("elevsvc: encoding response: %v", err)
 	}
 }

@@ -4,9 +4,19 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"elevprivacy/internal/ml"
 	"elevprivacy/internal/ml/linalg"
+	"elevprivacy/internal/obs"
+)
+
+// Evaluation telemetry: each concurrently evaluated fold (train + batch
+// score) records its wall time, and whole cross-validations count through
+// foldsTotal so dashboards can tell a stuck fold from an idle process.
+var (
+	foldSeconds = obs.GetHistogram("elevpriv_eval_fold_seconds", nil)
+	foldsTotal  = obs.GetCounter("elevpriv_eval_folds_total")
 )
 
 // StratifiedKFold partitions sample indices into k folds with every class
@@ -140,7 +150,10 @@ func runFolds(x *linalg.Matrix, sp *linalg.SparseMatrix, y []int, classes int, f
 		wg.Add(1)
 		go func(f int) {
 			defer wg.Done()
+			start := time.Now()
 			cms[f], errs[f] = evaluateFold(x, sp, y, classes, folds[f], factory)
+			foldSeconds.ObserveSince(start)
+			foldsTotal.Inc()
 		}(f)
 	}
 	wg.Wait()

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"elevprivacy/internal/durable"
+	"elevprivacy/internal/obs"
 )
 
 // Per-experiment checkpointing: a full suite run is hours of CPU at paper
@@ -66,6 +67,12 @@ func RunSuite(ctx context.Context, cfg Config, runners []Runner, journal *durabl
 		byKey[k] = r
 		keys = append(keys, k)
 	}
+
+	// The suite span is the trace's root: each experiment's "unit/exp/..."
+	// span (recorded by durable.Runner) nests under it.
+	ctx, span := obs.StartSpan(ctx, "suite")
+	span.SetAttr("experiments", fmt.Sprint(len(runners)))
+	defer span.End()
 
 	dr := &durable.Runner{Journal: journal, Drain: drain}
 	report, err := dr.Run(ctx, keys,

@@ -77,6 +77,7 @@ type Client struct {
 	limiter *Limiter
 	breaker *Breaker
 	sleep   func(context.Context, time.Duration) error
+	metrics *clientMetrics
 
 	mu  sync.Mutex
 	rnd *rand.Rand
@@ -181,29 +182,51 @@ func (c *Client) Do(req *http.Request) (*http.Response, error) {
 		attempts = 1
 	}
 	c.requests.Add(1)
+	if c.metrics != nil {
+		c.metrics.requests.Inc()
+	}
 
 	var lastErr error
 	for i := 0; ; i++ {
 		if err := req.Context().Err(); err != nil {
 			return nil, err
 		}
+		waitStart := c.timeIfMetrics()
 		if err := c.limiter.Wait(req.Context()); err != nil {
 			return nil, err
 		}
+		if c.metrics != nil && c.limiter != nil {
+			c.metrics.limiterWait.ObserveSince(waitStart)
+		}
 		if err := c.breaker.Allow(); err != nil {
 			c.breakerRejected.Add(1)
+			if c.metrics != nil {
+				c.metrics.breakerRejected.Inc()
+			}
+			c.observeBreakerState()
 			return nil, fmt.Errorf("httpx: %w", err)
 		}
 
 		c.attempts.Add(1)
+		if c.metrics != nil {
+			c.metrics.attempts.Inc()
+			if i > 0 {
+				c.metrics.retries.Inc()
+			}
+		}
 		if i > 0 {
 			c.retries.Add(1)
 		}
+		attemptStart := c.timeIfMetrics()
 		resp, err := c.attempt(req)
+		if c.metrics != nil {
+			c.metrics.attemptSeconds.ObserveSince(attemptStart)
+		}
 		var delay time.Duration
 		switch {
 		case err != nil:
 			c.breaker.Record(false)
+			c.observeBreakerState()
 			// A dead parent context is the caller giving up, not the
 			// server failing: surface it without burning attempts.
 			if ctxErr := req.Context().Err(); ctxErr != nil {
@@ -212,13 +235,20 @@ func (c *Client) Do(req *http.Request) (*http.Response, error) {
 			lastErr = err
 			if i == attempts-1 {
 				c.exhaustedRetries.Add(1)
+				if c.metrics != nil {
+					c.metrics.exhausted.Inc()
+				}
 				return nil, fmt.Errorf("httpx: %d attempts: %w", attempts, lastErr)
 			}
 			delay = c.backoff(i)
 		case RetryableStatus(resp.StatusCode):
 			c.breaker.Record(false)
+			c.observeBreakerState()
 			if i == attempts-1 {
 				c.exhaustedRetries.Add(1)
+				if c.metrics != nil {
+					c.metrics.exhausted.Inc()
+				}
 				return resp, nil
 			}
 			delay = c.backoff(i)
@@ -231,6 +261,7 @@ func (c *Client) Do(req *http.Request) (*http.Response, error) {
 			drainClose(resp)
 		default:
 			c.breaker.Record(true)
+			c.observeBreakerState()
 			return resp, nil
 		}
 

@@ -1,0 +1,82 @@
+package httpx
+
+import (
+	"time"
+
+	"elevprivacy/internal/obs"
+)
+
+// Client-side telemetry: WithMetrics fits a Client with handles into the
+// process-wide obs registry, labeled by service, so a live sweep's retry
+// storms, breaker trips, and rate-limiter stalls are visible on /metrics
+// while they happen (Stats() remains the end-of-run snapshot).
+//
+// All series follow the elevpriv_httpx_* scheme:
+//
+//	elevpriv_httpx_requests_total{service=...}         Do calls
+//	elevpriv_httpx_attempts_total{service=...}         individual tries
+//	elevpriv_httpx_retries_total{service=...}          attempts after the first
+//	elevpriv_httpx_breaker_rejected_total{service=...} fail-fast rejections
+//	elevpriv_httpx_exhausted_retries_total{service=...} budgets burned
+//	elevpriv_httpx_attempt_seconds{service=...}        per-attempt latency
+//	elevpriv_httpx_limiter_wait_seconds{service=...}   rate-limiter stalls
+//	elevpriv_httpx_breaker_state{service=...}          0 closed, 1 half-open, 2 open
+type clientMetrics struct {
+	requests        *obs.Counter
+	attempts        *obs.Counter
+	retries         *obs.Counter
+	breakerRejected *obs.Counter
+	exhausted       *obs.Counter
+	attemptSeconds  *obs.Histogram
+	limiterWait     *obs.Histogram
+	breakerState    *obs.Gauge
+}
+
+// WithMetrics instruments the client under the given service label,
+// recording into the default obs registry. The handles are resolved once
+// here; per-request cost is a handful of atomic adds.
+func WithMetrics(service string) Option {
+	return func(c *Client) {
+		label := `{service="` + service + `"}`
+		c.metrics = &clientMetrics{
+			requests:        obs.GetCounter("elevpriv_httpx_requests_total" + label),
+			attempts:        obs.GetCounter("elevpriv_httpx_attempts_total" + label),
+			retries:         obs.GetCounter("elevpriv_httpx_retries_total" + label),
+			breakerRejected: obs.GetCounter("elevpriv_httpx_breaker_rejected_total" + label),
+			exhausted:       obs.GetCounter("elevpriv_httpx_exhausted_retries_total" + label),
+			attemptSeconds:  obs.GetHistogram("elevpriv_httpx_attempt_seconds"+label, nil),
+			limiterWait:     obs.GetHistogram("elevpriv_httpx_limiter_wait_seconds"+label, nil),
+			breakerState:    obs.GetGauge("elevpriv_httpx_breaker_state" + label),
+		}
+	}
+}
+
+// breakerStateValue maps Breaker.State() strings onto the gauge scale.
+func breakerStateValue(state string) float64 {
+	switch state {
+	case "open":
+		return 2
+	case "half-open":
+		return 1
+	default:
+		return 0
+	}
+}
+
+// observeBreakerState publishes the breaker's current state; no-op without
+// metrics or without a breaker.
+func (c *Client) observeBreakerState() {
+	if c.metrics == nil || c.breaker == nil {
+		return
+	}
+	c.metrics.breakerState.Set(breakerStateValue(c.breaker.State()))
+}
+
+// timeIfMetrics returns now only when the client is instrumented, keeping
+// the uninstrumented path free of clock reads.
+func (c *Client) timeIfMetrics() time.Time {
+	if c.metrics == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}

@@ -1,0 +1,125 @@
+package httpx
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"elevprivacy/internal/obs"
+)
+
+// NewServeMux is the one place the repo's HTTP services assemble their root
+// routing. The elevation service, the segment-explore service, and the DEM
+// tile mirror used to each hand-roll the same three-layer mux; they now all
+// call this, so /healthz, /metrics, pprof, and the Harden wrapper behave
+// identically everywhere:
+//
+//	/healthz       liveness, outside Harden so probes bypass load shedding
+//	/metrics       Prometheus exposition of the obs registry, outside Harden
+//	               so a shedding server can still be observed (that is
+//	               exactly when telemetry matters most)
+//	/debug/pprof/  opt-in profiling, panic-recovered but outside the request
+//	               timeout — TimeoutHandler would cut off a 30 s CPU profile
+//	/              the app handler under Harden (panic recovery, request
+//	               timeout, max-in-flight shedding)
+//
+// The app handler is additionally wrapped with per-service request metrics
+// (outermost, so shed requests are counted too):
+//
+//	elevpriv_server_requests_total{service=...}
+//	elevpriv_server_responses_total{service=...,class="2xx"|...}
+//	elevpriv_server_in_flight{service=...}
+//	elevpriv_server_request_seconds{service=...}
+type MuxConfig struct {
+	// Service names the service on /healthz and in metric labels.
+	Service string
+	// Harden tunes the resilience wrapper around the app handler.
+	Harden ServerConfig
+	// Metrics is the registry served at /metrics and recorded into; nil
+	// uses the process-wide default registry.
+	Metrics *obs.Registry
+	// DisableMetrics removes the /metrics endpoint and the request metrics.
+	DisableMetrics bool
+	// Pprof mounts net/http/pprof endpoints under /debug/pprof/.
+	Pprof bool
+}
+
+// NewServeMux assembles the root handler described above. app may be nil
+// for a pure admin mux (the CLIs' -metrics-addr endpoint: health, metrics,
+// and pprof with no application routes).
+func NewServeMux(app http.Handler, cfg MuxConfig) http.Handler {
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.DefaultRegistry()
+	}
+	root := http.NewServeMux()
+	root.Handle("GET /healthz", HealthHandler(cfg.Service))
+	if !cfg.DisableMetrics {
+		root.Handle("GET /metrics", reg.Handler())
+	}
+	if cfg.Pprof {
+		pp := http.NewServeMux()
+		pp.HandleFunc("/debug/pprof/", pprof.Index)
+		pp.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pp.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pp.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pp.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		root.Handle("/debug/pprof/", recoverHandler(pp, cfg.Harden.Logf))
+	}
+	if app != nil {
+		h := Harden(app, cfg.Harden)
+		if !cfg.DisableMetrics {
+			h = instrumentHandler(h, reg, cfg.Service)
+		}
+		root.Handle("/", h)
+	}
+	return root
+}
+
+// instrumentHandler wraps h with the per-service server metrics.
+func instrumentHandler(h http.Handler, reg *obs.Registry, service string) http.Handler {
+	label := `{service="` + service + `"}`
+	requests := reg.Counter("elevpriv_server_requests_total" + label)
+	inFlight := reg.Gauge("elevpriv_server_in_flight" + label)
+	seconds := reg.Histogram("elevpriv_server_request_seconds"+label, nil)
+	// One counter per status class, resolved up front so the per-request
+	// cost stays a couple of atomic adds.
+	var responses [6]*obs.Counter
+	for i, class := range []string{"1xx", "2xx", "3xx", "4xx", "5xx"} {
+		responses[i+1] = reg.Counter(`elevpriv_server_responses_total{service="` + service + `",class="` + class + `"}`)
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		requests.Inc()
+		inFlight.Add(1)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			inFlight.Add(-1)
+			seconds.ObserveSince(start)
+			if class := sw.code / 100; class >= 1 && class <= 5 {
+				responses[class].Inc()
+			}
+		}()
+		h.ServeHTTP(sw, r)
+	})
+}
+
+// statusWriter records the response code for the status-class counters.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
+}

@@ -2,8 +2,17 @@ package imagerep
 
 import (
 	"fmt"
+	"time"
 
 	"elevprivacy/internal/ml/linalg"
+	"elevprivacy/internal/obs"
+)
+
+// Rendering telemetry: batch throughput (images rendered and wall time per
+// RenderBatch call), the image-side mirror of textrep's featurize series.
+var (
+	renderRows    = obs.GetCounter("elevpriv_imagerep_rows_rendered_total")
+	renderSeconds = obs.GetHistogram("elevpriv_imagerep_render_seconds", nil)
 )
 
 // Batch is a set of rendered images stored as one dense matrix: row i is
@@ -28,6 +37,8 @@ func RenderBatch(signals [][]float64, cfg Config) (*Batch, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	defer renderSeconds.ObserveSince(time.Now())
+	renderRows.Add(int64(len(signals)))
 	b := &Batch{
 		Channels: 3,
 		Height:   cfg.Height,

@@ -16,10 +16,12 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"elevprivacy/internal/imagerep"
 	"elevprivacy/internal/ml"
 	"elevprivacy/internal/ml/linalg"
+	"elevprivacy/internal/obs"
 )
 
 // Config describes the network and training regime.
@@ -231,6 +233,7 @@ func (c *CNN) TrainEpochs(images []*imagerep.Image, labels []int, epochs int) er
 	}
 
 	for epoch := 0; epoch < epochs; epoch++ {
+		epochStart := time.Now()
 		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
 		for start := 0; start < n; start += c.cfg.BatchSize {
 			end := start + c.cfg.BatchSize
@@ -274,11 +277,22 @@ func (c *CNN) TrainEpochs(images []*imagerep.Image, labels []int, epochs int) er
 			if weightTotal > 0 {
 				scale = 1 / weightTotal
 			}
+			stepStart := time.Now()
 			c.adam.StepSum(c.params, workerGrads[:used], scale)
+			adamStepSeconds.ObserveSince(stepStart)
 		}
+		epochSeconds.ObserveSince(epochStart)
 	}
 	return nil
 }
+
+// Training telemetry: per-epoch wall time and the Adam update's share of it
+// (the fused reduce is the serial section between the concurrent backward
+// workers, so its histogram shows when it becomes the bottleneck).
+var (
+	epochSeconds    = obs.GetHistogram(`elevpriv_ml_epoch_seconds{model="cnn"}`, nil)
+	adamStepSeconds = obs.GetHistogram(`elevpriv_ml_adam_step_seconds{model="cnn"}`, nil)
+)
 
 // Predict returns the most probable class for one image.
 func (c *CNN) Predict(im *imagerep.Image) (int, error) {

@@ -9,9 +9,11 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"time"
 
 	"elevprivacy/internal/ml"
 	"elevprivacy/internal/ml/linalg"
+	"elevprivacy/internal/obs"
 )
 
 // Config tunes the network.
@@ -127,6 +129,7 @@ func (m *MLP) Fit(x [][]float64, y []int) error {
 	scratch := m.newScratch()
 
 	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		epochStart := time.Now()
 		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
 		for start := 0; start < n; start += m.cfg.BatchSize {
 			end := start + m.cfg.BatchSize
@@ -138,11 +141,22 @@ func (m *MLP) Fit(x [][]float64, y []int) error {
 				m.backward(x[i], y[i], grads, scratch)
 			}
 			// Fused scale + update (identical numbers to Scale then Step).
+			stepStart := time.Now()
 			m.adam.StepSum(m.params, [][]float64{grads}, 1/float64(end-start))
+			adamStepSeconds.ObserveSince(stepStart)
 		}
+		epochSeconds.ObserveSince(epochStart)
 	}
 	return nil
 }
+
+// Training telemetry: per-epoch wall time and the Adam update's share of it
+// (the optimizer step is the serial section between concurrent backward
+// passes, so its histogram shows when parameter count becomes the bottleneck).
+var (
+	epochSeconds    = obs.GetHistogram(`elevpriv_ml_epoch_seconds{model="mlp"}`, nil)
+	adamStepSeconds = obs.GetHistogram(`elevpriv_ml_adam_step_seconds{model="mlp"}`, nil)
+)
 
 // scratch holds per-forward intermediate buffers.
 type scratch struct {

@@ -11,9 +11,11 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"time"
 
 	"elevprivacy/internal/ml"
 	"elevprivacy/internal/ml/linalg"
+	"elevprivacy/internal/obs"
 )
 
 // Config tunes training.
@@ -89,17 +91,29 @@ func (s *SVM) Fit(x [][]float64, y []int) error {
 	s.w = linalg.NewMatrix(s.cfg.Classes, dim)
 	s.b = make([]float64, s.cfg.Classes)
 
+	fitStart := time.Now()
 	var wg sync.WaitGroup
 	for c := 0; c < s.cfg.Classes; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			start := time.Now()
 			s.b[c] = s.fitBinary(x, y, c, s.w.Row(c))
+			classFitSeconds.ObserveSince(start)
 		}(c)
 	}
 	wg.Wait()
+	epochSeconds.ObserveSince(fitStart)
 	return nil
 }
+
+// Training telemetry. The SVM has no epoch loop at this level — one Fit is
+// one pass over the one-vs-rest problems — so the "epoch" histogram records
+// whole fits and classFitSeconds the concurrent binary sub-problems.
+var (
+	epochSeconds    = obs.GetHistogram(`elevpriv_ml_epoch_seconds{model="svm"}`, nil)
+	classFitSeconds = obs.GetHistogram(`elevpriv_ml_class_fit_seconds{model="svm"}`, nil)
+)
 
 // fitBinary runs averaged Pegasos for the class-c-vs-rest problem, writing
 // the averaged weight vector into wOut and returning the intercept: the

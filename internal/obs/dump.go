@@ -1,0 +1,108 @@
+package obs
+
+import "fmt"
+
+// Metrics dumps make a resumed run's telemetry cumulative: the CLIs embed
+// Registry.Dump() in their checkpoint metadata snapshot, and on -resume
+// Registry.Load() adds the previous run's counts back before new work
+// starts, so counters and histograms over a crash/resume boundary read as
+// one continuous run. (Gauges are point-in-time and are restored by Set —
+// live instrumentation overwrites them as soon as the subsystem runs.)
+
+// DumpedMetric is one serialized series.
+type DumpedMetric struct {
+	// Name is the full series name, labels inlined.
+	Name string `json:"name"`
+	// Kind is "counter", "gauge", or "histogram".
+	Kind string `json:"kind"`
+	// Value carries the counter count or gauge value.
+	Value float64 `json:"value,omitempty"`
+	// Histogram state: bucket upper bounds, per-bucket counts (one longer
+	// than Bounds; the last is +Inf), total count, and value sum.
+	Bounds  []float64 `json:"bounds,omitempty"`
+	Buckets []uint64  `json:"buckets,omitempty"`
+	Count   uint64    `json:"count,omitempty"`
+	Sum     float64   `json:"sum,omitempty"`
+}
+
+// Dump is a point-in-time snapshot of a whole registry, stable-ordered and
+// JSON-serializable for checkpoint metadata.
+type Dump struct {
+	Metrics []DumpedMetric `json:"metrics"`
+}
+
+// Dump snapshots every registered series.
+func (r *Registry) Dump() Dump {
+	entries := r.snapshot()
+	d := Dump{Metrics: make([]DumpedMetric, 0, len(entries))}
+	for _, e := range entries {
+		m := DumpedMetric{Name: e.name, Kind: e.kind.String()}
+		switch e.kind {
+		case kindCounter:
+			m.Value = float64(e.c.Value())
+		case kindGauge:
+			m.Value = e.g.Value()
+		case kindHistogram:
+			m.Bounds = e.h.Bounds()
+			m.Buckets = e.h.BucketCounts()
+			m.Count = e.h.Count()
+			m.Sum = e.h.Sum()
+		}
+		d.Metrics = append(d.Metrics, m)
+	}
+	return d
+}
+
+// Load folds a previous run's dump into the registry: counters and
+// histograms add (telemetry accumulates across a resume), gauges restore the
+// dumped value. Series are created as needed; a kind conflict with an
+// already-registered series, or histogram bounds that do not match, abort
+// with an error.
+func (r *Registry) Load(d Dump) error {
+	for _, m := range d.Metrics {
+		if err := r.loadOne(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Registry) loadOne(m DumpedMetric) (err error) {
+	// getOrCreate panics on malformed names and kind conflicts — programmer
+	// errors at instrumentation sites, but a dump comes from disk, so here
+	// they degrade to errors.
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("obs: loading dump: %v", rec)
+		}
+	}()
+	switch m.Kind {
+	case "counter":
+		r.Counter(m.Name).Add(int64(m.Value))
+	case "gauge":
+		r.Gauge(m.Name).Set(m.Value)
+	case "histogram":
+		if len(m.Buckets) != len(m.Bounds)+1 {
+			return fmt.Errorf("obs: loading dump: histogram %q has %d buckets for %d bounds",
+				m.Name, len(m.Buckets), len(m.Bounds))
+		}
+		h := r.Histogram(m.Name, m.Bounds)
+		if !equalBounds(h.bounds, m.Bounds) {
+			return fmt.Errorf("obs: loading dump: histogram %q bounds differ from registered", m.Name)
+		}
+		for i, c := range m.Buckets {
+			h.buckets[i].Add(c)
+		}
+		h.count.Add(m.Count)
+		for {
+			old := h.sumBits.Load()
+			next := floatBitsAdd(old, m.Sum)
+			if h.sumBits.CompareAndSwap(old, next) {
+				break
+			}
+		}
+	default:
+		return fmt.Errorf("obs: loading dump: series %q has unknown kind %q", m.Name, m.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,360 @@
+// Package obs is the repo's dependency-free telemetry layer: a concurrent
+// metrics registry rendered in Prometheus text format (metrics.go, prom.go),
+// run-scoped tracing with Chrome trace_event export (trace.go), and a leveled
+// structured logger (log.go). Every subsystem — the httpx transport, the
+// durable pool and journal, the miner, featurization, training, evaluation,
+// and the three HTTP servers — records into the process-wide default
+// registry, so a single /metrics endpoint (or checkpoint metrics dump) shows
+// the whole pipeline's health.
+//
+// The package imports only the standard library, so any package in the repo
+// (including the leaf resilience and persistence layers) can instrument
+// itself without import cycles.
+//
+// Metric names follow the elevpriv_<subsystem>_<name> scheme, with constant
+// labels inlined in the series name the way they will render:
+//
+//	obs.GetCounter(`elevpriv_httpx_attempts_total{service="segments"}`).Inc()
+//
+// Handles are get-or-create and safe for concurrent use; hot paths cache
+// them in struct fields or package variables so the registry lookup happens
+// once, and each observation is one or two atomic operations.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing int64, one atomic add per Inc.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta (negative deltas are a programmer error but not checked on
+// the hot path; the registry dump round-trip preserves whatever is stored).
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 that can go up and down (queue depths, breaker state).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta with a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, floatBitsAdd(old, delta)) {
+			return
+		}
+	}
+}
+
+// floatBitsAdd returns the bit pattern of frombits(old)+delta — the CAS
+// payload shared by gauge and histogram-sum float adds.
+func floatBitsAdd(old uint64, delta float64) uint64 {
+	return math.Float64bits(math.Float64frombits(old) + delta)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DefLatencyBuckets are the default histogram bounds, in seconds — a
+// latency-shaped ladder from 0.5 ms to 10 s that covers everything from an
+// Adam step to a rate-limited sweep call.
+var DefLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram: len(bounds)+1 atomic bucket counts
+// (the last bucket is +Inf), a total count, and a running sum. Observation
+// is a binary search plus two atomic adds — no locks, no allocation.
+type Histogram struct {
+	bounds  []float64 // strictly increasing upper bounds
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		bounds = DefLatencyBuckets
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return nil, fmt.Errorf("obs: histogram bound %d is %v", i, b)
+		}
+		if i > 0 && bounds[i-1] >= b {
+			return nil, fmt.Errorf("obs: histogram bounds not strictly increasing at %d (%g >= %g)",
+				i, bounds[i-1], b)
+		}
+	}
+	h := &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+	return h, nil
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose upper bound is >= v; past the last bound lands in
+	// the +Inf bucket.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.buckets[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, floatBitsAdd(old, v)) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0 — the one-liner every
+// latency instrumentation site uses.
+func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0).Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bounds returns a copy of the bucket upper bounds.
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// BucketCounts returns the per-bucket counts (len(Bounds())+1; the last is
+// the +Inf bucket). Counts are read one atomic at a time, so a snapshot
+// taken under concurrent observation may be mid-update across buckets —
+// fine for monitoring, which is the use.
+func (h *Histogram) BucketCounts() []uint64 {
+	out := make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// metricKind discriminates registry entries.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// entry is one registered series.
+type entry struct {
+	name   string // full series name as registered, labels inlined
+	base   string // name without the label block
+	labels string // label block without braces, "" when unlabeled
+	kind   metricKind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds named metrics. Get-or-create is mutex-guarded; the returned
+// handles are lock-free. The zero value is not usable; use NewRegistry or
+// the process-wide DefaultRegistry.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// DefaultRegistry is the process-wide registry every instrumented subsystem
+// records into; /metrics endpoints and checkpoint metric dumps read it.
+func DefaultRegistry() *Registry { return defaultRegistry }
+
+// GetCounter returns the named counter from the default registry,
+// creating it on first use. Panics on a malformed name or kind mismatch
+// (programmer errors, like prometheus.MustRegister).
+func GetCounter(name string) *Counter { return defaultRegistry.Counter(name) }
+
+// GetGauge returns the named gauge from the default registry.
+func GetGauge(name string) *Gauge { return defaultRegistry.Gauge(name) }
+
+// GetHistogram returns the named histogram from the default registry; nil
+// bounds means DefLatencyBuckets.
+func GetHistogram(name string, bounds []float64) *Histogram {
+	return defaultRegistry.Histogram(name, bounds)
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	e := r.getOrCreate(name, kindCounter, nil)
+	return e.c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	e := r.getOrCreate(name, kindGauge, nil)
+	return e.g
+}
+
+// Histogram returns the named histogram, creating it on first use with the
+// given bucket upper bounds (nil means DefLatencyBuckets). The bounds of an
+// already-created histogram win; callers re-fetching with different bounds
+// is a programmer error and panics.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	e := r.getOrCreate(name, kindHistogram, bounds)
+	return e.h
+}
+
+func (r *Registry) getOrCreate(name string, kind metricKind, bounds []float64) *entry {
+	base, labels, err := parseSeriesName(name)
+	if err != nil {
+		panic(err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != kind {
+			panic(fmt.Errorf("obs: metric %q already registered as %s, requested %s", name, e.kind, kind))
+		}
+		if kind == kindHistogram && bounds != nil && !equalBounds(e.h.bounds, bounds) {
+			panic(fmt.Errorf("obs: histogram %q already registered with different bounds", name))
+		}
+		return e
+	}
+	e := &entry{name: name, base: base, labels: labels, kind: kind}
+	switch kind {
+	case kindCounter:
+		e.c = &Counter{}
+	case kindGauge:
+		e.g = &Gauge{}
+	case kindHistogram:
+		h, err := newHistogram(bounds)
+		if err != nil {
+			panic(err)
+		}
+		e.h = h
+	}
+	r.entries[name] = e
+	return e
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// snapshot returns the entries sorted by (base, labels) — the render and
+// dump order.
+func (r *Registry) snapshot() []*entry {
+	r.mu.Lock()
+	out := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].base != out[j].base {
+			return out[i].base < out[j].base
+		}
+		return out[i].labels < out[j].labels
+	})
+	return out
+}
+
+// parseSeriesName splits `base{k="v",k2="v2"}` into base and the label
+// block, validating both. Labels are optional; values must not contain
+// quotes, backslashes, commas, or newlines (the registry inlines them
+// verbatim into the Prometheus exposition).
+func parseSeriesName(name string) (base, labels string, err error) {
+	base = name
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		if !strings.HasSuffix(name, "}") {
+			return "", "", fmt.Errorf("obs: series %q: unterminated label block", name)
+		}
+		base, labels = name[:i], name[i+1:len(name)-1]
+		if labels == "" {
+			return "", "", fmt.Errorf("obs: series %q: empty label block", name)
+		}
+	}
+	if !validMetricName(base) {
+		return "", "", fmt.Errorf("obs: invalid metric name %q", base)
+	}
+	if labels != "" {
+		for _, pair := range strings.Split(labels, ",") {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok || !validMetricName(k) {
+				return "", "", fmt.Errorf("obs: series %q: malformed label %q", name, pair)
+			}
+			if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				return "", "", fmt.Errorf("obs: series %q: label %s value must be quoted", name, k)
+			}
+			if strings.ContainsAny(v[1:len(v)-1], "\"\\\n,") {
+				return "", "", fmt.Errorf("obs: series %q: label %s value contains reserved characters", name, k)
+			}
+		}
+	}
+	return base, labels, nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("elevpriv_test_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("elevpriv_test_total"); again != c {
+		t.Fatal("get-or-create returned a different counter handle")
+	}
+
+	g := r.Gauge(`elevpriv_test_depth{pool="mine"}`)
+	g.Set(3)
+	g.Add(-1.5)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+}
+
+func TestRegistryRejectsBadNames(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{
+		"", "9starts_with_digit", "has space", "bad{unterminated",
+		`bad{}`, `bad{k=unquoted}`, `bad{k="emb"edded"}`, `bad{k="a,b"}`,
+		"dash-ed",
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q: want panic", name)
+				}
+			}()
+			r.Counter(name)
+		}()
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("elevpriv_test_total")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on kind mismatch")
+		}
+	}()
+	r.Gauge("elevpriv_test_total")
+}
+
+// TestHistogramBucketBoundaries pins the le semantics: a value equal to a
+// bound lands in that bound's bucket; values past the last bound land in
+// +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("elevpriv_test_seconds", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.0000001, 2, 3, 4, 4.5, 100} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 2, 2, 2} // (-inf,1], (1,2], (2,4], (4,+inf)
+	got := h.BucketCounts()
+	if len(got) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if h.Count() != 8 {
+		t.Errorf("count = %d, want 8", h.Count())
+	}
+	if sum := h.Sum(); math.Abs(sum-116.0000001) > 1e-6 {
+		t.Errorf("sum = %g, want 116.0000001", sum)
+	}
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	r := NewRegistry()
+	for i, bounds := range [][]float64{
+		{1, 1}, {2, 1}, {math.NaN()}, {math.Inf(1)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds case %d: want panic", i)
+				}
+			}()
+			r.Histogram("elevpriv_bad_seconds", bounds)
+		}()
+	}
+}
+
+// TestRegistryConcurrency hammers get-or-create and every observation kind
+// from many goroutines; run under -race this pins the lock-free handle
+// contract.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const iters = 2000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("elevpriv_conc_total").Inc()
+				r.Gauge("elevpriv_conc_depth").Add(1)
+				r.Histogram("elevpriv_conc_seconds", nil).Observe(float64(i%7) / 100)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("elevpriv_conc_total").Value(); got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := r.Gauge("elevpriv_conc_depth").Value(); got != workers*iters {
+		t.Fatalf("gauge = %g, want %d", got, workers*iters)
+	}
+	h := r.Histogram("elevpriv_conc_seconds", nil)
+	if got := h.Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+	var bucketTotal uint64
+	for _, c := range h.BucketCounts() {
+		bucketTotal += c
+	}
+	if bucketTotal != workers*iters {
+		t.Fatalf("bucket total = %d, want %d", bucketTotal, workers*iters)
+	}
+}
+
+// TestWritePrometheusGolden pins the exposition format byte for byte.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`elevpriv_httpx_attempts_total{service="segments"}`).Add(7)
+	r.Counter(`elevpriv_httpx_attempts_total{service="elevation"}`).Add(3)
+	r.Gauge("elevpriv_pool_queue_depth").Set(2.5)
+	h := r.Histogram(`elevpriv_httpx_attempt_seconds{service="segments"}`, []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE elevpriv_httpx_attempt_seconds histogram
+elevpriv_httpx_attempt_seconds_bucket{service="segments",le="0.01"} 1
+elevpriv_httpx_attempt_seconds_bucket{service="segments",le="0.1"} 3
+elevpriv_httpx_attempt_seconds_bucket{service="segments",le="1"} 3
+elevpriv_httpx_attempt_seconds_bucket{service="segments",le="+Inf"} 4
+elevpriv_httpx_attempt_seconds_sum{service="segments"} 5.105
+elevpriv_httpx_attempt_seconds_count{service="segments"} 4
+# TYPE elevpriv_httpx_attempts_total counter
+elevpriv_httpx_attempts_total{service="elevation"} 3
+elevpriv_httpx_attempts_total{service="segments"} 7
+# TYPE elevpriv_pool_queue_depth gauge
+elevpriv_pool_queue_depth 2.5
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestDumpLoadCumulative(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter("elevpriv_run_total").Add(10)
+	r1.Gauge("elevpriv_run_depth").Set(4)
+	h1 := r1.Histogram("elevpriv_run_seconds", []float64{1, 2})
+	h1.Observe(0.5)
+	h1.Observe(1.5)
+	d := r1.Dump()
+
+	// A "resumed run" that already did some work of its own.
+	r2 := NewRegistry()
+	r2.Counter("elevpriv_run_total").Add(5)
+	h2 := r2.Histogram("elevpriv_run_seconds", []float64{1, 2})
+	h2.Observe(3)
+	if err := r2.Load(d); err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.Counter("elevpriv_run_total").Value(); got != 15 {
+		t.Errorf("counter after load = %d, want 15", got)
+	}
+	if got := r2.Gauge("elevpriv_run_depth").Value(); got != 4 {
+		t.Errorf("gauge after load = %g, want 4", got)
+	}
+	if got := h2.Count(); got != 3 {
+		t.Errorf("histogram count after load = %d, want 3", got)
+	}
+	if got := h2.Sum(); got != 5 {
+		t.Errorf("histogram sum after load = %g, want 5", got)
+	}
+	want := []uint64{1, 1, 1}
+	for i, c := range h2.BucketCounts() {
+		if c != want[i] {
+			t.Errorf("bucket %d after load = %d, want %d", i, c, want[i])
+		}
+	}
+
+	// Bounds mismatch must error, not corrupt.
+	r3 := NewRegistry()
+	r3.Histogram("elevpriv_run_seconds", []float64{1, 2, 3})
+	if err := r3.Load(d); err == nil {
+		t.Error("want error loading histogram with different bounds")
+	}
+	// Kind conflict degrades to an error, not a panic.
+	r4 := NewRegistry()
+	r4.Gauge("elevpriv_run_total")
+	if err := r4.Load(d); err == nil {
+		t.Error("want error loading counter over gauge")
+	}
+}
+
+func TestDumpJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`elevpriv_rt_total{k="v"}`).Add(2)
+	h := r.Histogram("elevpriv_rt_seconds", nil)
+	h.Observe(0.03)
+	d := r.Dump()
+	if len(d.Metrics) != 2 {
+		t.Fatalf("dump has %d metrics, want 2", len(d.Metrics))
+	}
+	blob, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d2 Dump
+	if err := json.Unmarshal(blob, &d2); err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewRegistry()
+	if err := r2.Load(d2); err != nil {
+		t.Fatal(err)
+	}
+	var a, b strings.Builder
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("reloaded registry renders differently:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// Prometheus text exposition (version 0.0.4): one # TYPE line per metric
+// family, then every series of the family sorted by label block. Histograms
+// render the cumulative _bucket/_sum/_count triplet the Prometheus server
+// expects.
+
+// WritePrometheus renders every registered metric in Prometheus text format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var lastFamily string
+	for _, e := range r.snapshot() {
+		if e.base != lastFamily {
+			if _, err := fmt.Fprintf(bw, "# TYPE %s %s\n", e.base, e.kind); err != nil {
+				return err
+			}
+			lastFamily = e.base
+		}
+		if err := writeSeries(bw, e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(w io.Writer, e *entry) error {
+	switch e.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s %d\n", seriesName(e.base, e.labels, ""), e.c.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s %s\n", seriesName(e.base, e.labels, ""), formatFloat(e.g.Value()))
+		return err
+	default:
+		h := e.h
+		counts := h.BucketCounts()
+		var cum uint64
+		for i, b := range h.bounds {
+			cum += counts[i]
+			le := formatFloat(b)
+			if _, err := fmt.Fprintf(w, "%s %d\n",
+				seriesName(e.base+"_bucket", e.labels, `le="`+le+`"`), cum); err != nil {
+				return err
+			}
+		}
+		cum += counts[len(counts)-1]
+		if _, err := fmt.Fprintf(w, "%s %d\n",
+			seriesName(e.base+"_bucket", e.labels, `le="+Inf"`), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n",
+			seriesName(e.base+"_sum", e.labels, ""), formatFloat(h.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s %d\n", seriesName(e.base+"_count", e.labels, ""), h.Count())
+		return err
+	}
+}
+
+// seriesName assembles base + merged label block. extra is an additional
+// label pair (the histogram le) appended after the registered labels.
+func seriesName(base, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return base
+	case labels == "":
+		return base + "{" + extra + "}"
+	case extra == "":
+		return base + "{" + labels + "}"
+	default:
+		return base + "{" + labels + "," + extra + "}"
+	}
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry in Prometheus text format — mount it at
+// /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			// Headers are gone; nothing to do but note it server-side.
+			DefaultLogger().Errorf("obs: rendering /metrics: %v", err)
+		}
+	})
+}

@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Run-scoped tracing: lightweight spans with parent/child links, recorded
+// into a bounded in-memory ring and exportable as Chrome trace_event JSON
+// (load the file at chrome://tracing or https://ui.perfetto.dev).
+//
+// Tracing is off by default and costs two nil checks per instrumentation
+// site; the CLIs enable it with -trace-out, which installs a default tracer
+// and writes the ring at exit. Span conventions: path-like names,
+// coarse-grained units of work — "mine/SF", "explore", "exp/tm1-text",
+// "fold/3" — never per-sample or per-request spans (those are histograms'
+// job).
+
+// SpanRecord is one finished span as stored in the ring.
+type SpanRecord struct {
+	// ID and Parent link the span tree; Parent is 0 for roots.
+	ID     uint64
+	Parent uint64
+	// Name is the span's path-like label.
+	Name string
+	// Start and End bound the span's wall-clock interval.
+	Start time.Time
+	End   time.Time
+	// Attrs are optional key/value annotations, in SetAttr order.
+	Attrs [][2]string
+}
+
+// Duration is the span's wall-clock length.
+func (s SpanRecord) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// Tracer records finished spans into a fixed-capacity ring: when the ring
+// is full the oldest spans are overwritten, bounding memory for arbitrarily
+// long runs. All methods are safe for concurrent use.
+type Tracer struct {
+	ids atomic.Uint64
+
+	mu      sync.Mutex
+	ring    []SpanRecord
+	next    int
+	wrapped bool
+	dropped uint64
+}
+
+// DefaultTraceCapacity is the ring size EnableTracing uses when given 0 —
+// enough for a full experiment suite plus a city sweep's phase spans.
+const DefaultTraceCapacity = 16384
+
+// NewTracer creates a tracer with the given ring capacity (values below 1
+// get DefaultTraceCapacity).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{ring: make([]SpanRecord, capacity)}
+}
+
+var defaultTracer atomic.Pointer[Tracer]
+
+// EnableTracing installs a process-wide default tracer (capacity 0 means
+// DefaultTraceCapacity) and returns it. Until this is called, StartSpan is
+// a near-free no-op.
+func EnableTracing(capacity int) *Tracer {
+	t := NewTracer(capacity)
+	defaultTracer.Store(t)
+	return t
+}
+
+// DefaultTracer returns the process-wide tracer, nil when tracing is off.
+func DefaultTracer() *Tracer { return defaultTracer.Load() }
+
+// Span is an in-flight traced operation. A nil *Span (tracing disabled) is
+// valid: SetAttr and End are no-ops, so instrumentation sites never branch.
+type Span struct {
+	tracer *Tracer
+	rec    SpanRecord
+	mu     sync.Mutex
+	ended  bool
+}
+
+type spanCtxKey struct{}
+
+// StartSpan begins a span named name under the default tracer, linking it
+// to the span already in ctx (if any) and returning a derived context
+// carrying the new span. With tracing disabled it returns ctx unchanged and
+// a nil span.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	t := DefaultTracer()
+	if t == nil {
+		return ctx, nil
+	}
+	return t.StartSpan(ctx, name)
+}
+
+// StartSpan begins a span under this tracer; see the package-level
+// StartSpan.
+func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	var parent uint64
+	if p, ok := ctx.Value(spanCtxKey{}).(*Span); ok && p != nil {
+		parent = p.rec.ID
+	}
+	s := &Span{
+		tracer: t,
+		rec: SpanRecord{
+			ID:     t.ids.Add(1),
+			Parent: parent,
+			Name:   name,
+			Start:  time.Now(),
+		},
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// SetAttr annotates the span; no-op on a nil or ended span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.rec.Attrs = append(s.rec.Attrs, [2]string{key, value})
+	}
+	s.mu.Unlock()
+}
+
+// End finishes the span and records it into the tracer's ring. Safe to call
+// on a nil span; a second End is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.rec.End = time.Now()
+	rec := s.rec
+	s.mu.Unlock()
+	s.tracer.record(rec)
+}
+
+func (t *Tracer) record(rec SpanRecord) {
+	t.mu.Lock()
+	if t.wrapped {
+		t.dropped++
+	}
+	t.ring[t.next] = rec
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.wrapped = true
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of spans currently held (at most the capacity).
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.wrapped {
+		return len(t.ring)
+	}
+	return t.next
+}
+
+// Dropped returns how many spans the ring has overwritten.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Snapshot returns the held spans sorted by start time.
+func (t *Tracer) Snapshot() []SpanRecord {
+	t.mu.Lock()
+	var out []SpanRecord
+	if t.wrapped {
+		out = make([]SpanRecord, 0, len(t.ring))
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring[:t.next]...)
+	}
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// chromeEvent is one trace_event entry ("X" = complete event with
+// microsecond timestamps relative to the trace epoch).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports the ring as Chrome trace_event JSON. Timestamps
+// are microseconds since the earliest span's start. The writer is plain
+// io.Writer so callers wrap it in the durable atomic writer:
+//
+//	durable.WriteFileAtomic(path, 0o644, tracer.WriteChromeTrace)
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Snapshot()
+	trace := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(spans)), DisplayTimeUnit: "ms"}
+	var epoch time.Time
+	if len(spans) > 0 {
+		epoch = spans[0].Start
+	}
+	for _, s := range spans {
+		args := map[string]string{
+			"span_id": fmt.Sprintf("%d", s.ID),
+		}
+		if s.Parent != 0 {
+			args["parent_id"] = fmt.Sprintf("%d", s.Parent)
+		}
+		for _, kv := range s.Attrs {
+			args[kv[0]] = kv[1]
+		}
+		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   float64(s.Start.Sub(epoch)) / float64(time.Microsecond),
+			Dur:  float64(s.End.Sub(s.Start)) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  1,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(trace)
+}

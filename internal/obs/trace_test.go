@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestSpanParentLinking(t *testing.T) {
+	tr := NewTracer(16)
+	ctx, root := tr.StartSpan(context.Background(), "run")
+	cctx, child := tr.StartSpan(ctx, "phase")
+	_, grand := tr.StartSpan(cctx, "unit")
+	grand.SetAttr("label", "SF")
+	grand.End()
+	child.End()
+	root.End()
+
+	spans := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["run"].Parent != 0 {
+		t.Errorf("root parent = %d, want 0", byName["run"].Parent)
+	}
+	if byName["phase"].Parent != byName["run"].ID {
+		t.Errorf("phase parent = %d, want %d", byName["phase"].Parent, byName["run"].ID)
+	}
+	if byName["unit"].Parent != byName["phase"].ID {
+		t.Errorf("unit parent = %d, want %d", byName["unit"].Parent, byName["phase"].ID)
+	}
+	if got := byName["unit"].Attrs; len(got) != 1 || got[0] != [2]string{"label", "SF"} {
+		t.Errorf("unit attrs = %v", got)
+	}
+}
+
+// TestRingOverflow pins the bounded-memory contract: a full ring overwrites
+// the oldest spans and counts the drops.
+func TestRingOverflow(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		_, s := tr.StartSpan(context.Background(), fmt.Sprintf("s%d", i))
+		s.End()
+	}
+	if got := tr.Len(); got != 4 {
+		t.Fatalf("ring holds %d spans, want 4", got)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	spans := tr.Snapshot()
+	for i, s := range spans {
+		if want := fmt.Sprintf("s%d", i+6); s.Name != want {
+			t.Errorf("span %d = %s, want %s (oldest must be evicted first)", i, s.Name, want)
+		}
+	}
+}
+
+func TestNilSpanAndDisabledTracing(t *testing.T) {
+	// No default tracer installed in this test binary unless a test set one;
+	// exercise the nil path directly.
+	var s *Span
+	s.SetAttr("k", "v") // must not panic
+	s.End()
+
+	ctx := context.Background()
+	if DefaultTracer() == nil {
+		ctx2, sp := StartSpan(ctx, "noop")
+		if sp != nil {
+			t.Fatal("disabled tracing returned a live span")
+		}
+		if ctx2 != ctx {
+			t.Fatal("disabled tracing derived a new context")
+		}
+		sp.End()
+	}
+}
+
+func TestDoubleEndRecordsOnce(t *testing.T) {
+	tr := NewTracer(8)
+	_, s := tr.StartSpan(context.Background(), "once")
+	s.End()
+	s.End()
+	if got := tr.Len(); got != 1 {
+		t.Fatalf("ring holds %d spans after double End, want 1", got)
+	}
+}
+
+func TestTracerConcurrency(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx, root := tr.StartSpan(context.Background(), fmt.Sprintf("worker%d", w))
+			for i := 0; i < 50; i++ {
+				_, s := tr.StartSpan(ctx, "unit")
+				s.SetAttr("i", fmt.Sprint(i))
+				s.End()
+			}
+			root.End()
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.Len(); got != 64 {
+		t.Fatalf("ring holds %d spans, want full 64", got)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer(16)
+	ctx, root := tr.StartSpan(context.Background(), "suite")
+	_, child := tr.StartSpan(ctx, "exp/tm1")
+	child.SetAttr("restored", "false")
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Pid  int               `json:"pid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if decoded.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", decoded.DisplayTimeUnit)
+	}
+	if len(decoded.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(decoded.TraceEvents))
+	}
+	for _, ev := range decoded.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %s ph = %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.Ts < 0 || ev.Dur < 0 {
+			t.Errorf("event %s has negative ts/dur: %v/%v", ev.Name, ev.Ts, ev.Dur)
+		}
+	}
+	// The child must reference its parent's span id.
+	var rootID string
+	for _, ev := range decoded.TraceEvents {
+		if ev.Name == "suite" {
+			rootID = ev.Args["span_id"]
+		}
+	}
+	for _, ev := range decoded.TraceEvents {
+		if ev.Name == "exp/tm1" {
+			if ev.Args["parent_id"] != rootID {
+				t.Errorf("child parent_id = %q, want %q", ev.Args["parent_id"], rootID)
+			}
+			if ev.Args["restored"] != "false" {
+				t.Errorf("child attr restored = %q", ev.Args["restored"])
+			}
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package obsboot wires the telemetry subsystem into a CLI: the four flags
+// every long-running binary grows (-metrics-addr, -trace-out, -log-level,
+// -log-json), the admin HTTP endpoint behind -metrics-addr, and the Chrome
+// trace export behind -trace-out. The obs package itself stays stdlib-only;
+// this package is where obs meets httpx (admin mux) and durable (atomic
+// trace file), so the CLIs share one implementation instead of four copies.
+package obsboot
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"elevprivacy/internal/durable"
+	"elevprivacy/internal/httpx"
+	"elevprivacy/internal/obs"
+)
+
+// Flags holds the telemetry flag values; populate via Register, then call
+// Start after flag.Parse.
+type Flags struct {
+	// MetricsAddr, when non-empty, serves /metrics, /healthz, and pprof on
+	// this address for the life of the process.
+	MetricsAddr string
+	// TraceOut, when non-empty, enables run-scoped tracing and writes the
+	// collected spans to this path (Chrome trace_event JSON) on Close.
+	TraceOut string
+	// LogLevel is the minimum level the process logger emits.
+	LogLevel string
+	// LogJSON switches the logger from key=value lines to JSON records.
+	LogJSON bool
+}
+
+// Register declares the telemetry flags on fs (the default flag set when
+// nil) and returns the struct their values land in.
+func Register(fs *flag.FlagSet) *Flags {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	f := &Flags{}
+	fs.StringVar(&f.MetricsAddr, "metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = off)")
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write a Chrome trace_event JSON of the run to this path (empty = off)")
+	fs.StringVar(&f.LogLevel, "log-level", "info", "minimum log level: debug, info, warn, error")
+	fs.BoolVar(&f.LogJSON, "log-json", false, "emit logs as JSON records instead of key=value lines")
+	return f
+}
+
+// Telemetry is the running telemetry plumbing behind the flags. Always call
+// Close — it is what flushes the trace file.
+type Telemetry struct {
+	traceOut string
+	srv      *http.Server
+	srvErr   chan error
+}
+
+// Start applies the flag values: installs the process logger, enables
+// tracing when a trace path is set, and (when -metrics-addr is set) starts
+// the admin HTTP server. service names the admin endpoint's health probe.
+func (f *Flags) Start(service string) (*Telemetry, error) {
+	level, err := obs.ParseLevel(f.LogLevel)
+	if err != nil {
+		return nil, err
+	}
+	obs.SetDefaultLogger(obs.NewLogger(os.Stderr, level, f.LogJSON))
+
+	t := &Telemetry{traceOut: f.TraceOut}
+	if f.TraceOut != "" {
+		obs.EnableTracing(obs.DefaultTraceCapacity)
+	}
+	if f.MetricsAddr != "" {
+		handler := httpx.NewServeMux(nil, httpx.MuxConfig{Service: service, Pprof: true})
+		t.srv = &http.Server{Addr: f.MetricsAddr, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+		t.srvErr = make(chan error, 1)
+		lnErr := make(chan error, 1)
+		go func() {
+			err := t.srv.ListenAndServe()
+			select {
+			case lnErr <- err:
+			default:
+			}
+			t.srvErr <- err
+		}()
+		// Surface an unusable address now instead of silently serving
+		// nothing for the whole run.
+		select {
+		case err := <-lnErr:
+			if err != nil && err != http.ErrServerClosed {
+				return nil, fmt.Errorf("obsboot: metrics server: %w", err)
+			}
+		case <-time.After(100 * time.Millisecond):
+		}
+		obs.DefaultLogger().Info("metrics endpoint up", "addr", f.MetricsAddr, "service", service)
+	}
+	return t, nil
+}
+
+// Close shuts the admin server down and writes the trace file (atomically;
+// a crash mid-write never leaves a torn trace). Safe on a nil receiver.
+func (t *Telemetry) Close() error {
+	if t == nil {
+		return nil
+	}
+	if t.srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = t.srv.Shutdown(ctx)
+		cancel()
+	}
+	if t.traceOut != "" {
+		tracer := obs.DefaultTracer()
+		if tracer != nil {
+			err := durable.WriteFileAtomic(t.traceOut, 0o644, func(w io.Writer) error {
+				return tracer.WriteChromeTrace(w)
+			})
+			if err != nil {
+				return fmt.Errorf("obsboot: writing trace: %w", err)
+			}
+			obs.DefaultLogger().Info("trace written", "path", t.traceOut, "spans", fmt.Sprint(tracer.Len()))
+		}
+	}
+	return nil
+}

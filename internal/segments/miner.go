@@ -11,6 +11,17 @@ import (
 	"elevprivacy/internal/durable"
 	"elevprivacy/internal/elevsvc"
 	"elevprivacy/internal/geo"
+	"elevprivacy/internal/obs"
+)
+
+// Miner telemetry: class outcomes and mined-sample throughput, on top of the
+// per-unit series the durable pool already publishes.
+var (
+	minerClassesOK     = obs.GetCounter(`elevpriv_miner_classes_total{status="ok"}`)
+	minerClassesFailed = obs.GetCounter(`elevpriv_miner_classes_total{status="failed"}`)
+	minerSegmentsMined = obs.GetCounter("elevpriv_miner_segments_mined_total")
+	minerClassSeconds  = obs.GetHistogram("elevpriv_miner_class_seconds",
+		[]float64{0.01, 0.05, 0.25, 1, 5, 30, 120, 600})
 )
 
 // MinedSegment is one labeled sample produced by the miner: a segment route
@@ -98,6 +109,8 @@ func (m *Miner) MineBoundary(ctx context.Context, label string, boundary geo.BBo
 		return nil, fmt.Errorf("segments: invalid sample count %d", m.Samples)
 	}
 
+	ctx, span := obs.StartSpan(ctx, "mine/"+label)
+	defer span.End()
 	pool := m.pool()
 
 	// Phase 1: explore every grid cell concurrently, results in cell order.
@@ -105,7 +118,8 @@ func (m *Miner) MineBoundary(ctx context.Context, label string, boundary geo.BBo
 	// drained) run restore their recorded hits without a service call.
 	cells := boundary.Grid(m.GridRows, m.GridCols)
 	perCell := make([][]Segment, len(cells))
-	err := pool.ForEachIndex(ctx, len(cells), func(ctx context.Context, i int) error {
+	exploreCtx, exploreSpan := obs.StartSpan(ctx, "mine/"+label+"/explore")
+	err := pool.ForEachIndex(exploreCtx, len(cells), func(ctx context.Context, i int) error {
 		key := m.exploreKey(label, i)
 		var hits []Segment
 		if ok, jerr := m.Checkpoint.Get(key, &hits); jerr == nil && ok {
@@ -119,6 +133,8 @@ func (m *Miner) MineBoundary(ctx context.Context, label string, boundary geo.BBo
 		perCell[i] = hits
 		return m.Checkpoint.Put(key, hits)
 	})
+	exploreSpan.SetAttr("cells", fmt.Sprint(len(cells)))
+	exploreSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -139,7 +155,8 @@ func (m *Miner) MineBoundary(ctx context.Context, label string, boundary geo.BBo
 
 	// Phase 2: fetch elevation profiles concurrently, one slot per segment.
 	profiles := make([][]float64, len(uniq))
-	err = pool.ForEachIndex(ctx, len(uniq), func(ctx context.Context, i int) error {
+	elevCtx, elevSpan := obs.StartSpan(ctx, "mine/"+label+"/elevation")
+	err = pool.ForEachIndex(elevCtx, len(uniq), func(ctx context.Context, i int) error {
 		key := m.elevKey(uniq[i].ID)
 		var elevs []float64
 		if ok, jerr := m.Checkpoint.Get(key, &elevs); jerr == nil && ok {
@@ -153,9 +170,13 @@ func (m *Miner) MineBoundary(ctx context.Context, label string, boundary geo.BBo
 		profiles[i] = elevs
 		return m.Checkpoint.Put(key, elevs)
 	})
+	elevSpan.SetAttr("segments", fmt.Sprint(len(uniq)))
+	elevSpan.End()
 	if err != nil {
 		return nil, err
 	}
+	span.SetAttr("segments", fmt.Sprint(len(uniq)))
+	minerSegmentsMined.Add(int64(len(uniq)))
 
 	out := make([]MinedSegment, 0, len(uniq))
 	for i, seg := range uniq {
@@ -213,20 +234,36 @@ func (m *Miner) MineClasses(ctx context.Context, classes map[string]geo.BBox) ([
 type ClassError struct {
 	Label string
 	Err   error
+	// Elapsed is how long the class's sweep ran before failing. Zero for
+	// classes that were never attempted (context dead or drain closed
+	// before their turn).
+	Elapsed time.Duration
 }
 
 // SweepError aggregates the per-class failures of a partial sweep, in
 // label order.
 type SweepError struct {
 	PerClass []ClassError
+	// Elapsed is the wall time of the whole partial sweep, attempted
+	// classes and all, so a failure report carries how much work the run
+	// represents.
+	Elapsed time.Duration
 }
 
 // Error implements the error interface.
 func (e *SweepError) Error() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "segments: %d class(es) failed:", len(e.PerClass))
+	fmt.Fprintf(&sb, "segments: %d class(es) failed", len(e.PerClass))
+	if e.Elapsed > 0 {
+		fmt.Fprintf(&sb, " (sweep ran %s)", e.Elapsed.Round(time.Millisecond))
+	}
+	sb.WriteString(":")
 	for _, ce := range e.PerClass {
-		fmt.Fprintf(&sb, " %s: %v;", ce.Label, ce.Err)
+		fmt.Fprintf(&sb, " %s: %v", ce.Label, ce.Err)
+		if ce.Elapsed > 0 {
+			fmt.Fprintf(&sb, " (after %s)", ce.Elapsed.Round(time.Millisecond))
+		}
+		sb.WriteString(";")
 	}
 	return strings.TrimSuffix(sb.String(), ";")
 }
@@ -272,6 +309,7 @@ func (e *SweepError) Interrupted() bool {
 func (m *Miner) MineClassesPartial(ctx context.Context, classes map[string]geo.BBox) ([]MinedSegment, *SweepError) {
 	var out []MinedSegment
 	var sweepErr SweepError
+	sweepStart := time.Now()
 	labels := sortedLabels(classes)
 	for i, label := range labels {
 		err := ctx.Err()
@@ -288,15 +326,19 @@ func (m *Miner) MineClassesPartial(ctx context.Context, classes map[string]geo.B
 			}
 			break
 		}
+		classStart := time.Now()
 		mined, err := m.MineBoundary(ctx, label, classes[label])
+		if err == nil {
+			err = m.Checkpoint.Put("class/"+label, len(mined))
+		}
+		elapsed := time.Since(classStart)
+		minerClassSeconds.Observe(elapsed.Seconds())
 		if err != nil {
-			sweepErr.PerClass = append(sweepErr.PerClass, ClassError{Label: label, Err: err})
+			minerClassesFailed.Inc()
+			sweepErr.PerClass = append(sweepErr.PerClass, ClassError{Label: label, Err: err, Elapsed: elapsed})
 			continue
 		}
-		if err := m.Checkpoint.Put("class/"+label, len(mined)); err != nil {
-			sweepErr.PerClass = append(sweepErr.PerClass, ClassError{Label: label, Err: err})
-			continue
-		}
+		minerClassesOK.Inc()
 		out = append(out, mined...)
 	}
 	if err := m.Checkpoint.Flush(); err != nil && len(sweepErr.PerClass) == 0 {
@@ -305,6 +347,7 @@ func (m *Miner) MineClassesPartial(ctx context.Context, classes map[string]geo.B
 	if len(sweepErr.PerClass) == 0 {
 		return out, nil
 	}
+	sweepErr.Elapsed = time.Since(sweepStart)
 	return out, &sweepErr
 }
 

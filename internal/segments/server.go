@@ -2,13 +2,13 @@ package segments
 
 import (
 	"encoding/json"
-	"log"
 	"net/http"
 	"strconv"
 	"time"
 
 	"elevprivacy/internal/geo"
 	"elevprivacy/internal/httpx"
+	"elevprivacy/internal/obs"
 )
 
 // SegmentJSON is the wire form of a segment: the route travels as an
@@ -31,19 +31,32 @@ type ExploreResponse struct {
 type Server struct {
 	store *Store
 	logf  func(format string, args ...any)
+	pprof bool
 }
 
 // ServerOption configures a Server.
 type ServerOption func(*Server)
 
-// WithLogf overrides the server's log function.
+// WithLogf overrides the server's log function (default: error-level lines
+// on the process obs logger).
 func WithLogf(logf func(string, ...any)) ServerOption {
 	return func(s *Server) { s.logf = logf }
 }
 
+// WithPprof mounts net/http/pprof under /debug/pprof/.
+func WithPprof(enabled bool) ServerOption {
+	return func(s *Server) { s.pprof = enabled }
+}
+
+// obsErrorf is the default logf: error-level lines on the process obs
+// logger, resolved per call so SetDefaultLogger takes effect everywhere.
+func obsErrorf(format string, args ...any) {
+	obs.DefaultLogger().Errorf(format, args...)
+}
+
 // NewServer wraps a store.
 func NewServer(store *Store, opts ...ServerOption) *Server {
-	s := &Server{store: store, logf: log.Printf}
+	s := &Server{store: store, logf: obsErrorf}
 	for _, o := range opts {
 		o(s)
 	}
@@ -53,19 +66,21 @@ func NewServer(store *Store, opts ...ServerOption) *Server {
 // Handler returns the HTTP routing for the service, hardened the same way
 // as the elevation service: panic recovery, per-request timeout, and
 // max-in-flight load shedding with 429 + Retry-After; /healthz bypasses
-// shedding for liveness probes.
+// shedding for liveness probes and /metrics exposes the process obs
+// registry; see httpx.NewServeMux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/segments/explore", s.handleExplore)
 
-	root := http.NewServeMux()
-	root.Handle("GET /healthz", httpx.HealthHandler("segments"))
-	root.Handle("/", httpx.Harden(mux, httpx.ServerConfig{
-		MaxInFlight:    256,
-		RequestTimeout: 15 * time.Second,
-		Logf:           s.logf,
-	}))
-	return root
+	return httpx.NewServeMux(mux, httpx.MuxConfig{
+		Service: "segments",
+		Harden: httpx.ServerConfig{
+			MaxInFlight:    256,
+			RequestTimeout: 15 * time.Second,
+			Logf:           s.logf,
+		},
+		Pprof: s.pprof,
+	})
 }
 
 // handleExplore implements ExploreSegments:
@@ -115,6 +130,6 @@ func writeExplore(w http.ResponseWriter, code int, resp ExploreResponse) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		log.Printf("segments: encoding response: %v", err)
+		obsErrorf("segments: encoding response: %v", err)
 	}
 }

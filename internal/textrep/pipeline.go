@@ -6,8 +6,10 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"time"
 
 	"elevprivacy/internal/ml/linalg"
+	"elevprivacy/internal/obs"
 )
 
 // Pipeline bundles the full text-like preprocessing chain — discretize,
@@ -146,10 +148,19 @@ func (p *Pipeline) forEachSignal(n int, fn func(lo, hi int, tv *TokenVectorizer)
 	return true
 }
 
+// Featurization telemetry: batch throughput (rows featurized and wall time
+// per batch call), shared by the dense and sparse paths.
+var (
+	featurizeRows    = obs.GetCounter("elevpriv_textrep_rows_featurized_total")
+	featurizeSeconds = obs.GetHistogram("elevpriv_textrep_featurize_seconds", nil)
+)
+
 // FeaturesAll converts a batch of signals into one dense n×Dim feature
 // matrix, each sample tokenized and vectorized straight into its row by a
 // pool of workers — the shape the batch classifier contract consumes.
 func (p *Pipeline) FeaturesAll(signals [][]float64) *linalg.Matrix {
+	defer featurizeSeconds.ObserveSince(time.Now())
+	featurizeRows.Add(int64(len(signals)))
 	out := linalg.NewMatrix(len(signals), p.vocab.Size())
 	ok := p.forEachSignal(len(signals), func(lo, hi int, tv *TokenVectorizer) {
 		var tokens []uint32
@@ -172,6 +183,8 @@ func (p *Pipeline) FeaturesAll(signals [][]float64) *linalg.Matrix {
 // GOMAXPROCS. Feature values match FeaturesAll element for element; only
 // the zeros are gone.
 func (p *Pipeline) FeaturesAllSparse(signals [][]float64) *linalg.SparseMatrix {
+	defer featurizeSeconds.ObserveSince(time.Now())
+	featurizeRows.Add(int64(len(signals)))
 	type shard struct {
 		lo   int
 		cols []int32
