@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet staticcheck test test-short check bench bench-full experiments experiments-quick smoke-resume obs-smoke clean
+.PHONY: all build vet staticcheck test test-short check bench bench-full experiments experiments-quick smoke-resume obs-smoke orch-smoke clean
 
 all: build vet test
 
@@ -50,6 +50,15 @@ smoke-resume:
 ## noisy); locally it is the sanity check after touching internal/obs.
 obs-smoke:
 	sh scripts/obs_smoke.sh
+
+## orch-smoke proves the scenario orchestrator end to end: a multi-scenario
+## spec run against the admin API, SIGKILLed mid-sweep, resumed to
+## byte-identical results, then rerun against the artifact cache (hits > 0,
+## zero re-issued HTTP calls), and finally canceled gracefully over HTTP.
+## CI runs it non-gating (kill/cancel timing on shared runners is noisy);
+## locally it is the sanity check after touching internal/scenario.
+orch-smoke:
+	sh scripts/orchestrator_smoke.sh
 
 ## bench runs every experiment benchmark at smoke scale plus the substrate
 ## micro-benchmarks, then the text-pipeline comparison harness, which

@@ -37,7 +37,6 @@ import (
 	"net"
 	"net/http"
 	"os"
-	"path/filepath"
 	"strings"
 	"time"
 
@@ -46,7 +45,6 @@ import (
 	"elevprivacy/internal/elevsvc"
 	"elevprivacy/internal/geo"
 	"elevprivacy/internal/httpx"
-	"elevprivacy/internal/obs"
 	"elevprivacy/internal/obsboot"
 	"elevprivacy/internal/segments"
 	"elevprivacy/internal/terrain"
@@ -178,7 +176,7 @@ func run() error {
 	// Checkpointing: the journal makes every completed unit durable, so a
 	// crashed (or drained) run rerun with -resume skips straight past the
 	// work it already paid for.
-	journal, err := openJournal(*ckptDir, "elevmine.journal", *resume)
+	journal, err := obsboot.OpenJournal(*ckptDir, "elevmine.journal", *resume)
 	if err != nil {
 		return err
 	}
@@ -191,7 +189,7 @@ func run() error {
 	// telemetry on /metrics and in the final meta file is cumulative across
 	// the crash/resume boundary, matching the journal's view of the sweep.
 	if *resume {
-		if err := loadMetaMetrics(*ckptDir); err != nil {
+		if err := obsboot.RestoreRunMetrics(*ckptDir, "elevmine.meta"); err != nil {
 			fmt.Fprintf(os.Stderr, "elevmine: previous run metrics not restored: %v\n", err)
 		}
 	}
@@ -227,12 +225,20 @@ func run() error {
 		}
 		fmt.Printf("wrote %d segments to %s\n", len(mined), *outPath)
 	}
-	metrics := obs.DefaultRegistry().Dump()
-	if err := writeMeta(*ckptDir, runMeta{
-		Grid: *grid, Samples: *samples, Seed: *seed, Workers: *workers,
-		Mined: len(mined), Journal: journal.Stats(),
-		SegmentClient: segClient.Stats(), ElevationClient: elevClient.Stats(),
-		Metrics: &metrics,
+	cfg, err := json.Marshal(mineConfig{
+		Grid: *grid, Samples: *samples, Seed: *seed, Workers: *workers, Mined: len(mined),
+	})
+	if err != nil {
+		return err
+	}
+	if err := obsboot.SaveRunMeta(*ckptDir, "elevmine.meta", obsboot.RunMeta{
+		Tool:   "elevmine",
+		Config: cfg,
+		Clients: map[string]httpx.Stats{
+			"segments":  segClient.Stats(),
+			"elevation": elevClient.Stats(),
+		},
+		Journal: journal.Stats(),
 	}); err != nil {
 		return err
 	}
@@ -253,68 +259,15 @@ func run() error {
 	return nil
 }
 
-// openJournal opens the work journal under dir ("" disables checkpointing;
-// the nil journal remembers nothing). Without -resume any previous journal
-// is discarded, so stale state from an unrelated run can never leak in.
-func openJournal(dir, name string, resume bool) (*durable.Journal, error) {
-	if dir == "" {
-		return nil, nil
-	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
-	}
-	path := filepath.Join(dir, name)
-	if !resume {
-		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
-			return nil, err
-		}
-	}
-	return durable.OpenJournal(path)
-}
-
-// runMeta is the checkpoint metadata snapshot: enough to see at a glance
-// what a journal belongs to and how healthy the transport was.
-type runMeta struct {
-	Grid            int                  `json:"grid"`
-	Samples         int                  `json:"samples"`
-	Seed            int64                `json:"seed"`
-	Workers         int                  `json:"workers"`
-	Mined           int                  `json:"mined"`
-	Journal         durable.JournalStats `json:"journal"`
-	SegmentClient   httpx.Stats          `json:"segment_client"`
-	ElevationClient httpx.Stats          `json:"elevation_client"`
-	// Metrics is the obs registry snapshot at meta-write time; a resumed
-	// run reloads it so counters and histograms accumulate across crashes.
-	Metrics *obs.Dump `json:"metrics,omitempty"`
-}
-
-// writeMeta snapshots run metadata next to the journal (atomic + checksummed).
-func writeMeta(dir string, meta runMeta) error {
-	if dir == "" {
-		return nil
-	}
-	return durable.SaveSnapshot(filepath.Join(dir, "elevmine.meta"), 1, meta)
-}
-
-// loadMetaMetrics replays the previous run's metrics snapshot into the
-// process registry. A missing meta file (first run under this checkpoint
-// dir) is not an error; a present-but-unreadable one is.
-func loadMetaMetrics(dir string) error {
-	if dir == "" {
-		return nil
-	}
-	path := filepath.Join(dir, "elevmine.meta")
-	var meta runMeta
-	if err := durable.LoadSnapshot(path, 1, &meta); err != nil {
-		if os.IsNotExist(err) {
-			return nil
-		}
-		return err
-	}
-	if meta.Metrics == nil {
-		return nil
-	}
-	return obs.DefaultRegistry().Load(*meta.Metrics)
+// mineConfig is the tool-specific config block inside the shared
+// obsboot.RunMeta snapshot: enough to see at a glance what a journal
+// belongs to.
+type mineConfig struct {
+	Grid    int   `json:"grid"`
+	Samples int   `json:"samples"`
+	Seed    int64 `json:"seed"`
+	Workers int   `json:"workers"`
+	Mined   int   `json:"mined"`
 }
 
 // writeMined writes the mined dataset as JSON, atomically: a crash mid-write

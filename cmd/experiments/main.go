@@ -1,5 +1,6 @@
 // Command experiments regenerates the paper's tables and figures on the
-// synthetic world and prints them as aligned text.
+// synthetic world and prints them as aligned text — and, with -spec, runs a
+// declarative multi-scenario sweep through the scenario orchestrator.
 //
 // Usage:
 //
@@ -11,15 +12,27 @@
 //	experiments -checkpoint dir  # per-experiment checkpoints
 //	experiments -checkpoint dir -resume   # replay finished tables, compute the rest
 //
+//	experiments -spec examples/scenarios/sweep.json -checkpoint dir
+//	experiments -spec sweep.json -checkpoint dir -admin-addr :8089
+//	experiments -spec sweep.json -checkpoint dir -resume -out results.json
+//
 // With -checkpoint, every finished experiment's table is journaled under a
 // key bound to the exact configuration; -resume replays those tables
 // byte-identically and only computes what is missing. SIGINT/SIGTERM lets
 // the experiment in flight finish, flushes the journal, and exits 0 with a
 // partial summary; a second signal aborts.
+//
+// With -spec, the file's scenarios expand into a DAG of work units (mine →
+// featurize → train → eval) scheduled over the durable pool. Scenarios
+// sharing a config prefix share units, and stage artifacts land in a
+// content-addressed cache (<checkpoint>/artifacts) that dedupes across runs
+// too. -admin-addr serves the live run (list/inspect/cancel scenarios, unit
+// status, cache counters) alongside /metrics and /healthz.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +45,7 @@ import (
 	"elevprivacy/internal/durable"
 	"elevprivacy/internal/experiments"
 	"elevprivacy/internal/obsboot"
+	"elevprivacy/internal/scenario"
 )
 
 func main() {
@@ -51,6 +65,10 @@ func run() error {
 		memprofile = flag.String("memprofile", "", "write an allocation profile at exit to this path")
 		ckptDir    = flag.String("checkpoint", "", "directory for per-experiment checkpoints")
 		resume     = flag.Bool("resume", false, "replay checkpointed experiments instead of starting fresh")
+		specPath   = flag.String("spec", "", "run a declarative scenario spec (JSON) through the orchestrator")
+		adminAddr  = flag.String("admin-addr", "", "serve the orchestrator admin API on this address (requires -spec)")
+		outPath    = flag.String("out", "", "write scenario results as JSON to this path (requires -spec; atomic)")
+		workers    = flag.Int("workers", 0, "scheduler concurrency for -spec runs (0 = spec's setting)")
 	)
 	obsFlags := obsboot.Register(nil)
 	flag.Parse()
@@ -95,6 +113,13 @@ func run() error {
 		}()
 	}
 
+	if *specPath != "" {
+		return runSpec(*specPath, *ckptDir, *adminAddr, *outPath, *workers, *resume)
+	}
+	if *adminAddr != "" || *outPath != "" {
+		return fmt.Errorf("-admin-addr and -out require -spec")
+	}
+
 	if *list {
 		for _, r := range experiments.All() {
 			fmt.Printf("%-28s %s\n", r.Name, r.ID)
@@ -117,7 +142,7 @@ func run() error {
 		runners = []experiments.Runner{r}
 	}
 
-	journal, err := openJournal(*ckptDir, "experiments.journal", *resume)
+	journal, err := obsboot.OpenJournal(*ckptDir, "experiments.journal", *resume)
 	if err != nil {
 		return err
 	}
@@ -152,20 +177,120 @@ func run() error {
 	return nil
 }
 
-// openJournal opens the checkpoint journal under dir ("" disables
-// checkpointing). Without -resume any previous journal is discarded.
-func openJournal(dir, name string, resume bool) (*durable.Journal, error) {
-	if dir == "" {
-		return nil, nil
+// runSpec drives a declarative scenario sweep through the orchestrator.
+func runSpec(specPath, ckptDir, adminAddr, outPath string, workers int, resume bool) error {
+	spec, err := scenario.LoadSpec(specPath)
+	if err != nil {
+		return err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
+
+	// The journal tracks this run's completed units; the cache holds stage
+	// artifacts and outlives journals — it is what dedupes repeat runs.
+	// Without -checkpoint the run still works (units exchange artifacts via
+	// a throwaway cache), it just remembers nothing afterwards.
+	cacheDir := ""
+	if ckptDir != "" {
+		cacheDir = filepath.Join(ckptDir, "artifacts")
+	} else {
+		tmp, err := os.MkdirTemp("", "scenario-cache-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		cacheDir = tmp
 	}
-	path := filepath.Join(dir, name)
-	if !resume {
-		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
-			return nil, err
+	cache, err := scenario.OpenCache(cacheDir)
+	if err != nil {
+		return err
+	}
+	journal, err := obsboot.OpenJournal(ckptDir, "scenario.journal", resume)
+	if err != nil {
+		return err
+	}
+	defer journal.Close()
+	if restored := journal.Restored(); restored > 0 {
+		fmt.Printf("checkpoint: restored %d completed units from journal\n", restored)
+	}
+	if resume {
+		if err := obsboot.RestoreRunMetrics(ckptDir, "scenario.meta"); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: previous run metrics not restored: %v\n", err)
 		}
 	}
-	return durable.OpenJournal(path)
+
+	shutdown := durable.NotifyShutdown(context.Background())
+	defer shutdown.Stop()
+
+	orch, err := scenario.New(spec, scenario.Options{
+		Journal:       journal,
+		Cache:         cache,
+		CheckpointDir: ckptDir,
+		Drain:         shutdown.Draining,
+		Workers:       workers,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("spec %s: %d scenarios expanded into %d units (dedup saved %d)\n",
+		spec.Name, len(spec.Scenarios), orch.Units(), 4*len(spec.Scenarios)-orch.Units())
+
+	if adminAddr != "" {
+		admin, err := obsboot.ServeAdmin(adminAddr, "scenario", orch.Handler())
+		if err != nil {
+			return err
+		}
+		defer admin.Close()
+	}
+
+	result, sweepErr := orch.Run(shutdown.Context())
+
+	for _, sr := range result.Scenarios {
+		line := fmt.Sprintf("%-24s %-4s %-14s %-4s %s", sr.Name, sr.ThreatModel, sr.Defense, sr.Model, sr.Status)
+		if sr.Metrics != nil {
+			line += fmt.Sprintf("  acc=%.4f f1=%.4f", sr.Metrics.Accuracy, sr.Metrics.F1)
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("cache: %d hits, %d misses, %d puts; http attempts: %d; elapsed: %v\n",
+		result.Cache.Hits, result.Cache.Misses, result.Cache.Puts,
+		result.HTTPAttempts, result.Elapsed.Round(time.Millisecond))
+
+	if outPath != "" {
+		// Only the deterministic view goes in the file: a resumed run must
+		// produce bytes identical to an uninterrupted one, so run-varying
+		// ledgers (cache traffic, HTTP attempts, timings) stay on stdout.
+		out := struct {
+			Spec      string                    `json:"spec"`
+			Scenarios []scenario.ScenarioResult `json:"scenarios"`
+		}{Spec: result.Spec, Scenarios: result.Scenarios}
+		err := durable.WriteFileAtomic(outPath, 0o644, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", " ")
+			return enc.Encode(out)
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote results to %s\n", outPath)
+	}
+
+	cfgJSON, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	if err := obsboot.SaveRunMeta(ckptDir, "scenario.meta", obsboot.RunMeta{
+		Tool:    "experiments-spec",
+		Config:  cfgJSON,
+		Journal: journal.Stats(),
+	}); err != nil {
+		return err
+	}
+
+	if sweepErr != nil {
+		if sweepErr.Interrupted() {
+			fmt.Println("interrupted: journal flushed — rerun with -resume to continue")
+			return nil
+		}
+		return sweepErr
+	}
+	return nil
 }

@@ -1,0 +1,159 @@
+package durable
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestBoardLifecycle(t *testing.T) {
+	b := NewBoard("a", "b", "c")
+	if got := b.Counts()[StatePending]; got != 3 {
+		t.Fatalf("pending = %d, want 3", got)
+	}
+
+	b.Start("a")
+	if u, _ := b.Get("a"); u.State != StateRunning || u.StartedAt.IsZero() {
+		t.Fatalf("after Start: %+v", u)
+	}
+	b.Finish("a", nil)
+	if u, _ := b.Get("a"); u.State != StateDone || u.FinishedAt.IsZero() {
+		t.Fatalf("after Finish(nil): %+v", u)
+	}
+
+	b.Finish("b", errors.New("boom"))
+	if u, _ := b.Get("b"); u.State != StateFailed || u.Err != "boom" {
+		t.Fatalf("after Finish(err): %+v", u)
+	}
+
+	b.Finish("c", fmt.Errorf("wrapped: %w", ErrInterrupted))
+	if u, _ := b.Get("c"); u.State != StateInterrupted {
+		t.Fatalf("after Finish(ErrInterrupted): %+v", u)
+	}
+}
+
+func TestBoardTerminalStatesAreSticky(t *testing.T) {
+	b := NewBoard("u")
+	b.Start("u")
+	b.Restored("u")
+	// The pool's deferred Finish(key, nil) must not clobber the richer
+	// outcome the unit body already recorded.
+	b.Finish("u", nil)
+	if u, _ := b.Get("u"); u.State != StateRestored {
+		t.Fatalf("state = %q, want restored", u.State)
+	}
+
+	b.Register("v")
+	b.Canceled("v")
+	b.Finish("v", errors.New("late failure"))
+	if u, _ := b.Get("v"); u.State != StateCanceled || u.Err != "" {
+		t.Fatalf("canceled unit overwritten: %+v", u)
+	}
+}
+
+func TestBoardSnapshotOrderAndNilSafety(t *testing.T) {
+	var nilBoard *Board
+	nilBoard.Start("x")
+	nilBoard.Finish("x", nil)
+	nilBoard.Register("y")
+	if got := nilBoard.Snapshot(); got != nil {
+		t.Fatalf("nil board snapshot = %v", got)
+	}
+	if _, ok := nilBoard.Get("x"); ok {
+		t.Fatal("nil board Get reported a unit")
+	}
+
+	b := NewBoard("z2", "z1")
+	b.Register("z2") // idempotent
+	b.Start("z0")    // auto-registers
+	snap := b.Snapshot()
+	want := []string{"z2", "z1", "z0"}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot len = %d, want %d", len(snap), len(want))
+	}
+	for i, k := range want {
+		if snap[i].Key != k {
+			t.Fatalf("snapshot[%d].Key = %q, want %q", i, snap[i].Key, k)
+		}
+	}
+}
+
+func TestBoardConcurrentTransitions(t *testing.T) {
+	b := NewBoard()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("u%d", i)
+				b.Start(key)
+				if g%2 == 0 {
+					b.Finish(key, nil)
+				} else {
+					b.Finish(key, errors.New("x"))
+				}
+				b.Snapshot()
+				b.Counts()
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, u := range b.Snapshot() {
+		if !u.State.Terminal() {
+			t.Fatalf("unit %s not terminal: %s", u.Key, u.State)
+		}
+	}
+}
+
+func TestPoolReportsToBoard(t *testing.T) {
+	keys := []string{"k0", "k1", "k2", "k3"}
+	board := NewBoard(keys...)
+	pool := Pool{
+		Workers: 2,
+		Key:     func(i int) string { return keys[i] },
+		Board:   board,
+	}
+	err := pool.ForEachIndex(context.Background(), len(keys), func(ctx context.Context, i int) error {
+		if i == 2 {
+			return errors.New("unit 2 failed")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected pool error")
+	}
+	if u, _ := board.Get("k2"); u.State != StateFailed {
+		t.Fatalf("k2 state = %q, want failed", u.State)
+	}
+	if u, _ := board.Get("k0"); u.State != StateDone {
+		t.Fatalf("k0 state = %q, want done", u.State)
+	}
+}
+
+func TestPoolDrainMarksBoardInterrupted(t *testing.T) {
+	drain := make(chan struct{})
+	close(drain)
+	keys := []string{"k0", "k1", "k2"}
+	board := NewBoard(keys...)
+	pool := Pool{
+		Workers: 1,
+		Drain:   drain,
+		Key:     func(i int) string { return keys[i] },
+		Board:   board,
+	}
+	err := pool.ForEachIndex(context.Background(), len(keys), func(ctx context.Context, i int) error {
+		t.Errorf("unit %d dispatched past a closed drain", i)
+		return nil
+	})
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	for _, k := range keys {
+		if u, _ := board.Get(k); u.State != StateInterrupted {
+			t.Fatalf("%s state = %q, want interrupted", k, u.State)
+		}
+	}
+}

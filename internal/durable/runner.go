@@ -45,6 +45,12 @@ type Pool struct {
 	// Units already running complete normally; undispatched units are
 	// charged ErrInterrupted.
 	Drain <-chan struct{}
+	// Key, when non-nil, names unit i for the status Board. Required when
+	// Board is set.
+	Key func(i int) string
+	// Board, when non-nil, receives live unit transitions (running, done,
+	// failed, interrupted) so an admin surface can watch the run in flight.
+	Board *Board
 }
 
 // ForEachIndex runs fn(ctx, i) for i in [0, n) over the pool. The first
@@ -94,6 +100,15 @@ func (p Pool) ForEachIndex(ctx context.Context, n int, fn func(context.Context, 
 	drained := -1
 feed:
 	for i := 0; i < n; i++ {
+		// Check the drain first, non-blocking: when a closed drain and a free
+		// worker are both ready the select below picks at random, which would
+		// make drain-before-unit nondeterministic. A closed drain must win.
+		select {
+		case <-p.drain():
+			drained = i
+			break feed
+		default:
+		}
 		select {
 		case idx <- i:
 			dispatched++
@@ -116,6 +131,11 @@ feed:
 	}
 	if drained >= 0 && errs[drained] == nil {
 		errs[drained] = ErrInterrupted
+	}
+	if p.Board != nil && p.Key != nil && drained >= 0 {
+		for i := drained; i < n; i++ {
+			p.Board.Interrupt(p.Key(i))
+		}
 	}
 
 	// Report the lowest-index root-cause error. With a live parent context,
@@ -145,6 +165,9 @@ feed:
 func (p Pool) runUnit(ctx context.Context, i int, fn func(context.Context, int) error) (err error) {
 	start := time.Now()
 	poolInFlight.Add(1)
+	if p.Board != nil && p.Key != nil {
+		p.Board.Start(p.Key(i))
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Value: r, Stack: debug.Stack()}
@@ -155,6 +178,11 @@ func (p Pool) runUnit(ctx context.Context, i int, fn func(context.Context, int) 
 			poolFailed.Inc()
 		} else {
 			poolCompleted.Inc()
+		}
+		if p.Board != nil && p.Key != nil {
+			// Sticky-terminal: if fn already recorded a richer outcome
+			// (restored, canceled, failed-with-detail) this is a no-op.
+			p.Board.Finish(p.Key(i), err)
 		}
 	}()
 	if p.UnitTimeout > 0 {

@@ -3,11 +3,11 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"hash/fnv"
 	"time"
 
 	"elevprivacy/internal/durable"
 	"elevprivacy/internal/obs"
+	"elevprivacy/internal/scenario"
 )
 
 // Per-experiment checkpointing: a full suite run is hours of CPU at paper
@@ -19,11 +19,12 @@ import (
 // configFingerprint collapses a Config into a short stable token for
 // journal keys. Any knob change — scale, seed, folds — changes the
 // fingerprint, so checkpoints from a differently-configured run are never
-// misapplied to this one.
+// misapplied to this one. It is scenario.Fingerprint applied to the Config:
+// the same construction (and the same pinned outputs — see the golden test)
+// the orchestrator uses for its stage keys, so a suite journal and a
+// scenario cache can never drift apart on what "the same config" means.
 func configFingerprint(cfg Config) string {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%#v", cfg)
-	return fmt.Sprintf("%016x", h.Sum64())
+	return scenario.Fingerprint(cfg)
 }
 
 // suiteKey names one experiment's checkpoint unit.
@@ -57,54 +58,65 @@ type SuiteResult struct {
 // quarantined: its SuiteResult carries the *durable.PanicError while the
 // rest of the suite keeps running. emit is called once per runner, in
 // order, for restored and fresh results alike.
+//
+// RunSuite is a thin adapter over the scenario scheduler: each runner
+// becomes one dependency-free work unit, executed sequentially (Workers 1)
+// so the classic CLI output stays byte-identical to the pre-orchestrator
+// implementation. The scheduler supplies the durability contract —
+// journaled units restore instead of re-running, panics quarantine, drains
+// stop between units — that the sequential durable.Runner used to provide
+// here directly.
 func RunSuite(ctx context.Context, cfg Config, runners []Runner, journal *durable.Journal,
 	drain <-chan struct{}, emit func(SuiteResult)) (*durable.Report, error) {
 
 	byKey := make(map[string]Runner, len(runners))
+	units := make([]scenario.Unit, 0, len(runners))
 	keys := make([]string, 0, len(runners))
 	for _, r := range runners {
+		r := r
 		k := suiteKey(cfg, r.Name)
 		byKey[k] = r
 		keys = append(keys, k)
+		units = append(units, scenario.Unit{
+			Key: k,
+			Run: func(context.Context) (any, error) {
+				start := time.Now()
+				table, err := r.Run(cfg)
+				if err != nil {
+					// Failures (and panics, recovered by the scheduler) are
+					// emitted from the report below.
+					return nil, err
+				}
+				if emit != nil {
+					emit(SuiteResult{Runner: r, Table: table, Elapsed: time.Since(start)})
+				}
+				return table, nil
+			},
+			Restore: func() error {
+				var table Table
+				ok, err := journal.Get(k, &table)
+				if err != nil {
+					return fmt.Errorf("experiments: restoring %s: %w", r.Name, err)
+				}
+				if !ok {
+					return fmt.Errorf("experiments: checkpoint for %s vanished mid-run", r.Name)
+				}
+				if emit != nil {
+					emit(SuiteResult{Runner: r, Table: &table, Restored: true})
+				}
+				return nil
+			},
+		})
 	}
 
 	// The suite span is the trace's root: each experiment's "unit/exp/..."
-	// span (recorded by durable.Runner) nests under it.
+	// span (recorded by the scheduler) nests under it.
 	ctx, span := obs.StartSpan(ctx, "suite")
 	span.SetAttr("experiments", fmt.Sprint(len(runners)))
 	defer span.End()
 
-	dr := &durable.Runner{Journal: journal, Drain: drain}
-	report, err := dr.Run(ctx, keys,
-		func(ctx context.Context, key string) (any, error) {
-			r := byKey[key]
-			start := time.Now()
-			table, err := r.Run(cfg)
-			if err != nil {
-				// Failures (and panics, recovered above this frame by
-				// durable.Runner) are emitted from the report below.
-				return nil, err
-			}
-			if emit != nil {
-				emit(SuiteResult{Runner: r, Table: table, Elapsed: time.Since(start)})
-			}
-			return table, nil
-		},
-		func(key string) error {
-			r := byKey[key]
-			var table Table
-			ok, err := journal.Get(key, &table)
-			if err != nil {
-				return fmt.Errorf("experiments: restoring %s: %w", r.Name, err)
-			}
-			if !ok {
-				return fmt.Errorf("experiments: checkpoint for %s vanished mid-run", r.Name)
-			}
-			if emit != nil {
-				emit(SuiteResult{Runner: r, Table: &table, Restored: true})
-			}
-			return nil
-		})
+	sched := &scenario.Scheduler{Journal: journal, Workers: 1, Drain: drain}
+	report, err := sched.Run(ctx, units)
 	if err != nil {
 		return report, err
 	}

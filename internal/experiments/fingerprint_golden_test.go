@@ -1,0 +1,61 @@
+package experiments
+
+import "testing"
+
+// The fingerprints below are pinned on purpose: they are the compatibility
+// surface for every on-disk journal key ("exp/<name>@<fp>") and scenario
+// cache key. If this test fails, a refactor changed how configs hash —
+// renamed a field, reordered the struct, switched the hash — and every
+// existing checkpoint and cached artifact silently stops matching. Either
+// revert the change or accept the invalidation explicitly by updating the
+// table AND noting the break in CHANGES.md.
+func TestConfigFingerprintGolden(t *testing.T) {
+	seed42 := Default()
+	seed42.Seed = 42
+	userHalf := Default()
+	userHalf.UserScale = 0.5
+
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"default", Default(), "be7c3a674b6fa2da"},
+		{"quick", Quick(), "09a093e4da2b49d2"},
+		{"default-seed-42", seed42, "37045f853dab9015"},
+		{"default-userscale-0.5", userHalf, "57eed820ccab56e0"},
+		{"zero-value", Config{}, "449b28c21359085c"},
+	}
+	for _, tc := range cases {
+		if got := configFingerprint(tc.cfg); got != tc.want {
+			t.Errorf("configFingerprint(%s) = %s, want %s — journal/cache keys changed, see comment above",
+				tc.name, got, tc.want)
+		}
+	}
+}
+
+// Fingerprints must differ when any knob differs — otherwise two configs
+// share checkpoints they must not share.
+func TestConfigFingerprintSensitivity(t *testing.T) {
+	base := Default()
+	mutations := map[string]func(*Config){
+		"UserScale":      func(c *Config) { c.UserScale *= 2 },
+		"MinedScale":     func(c *Config) { c.MinedScale *= 2 },
+		"ProfileSamples": func(c *Config) { c.ProfileSamples++ },
+		"MinPerClass":    func(c *Config) { c.MinPerClass++ },
+		"NGram":          func(c *Config) { c.NGram++ },
+		"MaxFeatures":    func(c *Config) { c.MaxFeatures++ },
+		"CNNEpochs":      func(c *Config) { c.CNNEpochs++ },
+		"Folds10":        func(c *Config) { c.Folds10++ },
+		"Folds5":         func(c *Config) { c.Folds5++ },
+		"Seed":           func(c *Config) { c.Seed++ },
+	}
+	want := configFingerprint(base)
+	for field, mutate := range mutations {
+		c := base
+		mutate(&c)
+		if configFingerprint(c) == want {
+			t.Errorf("changing %s did not change the fingerprint", field)
+		}
+	}
+}

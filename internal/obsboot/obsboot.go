@@ -53,8 +53,52 @@ func Register(fs *flag.FlagSet) *Flags {
 // Close — it is what flushes the trace file.
 type Telemetry struct {
 	traceOut string
-	srv      *http.Server
-	srvErr   chan error
+	admin    *AdminServer
+}
+
+// AdminServer is a running admin HTTP endpoint: /healthz, /metrics, and
+// pprof from httpx.NewServeMux, plus an optional app handler (e.g. the
+// scenario orchestrator's API) mounted under it.
+type AdminServer struct {
+	srv *http.Server
+}
+
+// ServeAdmin starts an admin HTTP server on addr. service names the health
+// probe; app, when non-nil, handles every path the mux's built-ins don't.
+// An unusable address surfaces as an error now instead of silently serving
+// nothing for the whole run.
+func ServeAdmin(addr, service string, app http.Handler) (*AdminServer, error) {
+	handler := httpx.NewServeMux(app, httpx.MuxConfig{Service: service, Pprof: true})
+	a := &AdminServer{
+		srv: &http.Server{Addr: addr, Handler: handler, ReadHeaderTimeout: 5 * time.Second},
+	}
+	lnErr := make(chan error, 1)
+	go func() {
+		err := a.srv.ListenAndServe()
+		select {
+		case lnErr <- err:
+		default:
+		}
+	}()
+	select {
+	case err := <-lnErr:
+		if err != nil && err != http.ErrServerClosed {
+			return nil, fmt.Errorf("obsboot: admin server: %w", err)
+		}
+	case <-time.After(100 * time.Millisecond):
+	}
+	obs.DefaultLogger().Info("admin endpoint up", "addr", addr, "service", service)
+	return a, nil
+}
+
+// Close shuts the server down gracefully. Safe on nil.
+func (a *AdminServer) Close() error {
+	if a == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return a.srv.Shutdown(ctx)
 }
 
 // Start applies the flag values: installs the process logger, enables
@@ -72,28 +116,11 @@ func (f *Flags) Start(service string) (*Telemetry, error) {
 		obs.EnableTracing(obs.DefaultTraceCapacity)
 	}
 	if f.MetricsAddr != "" {
-		handler := httpx.NewServeMux(nil, httpx.MuxConfig{Service: service, Pprof: true})
-		t.srv = &http.Server{Addr: f.MetricsAddr, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
-		t.srvErr = make(chan error, 1)
-		lnErr := make(chan error, 1)
-		go func() {
-			err := t.srv.ListenAndServe()
-			select {
-			case lnErr <- err:
-			default:
-			}
-			t.srvErr <- err
-		}()
-		// Surface an unusable address now instead of silently serving
-		// nothing for the whole run.
-		select {
-		case err := <-lnErr:
-			if err != nil && err != http.ErrServerClosed {
-				return nil, fmt.Errorf("obsboot: metrics server: %w", err)
-			}
-		case <-time.After(100 * time.Millisecond):
+		admin, err := ServeAdmin(f.MetricsAddr, service, nil)
+		if err != nil {
+			return nil, err
 		}
-		obs.DefaultLogger().Info("metrics endpoint up", "addr", f.MetricsAddr, "service", service)
+		t.admin = admin
 	}
 	return t, nil
 }
@@ -104,11 +131,7 @@ func (t *Telemetry) Close() error {
 	if t == nil {
 		return nil
 	}
-	if t.srv != nil {
-		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-		_ = t.srv.Shutdown(ctx)
-		cancel()
-	}
+	_ = t.admin.Close()
 	if t.traceOut != "" {
 		tracer := obs.DefaultTracer()
 		if tracer != nil {

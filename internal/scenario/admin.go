@@ -1,0 +1,147 @@
+package scenario
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"elevprivacy/internal/durable"
+)
+
+// The admin API: a small JSON surface over the live run for operators and
+// the orchestrator smoke test. Mounted as the app handler of an
+// httpx.NewServeMux (which contributes /healthz, /metrics, pprof, and server
+// metrics), so the scenario endpoints ride the same hardened mux every other
+// service in the repo uses.
+//
+//	GET  /api/run                     run status: state, counts, cache, HTTP
+//	POST /api/run/cancel              drain the whole run (resumable)
+//	GET  /api/scenarios               all scenarios with unit states
+//	GET  /api/scenarios/{name}        one scenario, unit detail included
+//	POST /api/scenarios/{name}/cancel cancel one scenario
+//	GET  /api/units                   every unit's live status (the board)
+//	GET  /api/cache                   artifact cache hit/miss/put counters
+
+// RunStatus is the GET /api/run payload.
+type RunStatus struct {
+	Spec string `json:"spec"`
+	// State is pending, running, or done.
+	State        string                    `json:"state"`
+	StartedAt    time.Time                 `json:"started_at,omitempty"`
+	Units        int                       `json:"units"`
+	Counts       map[durable.UnitState]int `json:"counts"`
+	Cache        CacheStats                `json:"cache"`
+	HTTPAttempts int64                     `json:"http_attempts"`
+	Scenarios    []ScenarioStatus          `json:"scenarios"`
+}
+
+// ScenarioStatus is one scenario's live view.
+type ScenarioStatus struct {
+	Name        string `json:"name"`
+	ThreatModel string `json:"threat_model"`
+	Defense     string `json:"defense"`
+	Model       string `json:"model"`
+	Canceled    bool   `json:"canceled"`
+	// Units are the scenario's four stage units in mine→feat→train→eval
+	// order. Shared (deduped) units appear under every owning scenario.
+	Units []durable.UnitSnapshot `json:"units"`
+}
+
+// Handler returns the admin API mux. Wrap it with httpx.NewServeMux (or
+// obsboot) to add health, metrics, and hardening.
+func (o *Orchestrator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/run", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, o.runStatus())
+	})
+	mux.HandleFunc("POST /api/run/cancel", func(w http.ResponseWriter, r *http.Request) {
+		o.CancelRun()
+		writeJSON(w, http.StatusOK, map[string]string{"status": "canceling", "detail": "dispatch stopped; in-flight units drain"})
+	})
+	mux.HandleFunc("GET /api/scenarios", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, o.scenarioStatuses())
+	})
+	mux.HandleFunc("GET /api/scenarios/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		st, ok := o.scenarioStatus(name)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": "no scenario named " + name})
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("POST /api/scenarios/{name}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if err := o.CancelScenario(name); err != nil {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "canceled", "scenario": name})
+	})
+	mux.HandleFunc("GET /api/units", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, o.board.Snapshot())
+	})
+	mux.HandleFunc("GET /api/cache", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, o.cache.Stats())
+	})
+	return mux
+}
+
+func (o *Orchestrator) runStatus() RunStatus {
+	return RunStatus{
+		Spec:         o.spec.Name,
+		State:        o.state.Load().(string),
+		StartedAt:    o.startedAt,
+		Units:        len(o.units),
+		Counts:       o.board.Counts(),
+		Cache:        o.cache.Stats(),
+		HTTPAttempts: o.httpAttempts.Load(),
+		Scenarios:    o.scenarioStatuses(),
+	}
+}
+
+func (o *Orchestrator) scenarioStatuses() []ScenarioStatus {
+	out := make([]ScenarioStatus, 0, len(o.spec.Scenarios))
+	for i := range o.spec.Scenarios {
+		st, _ := o.scenarioStatus(o.spec.Scenarios[i].Name)
+		out = append(out, st)
+	}
+	return out
+}
+
+func (o *Orchestrator) scenarioStatus(name string) (ScenarioStatus, bool) {
+	keys, ok := o.unitKeys[name]
+	if !ok {
+		return ScenarioStatus{}, false
+	}
+	var sc *Scenario
+	for i := range o.spec.Scenarios {
+		if o.spec.Scenarios[i].Name == name {
+			sc = &o.spec.Scenarios[i]
+			break
+		}
+	}
+	st := ScenarioStatus{
+		Name:        name,
+		ThreatModel: sc.ThreatModel,
+		Defense:     sc.Defense,
+		Model:       sc.Model,
+		Canceled:    o.scenarioCanceled(name),
+	}
+	for _, k := range keys {
+		if u, ok := o.board.Get(k); ok {
+			st.Units = append(st.Units, u)
+		}
+	}
+	return st, true
+}
+
+// writeJSON renders v with a status code; encode errors are unreachable for
+// the marshal-safe types this API serves.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,121 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"elevprivacy/internal/durable"
+)
+
+// cacheVersion is the snapshot envelope version for cached artifacts. Bump
+// it when an artifact's JSON shape changes incompatibly; old entries then
+// read as misses (FormatError) instead of poisoning downstream stages.
+const cacheVersion = 1
+
+// Cache is the content-addressed artifact store: stage outputs (mined
+// datasets, featurized datasets, trained models, eval metrics) keyed by
+// stage fingerprints (e.g. "mine/91ab…"). Entries are written with durable's
+// atomic writer inside checksummed snapshot envelopes, so a crash mid-write
+// never leaves a torn artifact and bit rot is detected on read, not silently
+// trained on.
+//
+// The cache is what turns N scenarios into less-than-N work: every scenario
+// whose config prefix matches an existing artifact reuses it byte-identically.
+// Unlike the journal (scoped to one run's resume), the cache dedupes across
+// runs too.
+//
+// A nil *Cache stores nothing and misses everything.
+type Cache struct {
+	dir string
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	puts   atomic.Int64
+}
+
+// OpenCache creates (if needed) and opens a cache directory. Empty dir
+// returns nil — a valid cache that never hits.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("scenario: opening cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// path maps a stage key ("mine/<fp>") to its artifact file
+// ("<dir>/mine-<fp>.art"). Keys are two path-safe tokens by construction;
+// the slash is flattened so the cache dir stays a single flat directory.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, strings.ReplaceAll(key, "/", "-")+".art")
+}
+
+// Get loads the artifact under key into v, reporting whether it was found.
+// A missing entry is a miss; a present-but-corrupt entry (torn write from a
+// kill, version skew) is also a miss — the caller recomputes and overwrites.
+func (c *Cache) Get(key string, v any) (bool, error) {
+	if c == nil {
+		return false, nil
+	}
+	err := durable.LoadSnapshot(c.path(key), cacheVersion, v)
+	switch {
+	case err == nil:
+		c.hits.Add(1)
+		cacheHits.Inc()
+		return true, nil
+	case os.IsNotExist(err):
+		c.misses.Add(1)
+		cacheMisses.Inc()
+		return false, nil
+	default:
+		var ferr *durable.FormatError
+		if errors.As(err, &ferr) {
+			c.misses.Add(1)
+			cacheMisses.Inc()
+			return false, nil
+		}
+		return false, fmt.Errorf("scenario: cache get %s: %w", key, err)
+	}
+}
+
+// Put stores v under key (atomic, checksummed). Concurrent writers of the
+// same key are safe: both write the same bytes and the rename is atomic.
+func (c *Cache) Put(key string, v any) error {
+	if c == nil {
+		return nil
+	}
+	if err := durable.SaveSnapshot(c.path(key), cacheVersion, v); err != nil {
+		return fmt.Errorf("scenario: cache put %s: %w", key, err)
+	}
+	c.puts.Add(1)
+	cachePuts.Inc()
+	return nil
+}
+
+// CacheStats is one cache's hit/miss/put counters, as the admin API reports
+// them (the elevpriv_scenario_cache_* series aggregate across caches).
+type CacheStats struct {
+	Dir    string `json:"dir,omitempty"`
+	Hits   int64  `json:"hits"`
+	Misses int64  `json:"misses"`
+	Puts   int64  `json:"puts"`
+}
+
+// Stats snapshots this cache instance's counters. Safe on nil.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return CacheStats{
+		Dir:    c.dir,
+		Hits:   c.hits.Load(),
+		Misses: c.misses.Load(),
+		Puts:   c.puts.Load(),
+	}
+}

@@ -1,0 +1,93 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCacheRoundTrip(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type artifact struct{ N int }
+
+	var got artifact
+	if ok, err := cache.Get("mine/abc", &got); err != nil || ok {
+		t.Fatalf("Get on empty cache = %v, %v; want miss", ok, err)
+	}
+	if err := cache.Put("mine/abc", artifact{N: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := cache.Get("mine/abc", &got); err != nil || !ok {
+		t.Fatalf("Get after Put = %v, %v; want hit", ok, err)
+	}
+	if got.N != 7 {
+		t.Errorf("artifact = %+v, want N=7", got)
+	}
+
+	st := cache.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss, 1 put", st)
+	}
+}
+
+// A torn or rotted entry must read as a miss — the caller recomputes and
+// overwrites — never as an error that wedges the run or as silent bad data.
+func TestCacheCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type artifact struct{ N int }
+	if err := cache.Put("train/ff00", artifact{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Keys flatten to <dir>/<stage>-<fp>.art.
+	path := filepath.Join(dir, "train-ff00.art")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("expected artifact file at %s: %v", path, err)
+	}
+	if err := os.WriteFile(path, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var got artifact
+	ok, err := cache.Get("train/ff00", &got)
+	if err != nil {
+		t.Fatalf("corrupt entry surfaced an error: %v", err)
+	}
+	if ok {
+		t.Fatal("corrupt entry read as a hit")
+	}
+
+	// Recompute-and-overwrite heals it.
+	if err := cache.Put("train/ff00", artifact{N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := cache.Get("train/ff00", &got); err != nil || !ok || got.N != 2 {
+		t.Fatalf("after overwrite: ok=%v err=%v got=%+v", ok, err, got)
+	}
+}
+
+func TestNilCache(t *testing.T) {
+	cache, err := OpenCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache != nil {
+		t.Fatal("OpenCache(\"\") should return a nil cache")
+	}
+	if err := cache.Put("k", 1); err != nil {
+		t.Errorf("nil cache Put: %v", err)
+	}
+	var v int
+	if ok, err := cache.Get("k", &v); ok || err != nil {
+		t.Errorf("nil cache Get = %v, %v; want miss", ok, err)
+	}
+	if st := cache.Stats(); st != (CacheStats{}) {
+		t.Errorf("nil cache stats = %+v, want zero", st)
+	}
+}

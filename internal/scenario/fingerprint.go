@@ -1,0 +1,30 @@
+// Package scenario turns a declarative experiment spec — city model,
+// population size, grid resolution, defense, model, threat model, seed —
+// into a DAG of work units (mine → featurize → train → eval), schedules the
+// units across the durable pool with per-unit checkpoint/resume, and dedupes
+// shared intermediates through a content-addressed artifact cache: a mined
+// dataset or trained model produced by one scenario is reused byte-identically
+// by every scenario that shares its config prefix. An admin HTTP handler
+// exposes the live run (list/inspect/cancel, unit status, cache counters).
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Fingerprint collapses a config value into a short stable token for journal
+// and cache keys. It hashes the value's Go-syntax representation (%#v), which
+// includes the package-qualified type name and every field, so any knob
+// change — scale, seed, folds, a renamed field — changes the fingerprint and
+// checkpoints from a differently-configured run are never misapplied.
+//
+// This is the same construction experiments.configFingerprint has always
+// used; it lives here so every stage config (mine, featurize, train, eval)
+// shares one implementation, and it is pinned by golden tests — the exact
+// output is a compatibility surface for on-disk journals and artifact caches.
+func Fingerprint(v any) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%#v", v)
+	return fmt.Sprintf("%016x", h.Sum64())
+}

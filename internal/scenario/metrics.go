@@ -1,0 +1,30 @@
+package scenario
+
+import "elevprivacy/internal/obs"
+
+// Orchestrator telemetry, elevpriv_scenario_*:
+//
+//	elevpriv_scenario_cache_hits_total    artifacts served from the cache
+//	elevpriv_scenario_cache_misses_total  artifacts that had to be computed
+//	elevpriv_scenario_cache_puts_total    artifacts written to the cache
+//	elevpriv_scenario_units_total{state}  unit outcomes by terminal state
+//	elevpriv_scenario_cancels_total       admin cancel requests honored
+//	elevpriv_scenario_unit_seconds        per-unit wall time (fresh runs)
+//
+// The cache counters are the dedup proof the smoke test asserts on: a second
+// scenario sharing a mining config shows hits > 0 and re-issues zero HTTP
+// calls.
+var (
+	cacheHits   = obs.GetCounter("elevpriv_scenario_cache_hits_total")
+	cacheMisses = obs.GetCounter("elevpriv_scenario_cache_misses_total")
+	cachePuts   = obs.GetCounter("elevpriv_scenario_cache_puts_total")
+
+	unitsDone        = obs.GetCounter(`elevpriv_scenario_units_total{state="done"}`)
+	unitsRestored    = obs.GetCounter(`elevpriv_scenario_units_total{state="restored"}`)
+	unitsFailed      = obs.GetCounter(`elevpriv_scenario_units_total{state="failed"}`)
+	unitsInterrupted = obs.GetCounter(`elevpriv_scenario_units_total{state="interrupted"}`)
+	unitsCanceled    = obs.GetCounter(`elevpriv_scenario_units_total{state="canceled"}`)
+
+	cancels  = obs.GetCounter("elevpriv_scenario_cancels_total")
+	unitSecs = obs.GetHistogram("elevpriv_scenario_unit_seconds", nil)
+)

@@ -1,0 +1,263 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"elevprivacy/internal/durable"
+)
+
+// recordUnit builds a unit that appends its key to ran (mutex-guarded) and
+// returns a journalable marker.
+func recordUnit(key string, deps []string, ran *[]string, mu *sync.Mutex) Unit {
+	return Unit{
+		Key:  key,
+		Deps: deps,
+		Run: func(ctx context.Context) (any, error) {
+			mu.Lock()
+			*ran = append(*ran, key)
+			mu.Unlock()
+			return marker{Key: key}, nil
+		},
+	}
+}
+
+func TestSchedulerRunsDepsFirst(t *testing.T) {
+	var mu sync.Mutex
+	var ran []string
+	// Diamond: a -> {b, c} -> d.
+	units := []Unit{
+		recordUnit("d", []string{"b", "c"}, &ran, &mu),
+		recordUnit("b", []string{"a"}, &ran, &mu),
+		recordUnit("c", []string{"a"}, &ran, &mu),
+		recordUnit("a", nil, &ran, &mu),
+	}
+	s := &Scheduler{Workers: 4}
+	report, err := s.Run(context.Background(), units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Units) != 4 || report.Interrupted {
+		t.Fatalf("report = %+v, want 4 clean units", report)
+	}
+	for _, u := range report.Units {
+		if u.Err != nil {
+			t.Errorf("unit %s: %v", u.Key, u.Err)
+		}
+	}
+	pos := map[string]int{}
+	for i, k := range ran {
+		pos[k] = i
+	}
+	if !(pos["a"] < pos["b"] && pos["a"] < pos["c"] && pos["b"] < pos["d"] && pos["c"] < pos["d"]) {
+		t.Errorf("execution order violates deps: %v", ran)
+	}
+	// Report keeps input order regardless of execution order.
+	if report.Units[0].Key != "d" || report.Units[3].Key != "a" {
+		t.Errorf("report order = %v, want input order", report.Units)
+	}
+}
+
+func TestSchedulerChargesDependents(t *testing.T) {
+	boom := errors.New("boom")
+	var mu sync.Mutex
+	var ran []string
+	units := []Unit{
+		{Key: "a", Run: func(ctx context.Context) (any, error) { return nil, boom }},
+		recordUnit("b", []string{"a"}, &ran, &mu),
+		recordUnit("c", []string{"b"}, &ran, &mu),
+		recordUnit("x", nil, &ran, &mu), // independent: must still run
+	}
+	s := &Scheduler{}
+	report, err := s.Run(context.Background(), units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ran) != 1 || ran[0] != "x" {
+		t.Errorf("ran = %v, want only the independent unit", ran)
+	}
+	if !errors.Is(report.Units[0].Err, boom) {
+		t.Errorf("a's error = %v, want boom", report.Units[0].Err)
+	}
+	for _, i := range []int{1, 2} {
+		err := report.Units[i].Err
+		if err == nil || !strings.Contains(err.Error(), "dependency failed") || !errors.Is(err, boom) {
+			t.Errorf("%s charged %v, want wrapped dependency failure", report.Units[i].Key, err)
+		}
+	}
+	if report.Units[3].Err != nil {
+		t.Errorf("independent unit failed: %v", report.Units[3].Err)
+	}
+	if report.Interrupted {
+		t.Error("a unit failure is not an interruption")
+	}
+}
+
+func TestSchedulerResumeRestores(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sched.journal")
+	var mu sync.Mutex
+	var ran []string
+	build := func(restored *[]string) []Unit {
+		units := []Unit{
+			recordUnit("a", nil, &ran, &mu),
+			recordUnit("b", []string{"a"}, &ran, &mu),
+		}
+		for i := range units {
+			key := units[i].Key
+			units[i].Restore = func() error {
+				mu.Lock()
+				*restored = append(*restored, key)
+				mu.Unlock()
+				return nil
+			}
+		}
+		return units
+	}
+
+	j1, err := durable.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored1 []string
+	if _, err := (&Scheduler{Journal: j1}).Run(context.Background(), build(&restored1)); err != nil {
+		t.Fatal(err)
+	}
+	j1.Close()
+	if len(ran) != 2 || len(restored1) != 0 {
+		t.Fatalf("first run: ran=%v restored=%v", ran, restored1)
+	}
+
+	j2, err := durable.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	ran = nil
+	var restored2 []string
+	report, err := (&Scheduler{Journal: j2}).Run(context.Background(), build(&restored2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ran) != 0 {
+		t.Errorf("resume re-ran units: %v", ran)
+	}
+	if len(restored2) != 2 {
+		t.Errorf("restored = %v, want both units", restored2)
+	}
+	for _, u := range report.Units {
+		if !u.Restored || u.Err != nil {
+			t.Errorf("unit %s: restored=%v err=%v", u.Key, u.Restored, u.Err)
+		}
+	}
+}
+
+// A failing Restore quarantines the unit (journaled-but-unusable state) and
+// charges its dependents instead of letting them consume a ghost artifact.
+func TestSchedulerRestoreFailureQuarantines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sched.journal")
+	j1, err := durable.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Put("a", marker{Key: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := durable.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	vanished := errors.New("artifact vanished")
+	units := []Unit{
+		{Key: "a", Run: func(ctx context.Context) (any, error) { return marker{}, nil },
+			Restore: func() error { return vanished }},
+		{Key: "b", Deps: []string{"a"}, Run: func(ctx context.Context) (any, error) {
+			t.Error("b ran despite a's failed restore")
+			return nil, nil
+		}},
+	}
+	report, err := (&Scheduler{Journal: j2}).Run(context.Background(), units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(report.Units[0].Err, vanished) {
+		t.Errorf("a's error = %v, want the restore failure", report.Units[0].Err)
+	}
+	if report.Units[1].Err == nil {
+		t.Error("b was not charged")
+	}
+}
+
+func TestSchedulerDrain(t *testing.T) {
+	drain := make(chan struct{})
+	close(drain)
+	var mu sync.Mutex
+	var ran []string
+	units := []Unit{recordUnit("a", nil, &ran, &mu)}
+	report, err := (&Scheduler{Drain: drain}).Run(context.Background(), units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ran) != 0 {
+		t.Errorf("drained scheduler dispatched %v", ran)
+	}
+	if !report.Interrupted {
+		t.Error("report not marked interrupted")
+	}
+	if !errors.Is(report.Units[0].Err, durable.ErrInterrupted) {
+		t.Errorf("unit charged %v, want ErrInterrupted", report.Units[0].Err)
+	}
+}
+
+func TestSchedulerPanicQuarantine(t *testing.T) {
+	var mu sync.Mutex
+	var ran []string
+	units := []Unit{
+		{Key: "a", Run: func(ctx context.Context) (any, error) { panic("kaboom") }},
+		recordUnit("x", nil, &ran, &mu),
+	}
+	report, err := (&Scheduler{Workers: 2}).Run(context.Background(), units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var perr *durable.PanicError
+	if !errors.As(report.Units[0].Err, &perr) {
+		t.Fatalf("a's error = %v, want *durable.PanicError", report.Units[0].Err)
+	}
+	if len(ran) != 1 {
+		t.Errorf("sibling did not survive the panic: ran=%v", ran)
+	}
+}
+
+func TestSchedulerShapeErrors(t *testing.T) {
+	noop := func(ctx context.Context) (any, error) { return nil, nil }
+	cases := []struct {
+		name  string
+		units []Unit
+		want  string
+	}{
+		{"cycle", []Unit{
+			{Key: "a", Deps: []string{"b"}, Run: noop},
+			{Key: "b", Deps: []string{"a"}, Run: noop},
+		}, "cycle"},
+		{"unknown dep", []Unit{{Key: "a", Deps: []string{"ghost"}, Run: noop}}, "unknown key"},
+		{"duplicate key", []Unit{{Key: "a", Run: noop}, {Key: "a", Run: noop}}, "duplicate"},
+		{"empty key", []Unit{{Run: noop}}, "no key"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := (&Scheduler{}).Run(context.Background(), tc.units)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}

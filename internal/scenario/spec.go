@@ -1,0 +1,327 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"elevprivacy/internal/terrain"
+)
+
+// Threat models, matching the paper's taxonomy (§III): TM-1 infers the
+// region of a new activity from the target's own history, TM-2 the borough
+// within a known city, TM-3 the city with no prior knowledge.
+const (
+	TM1 = "tm1"
+	TM2 = "tm2"
+	TM3 = "tm3"
+)
+
+// Defense names accepted in a spec.
+const (
+	DefenseNone         = "none"
+	DefenseNoise        = "noise"
+	DefenseQuantize     = "quantize"
+	DefenseZeroBaseline = "zero-baseline"
+	DefenseSummaryStats = "summary-stats"
+)
+
+// Spec is a declarative description of an orchestrator run: a named batch of
+// scenarios that share one journal, one artifact cache, and one rate-limit
+// budget. Loaded from JSON (see examples/scenarios/).
+type Spec struct {
+	// Name labels the run in the admin API and logs.
+	Name string `json:"name"`
+	// RateLimit caps each mining client at this many requests/sec
+	// (0 = unlimited).
+	RateLimit float64 `json:"rps,omitempty"`
+	// Workers bounds scheduler concurrency (0 = 1).
+	Workers int `json:"workers,omitempty"`
+	// Scenarios are the runs to expand into work units.
+	Scenarios []Scenario `json:"scenarios"`
+}
+
+// Scenario is one (city model, population, grid, defense, model, threat
+// model, seed) point. Zero-valued knobs pick the defaults documented on each
+// field.
+type Scenario struct {
+	// Name labels the scenario; must be unique within the spec.
+	Name string `json:"name"`
+	// ThreatModel is tm1, tm2, or tm3 (default tm3).
+	ThreatModel string `json:"threat_model,omitempty"`
+	// City names the known city for tm2 (full name or abbreviation).
+	City string `json:"city,omitempty"`
+	// Cities is the tm3 city model (default: the paper's full ten-city
+	// world).
+	Cities []string `json:"cities,omitempty"`
+	// Population is the synthetic population per class: segments per city
+	// (tm3) or per borough-city (tm2), activity-history scale for tm1.
+	// Default 40.
+	Population int `json:"population,omitempty"`
+	// Grid is the miner's grid divisions per side (default 4).
+	Grid int `json:"grid,omitempty"`
+	// Samples is the elevation samples per profile (default 60).
+	Samples int `json:"samples,omitempty"`
+	// Defense is the countermeasure applied before featurization (default
+	// none).
+	Defense string `json:"defense,omitempty"`
+	// DefenseStrength parameterizes the defense: noise sigma in meters
+	// (default 5), quantization step in meters (default 10).
+	DefenseStrength float64 `json:"defense_strength,omitempty"`
+	// Model picks the classifier: svm or mlp (default svm). The random
+	// forest the paper also evaluates is excluded here: the train stage
+	// persists its model as a cacheable artifact, and the forest backend
+	// does not support persistence.
+	Model string `json:"model,omitempty"`
+	// Folds is the cross-validation fold count (default 5).
+	Folds int `json:"folds,omitempty"`
+	// NGram is the n-gram order (default 8, the paper's setting).
+	NGram int `json:"ngram,omitempty"`
+	// MaxFeatures bounds the n-gram vocabulary (default 1024).
+	MaxFeatures int `json:"max_features,omitempty"`
+	// Seed drives all randomness for the scenario (default 1).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// LoadSpec reads, defaults, and validates a spec file.
+func LoadSpec(path string) (*Spec, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseSpec(raw)
+}
+
+// ParseSpec decodes a spec from JSON, rejecting unknown fields so a typoed
+// knob fails loudly instead of silently running defaults.
+func ParseSpec(raw []byte) (*Spec, error) {
+	var spec Spec
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("scenario: parsing spec: %w", err)
+	}
+	if err := spec.Normalize(); err != nil {
+		return nil, err
+	}
+	return &spec, nil
+}
+
+// Normalize fills defaults and validates in place.
+func (s *Spec) Normalize() error {
+	if s.Name == "" {
+		s.Name = "run"
+	}
+	if s.Workers < 1 {
+		s.Workers = 1
+	}
+	if len(s.Scenarios) == 0 {
+		return fmt.Errorf("scenario: spec %q has no scenarios", s.Name)
+	}
+	seen := make(map[string]bool, len(s.Scenarios))
+	for i := range s.Scenarios {
+		sc := &s.Scenarios[i]
+		if sc.Name == "" {
+			sc.Name = fmt.Sprintf("scenario-%d", i)
+		}
+		if seen[sc.Name] {
+			return fmt.Errorf("scenario: duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		if err := sc.normalize(); err != nil {
+			return fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+	}
+	return nil
+}
+
+func (sc *Scenario) normalize() error {
+	if sc.ThreatModel == "" {
+		sc.ThreatModel = TM3
+	}
+	if sc.Population == 0 {
+		sc.Population = 40
+	}
+	if sc.Grid == 0 {
+		sc.Grid = 4
+	}
+	if sc.Samples == 0 {
+		sc.Samples = 60
+	}
+	if sc.Defense == "" {
+		sc.Defense = DefenseNone
+	}
+	if sc.DefenseStrength == 0 {
+		switch sc.Defense {
+		case DefenseNoise:
+			sc.DefenseStrength = 5
+		case DefenseQuantize:
+			sc.DefenseStrength = 10
+		}
+	}
+	if sc.Model == "" {
+		sc.Model = "svm"
+	}
+	if sc.Folds == 0 {
+		sc.Folds = 5
+	}
+	if sc.NGram == 0 {
+		sc.NGram = 8
+	}
+	if sc.MaxFeatures == 0 {
+		sc.MaxFeatures = 1024
+	}
+	if sc.Seed == 0 {
+		sc.Seed = 1
+	}
+
+	switch sc.ThreatModel {
+	case TM1:
+		if sc.City != "" || len(sc.Cities) != 0 {
+			return fmt.Errorf("tm1 takes no city model (it uses the user-specific dataset)")
+		}
+	case TM2:
+		if sc.City == "" {
+			return fmt.Errorf("tm2 requires a city")
+		}
+		city, err := terrain.CityByName(terrain.World(), sc.City)
+		if err != nil {
+			return err
+		}
+		if len(city.Boroughs) == 0 {
+			return fmt.Errorf("city %s has no borough decomposition", city.Name)
+		}
+		sc.City = city.Name // canonicalize abbreviations so fingerprints agree
+	case TM3:
+		world := terrain.World()
+		if len(sc.Cities) == 0 {
+			for _, c := range world {
+				sc.Cities = append(sc.Cities, c.Name)
+			}
+		} else {
+			for i, name := range sc.Cities {
+				c, err := terrain.CityByName(world, name)
+				if err != nil {
+					return err
+				}
+				sc.Cities[i] = c.Name
+			}
+		}
+		// Sorted city lists make the mine fingerprint order-independent:
+		// {SF, SEA} and {SEA, SF} are the same city model.
+		sort.Strings(sc.Cities)
+		if len(sc.Cities) < 2 {
+			return fmt.Errorf("tm3 needs at least 2 cities, got %d", len(sc.Cities))
+		}
+	default:
+		return fmt.Errorf("unknown threat model %q (want tm1, tm2, or tm3)", sc.ThreatModel)
+	}
+
+	switch sc.Defense {
+	case DefenseNone, DefenseNoise, DefenseQuantize, DefenseZeroBaseline, DefenseSummaryStats:
+	default:
+		return fmt.Errorf("unknown defense %q", sc.Defense)
+	}
+	switch sc.Model {
+	case "svm", "mlp":
+	case "rfc":
+		return fmt.Errorf("model rfc cannot be used in scenarios: the train stage persists the model and the forest backend does not support persistence (use svm or mlp)")
+	default:
+		return fmt.Errorf("unknown model %q (want svm or mlp)", sc.Model)
+	}
+	if sc.Folds < 2 {
+		return fmt.Errorf("folds = %d, want >= 2", sc.Folds)
+	}
+	if sc.Samples < sc.NGram+1 {
+		return fmt.Errorf("samples = %d too short for %d-grams", sc.Samples, sc.NGram)
+	}
+	if sc.Population < 1 || sc.Grid < 1 {
+		return fmt.Errorf("population and grid must be positive")
+	}
+	return nil
+}
+
+// Stage configs: plain exported-field structs hashed with Fingerprint. Every
+// field that changes the artifact must appear here; each stage embeds the
+// previous stage's fingerprint, so a change anywhere upstream ripples into
+// every downstream key — that prefix-chaining is what makes cache sharing
+// safe. These shapes are a compatibility surface (journals and artifact
+// caches on disk are keyed by them); renaming a field invalidates everything,
+// which the golden tests make a deliberate act.
+
+type mineConfig struct {
+	ThreatModel string
+	City        string   // tm2: the known city
+	Cities      []string // tm3: sorted city model
+	Population  int
+	Grid        int
+	Samples     int
+	Seed        int64
+}
+
+type featConfig struct {
+	Mine     string // upstream mine fingerprint
+	Defense  string
+	Strength float64
+	Seed     int64
+}
+
+type trainConfig struct {
+	Feat        string // upstream feat fingerprint
+	Model       string
+	NGram       int
+	MaxFeatures int
+	Seed        int64
+}
+
+type evalConfig struct {
+	Train string // upstream train fingerprint
+	Folds int
+}
+
+func (sc *Scenario) mineConfig() mineConfig {
+	return mineConfig{
+		ThreatModel: sc.ThreatModel,
+		City:        sc.City,
+		Cities:      append([]string(nil), sc.Cities...),
+		Population:  sc.Population,
+		Grid:        sc.Grid,
+		Samples:     sc.Samples,
+		Seed:        sc.Seed,
+	}
+}
+
+func (sc *Scenario) featConfig() featConfig {
+	return featConfig{
+		Mine:     Fingerprint(sc.mineConfig()),
+		Defense:  sc.Defense,
+		Strength: sc.DefenseStrength,
+		Seed:     sc.Seed,
+	}
+}
+
+func (sc *Scenario) trainConfig() trainConfig {
+	return trainConfig{
+		Feat:        Fingerprint(sc.featConfig()),
+		Model:       sc.Model,
+		NGram:       sc.NGram,
+		MaxFeatures: sc.MaxFeatures,
+		Seed:        sc.Seed,
+	}
+}
+
+func (sc *Scenario) evalConfig() evalConfig {
+	return evalConfig{
+		Train: Fingerprint(sc.trainConfig()),
+		Folds: sc.Folds,
+	}
+}
+
+// Stage keys, shared verbatim between the journal and the artifact cache.
+
+func (sc *Scenario) mineKey() string  { return "mine/" + Fingerprint(sc.mineConfig()) }
+func (sc *Scenario) featKey() string  { return "feat/" + Fingerprint(sc.featConfig()) }
+func (sc *Scenario) trainKey() string { return "train/" + Fingerprint(sc.trainConfig()) }
+func (sc *Scenario) evalKey() string  { return "eval/" + Fingerprint(sc.evalConfig()) }

@@ -1,0 +1,168 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpecDefaults(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{"name":"demo","scenarios":[{"name":"a"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Workers != 1 {
+		t.Errorf("Workers = %d, want 1", spec.Workers)
+	}
+	sc := spec.Scenarios[0]
+	if sc.ThreatModel != TM3 {
+		t.Errorf("ThreatModel = %q, want tm3", sc.ThreatModel)
+	}
+	if len(sc.Cities) != 10 {
+		t.Errorf("default city model has %d cities, want the paper's 10", len(sc.Cities))
+	}
+	for i := 1; i < len(sc.Cities); i++ {
+		if sc.Cities[i-1] > sc.Cities[i] {
+			t.Errorf("cities not sorted: %v", sc.Cities)
+			break
+		}
+	}
+	if sc.Population != 40 || sc.Grid != 4 || sc.Samples != 60 {
+		t.Errorf("world defaults = pop %d grid %d samples %d, want 40/4/60", sc.Population, sc.Grid, sc.Samples)
+	}
+	if sc.Defense != DefenseNone || sc.Model != "svm" || sc.Folds != 5 {
+		t.Errorf("pipeline defaults = %s/%s/%d, want none/svm/5", sc.Defense, sc.Model, sc.Folds)
+	}
+	if sc.NGram != 8 || sc.MaxFeatures != 1024 || sc.Seed != 1 {
+		t.Errorf("attack defaults = ngram %d maxfeat %d seed %d, want 8/1024/1", sc.NGram, sc.MaxFeatures, sc.Seed)
+	}
+}
+
+func TestParseSpecDefenseStrengthDefaults(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{"scenarios":[
+		{"name":"n","defense":"noise"},
+		{"name":"q","defense":"quantize"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := spec.Scenarios[0].DefenseStrength; got != 5 {
+		t.Errorf("noise strength = %v, want 5", got)
+	}
+	if got := spec.Scenarios[1].DefenseStrength; got != 10 {
+		t.Errorf("quantize step = %v, want 10", got)
+	}
+}
+
+func TestParseSpecRejectsUnknownField(t *testing.T) {
+	_, err := ParseSpec([]byte(`{"scenarios":[{"name":"a","defence":"noise"}]}`))
+	if err == nil || !strings.Contains(err.Error(), "defence") {
+		t.Fatalf("typoed field not rejected: %v", err)
+	}
+}
+
+func TestParseSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string
+	}{
+		{"no scenarios", `{"name":"x"}`, "no scenarios"},
+		{"duplicate names", `{"scenarios":[{"name":"a"},{"name":"a","seed":2}]}`, "duplicate scenario name"},
+		{"unknown threat model", `{"scenarios":[{"name":"a","threat_model":"tm9"}]}`, "unknown threat model"},
+		{"tm2 without city", `{"scenarios":[{"name":"a","threat_model":"tm2"}]}`, "requires a city"},
+		{"tm1 with city model", `{"scenarios":[{"name":"a","threat_model":"tm1","cities":["SF","LA"]}]}`, "no city model"},
+		{"tm3 single city", `{"scenarios":[{"name":"a","cities":["SF"]}]}`, "at least 2 cities"},
+		{"unknown city", `{"scenarios":[{"name":"a","cities":["SF","Atlantis"]}]}`, "Atlantis"},
+		{"unknown defense", `{"scenarios":[{"name":"a","defense":"tinfoil"}]}`, "unknown defense"},
+		{"unknown model", `{"scenarios":[{"name":"a","model":"xgboost"}]}`, "unknown model"},
+		{"unpersistable model", `{"scenarios":[{"name":"a","model":"rfc"}]}`, "persistence"},
+		{"folds too small", `{"scenarios":[{"name":"a","folds":1}]}`, "folds"},
+		{"samples shorter than ngram", `{"scenarios":[{"name":"a","samples":4,"ngram":8}]}`, "too short"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec([]byte(tc.json))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// Abbreviations and city order must not change fingerprints: {SF, LA} spelled
+// any way is the same mine config, or scenarios stop sharing artifacts over
+// cosmetic spec differences.
+func TestSpecCanonicalization(t *testing.T) {
+	a, err := ParseSpec([]byte(`{"scenarios":[{"name":"a","cities":["SF","Los Angeles"]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseSpec([]byte(`{"scenarios":[{"name":"b","cities":["LA","San Francisco"]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ak, bk := a.Scenarios[0].mineKey(), b.Scenarios[0].mineKey(); ak != bk {
+		t.Errorf("equivalent city models fingerprint differently: %s vs %s", ak, bk)
+	}
+
+	tm2, err := ParseSpec([]byte(`{"scenarios":[{"name":"c","threat_model":"tm2","city":"NYC"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tm2.Scenarios[0].City; got != "New York City" {
+		t.Errorf("tm2 city = %q, want canonical full name", got)
+	}
+}
+
+// Stage keys chain by fingerprint prefix: a knob change invalidates its own
+// stage and everything downstream, nothing upstream.
+func TestStageKeyChaining(t *testing.T) {
+	base := Scenario{Name: "base"}
+	if err := base.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	keys := func(sc Scenario) [4]string {
+		return [4]string{sc.mineKey(), sc.featKey(), sc.trainKey(), sc.evalKey()}
+	}
+	bk := keys(base)
+
+	grid := base
+	grid.Grid = 8
+	for i, k := range keys(grid) {
+		if k == bk[i] {
+			t.Errorf("grid change did not ripple into stage %d key", i)
+		}
+	}
+
+	def := base
+	def.Defense = DefenseNoise
+	def.DefenseStrength = 5
+	dk := keys(def)
+	if dk[0] != bk[0] {
+		t.Error("defense change must not invalidate the mine artifact")
+	}
+	for i := 1; i < 4; i++ {
+		if dk[i] == bk[i] {
+			t.Errorf("defense change did not ripple into stage %d key", i)
+		}
+	}
+
+	model := base
+	model.Model = "mlp"
+	mk := keys(model)
+	if mk[0] != bk[0] || mk[1] != bk[1] {
+		t.Error("model change must not invalidate mine or feat artifacts")
+	}
+	if mk[2] == bk[2] || mk[3] == bk[3] {
+		t.Error("model change did not ripple into train/eval keys")
+	}
+
+	folds := base
+	folds.Folds = 10
+	fk := keys(folds)
+	if fk[0] != bk[0] || fk[1] != bk[1] || fk[2] != bk[2] {
+		t.Error("folds change must only invalidate the eval artifact")
+	}
+	if fk[3] == bk[3] {
+		t.Error("folds change did not change the eval key")
+	}
+}

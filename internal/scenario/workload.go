@@ -1,0 +1,290 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+
+	"elevprivacy"
+	"elevprivacy/internal/dataset"
+	"elevprivacy/internal/defense"
+	"elevprivacy/internal/durable"
+)
+
+// Artifacts are the cached stage outputs. The journal records only small
+// completion markers (the control plane); artifact bytes live in the
+// content-addressed cache (the data plane), which is how one scenario's mined
+// dataset or trained model is reused byte-identically by every scenario that
+// shares its config prefix — including scenarios in a different run.
+
+// datasetArtifact is a mined or featurized dataset.
+type datasetArtifact struct {
+	Samples []dataset.Sample `json:"samples"`
+}
+
+// modelArtifact is a trained attack in its persisted wire format.
+type modelArtifact struct {
+	Model []byte `json:"model"`
+}
+
+// evalArtifact is one scenario's cross-validated attack quality.
+type evalArtifact struct {
+	Metrics elevprivacy.Metrics `json:"metrics"`
+}
+
+// marker is the journaled completion record for a unit.
+type marker struct {
+	Key   string `json:"key"`
+	Items int    `json:"items"`
+}
+
+// tm1Denominator converts a tm1 Population into the user-specific dataset's
+// scale factor: Population 100 reproduces the paper's Table I sizes.
+const tm1Denominator = 100.0
+
+// expand builds the deduped unit DAG for the spec: four units per scenario
+// (mine → feat → train → eval), emitted once per distinct key. Scenarios
+// sharing a config prefix share the unit — that is the whole dedup story;
+// the cache extends it across runs.
+func (o *Orchestrator) expand() []Unit {
+	var units []Unit
+	seen := make(map[string]bool)
+	add := func(owner string, u Unit) {
+		o.owners[u.Key] = append(o.owners[u.Key], owner)
+		if seen[u.Key] {
+			return
+		}
+		seen[u.Key] = true
+		units = append(units, u)
+	}
+	for i := range o.spec.Scenarios {
+		sc := &o.spec.Scenarios[i]
+		mk, fk, tk, ek := sc.mineKey(), sc.featKey(), sc.trainKey(), sc.evalKey()
+		o.unitKeys[sc.Name] = []string{mk, fk, tk, ek}
+		add(sc.Name, Unit{Key: mk, Run: o.guard(mk, o.mineRun(sc, mk)), Restore: o.verifyArtifact(mk, &datasetArtifact{})})
+		add(sc.Name, Unit{Key: fk, Deps: []string{mk}, Run: o.guard(fk, o.featRun(sc, fk, mk)), Restore: o.verifyArtifact(fk, &datasetArtifact{})})
+		add(sc.Name, Unit{Key: tk, Deps: []string{fk}, Run: o.guard(tk, o.trainRun(sc, tk, fk)), Restore: o.verifyArtifact(tk, &modelArtifact{})})
+		add(sc.Name, Unit{Key: ek, Deps: []string{tk}, Run: o.guard(ek, o.evalRun(sc, ek, fk)), Restore: o.verifyArtifact(ek, &evalArtifact{})})
+	}
+	return units
+}
+
+// guard wraps a unit body with the admin-cancel check: a unit whose owning
+// scenarios have all been canceled is skipped with ErrCanceled (a graceful,
+// resumable outcome). A unit still wanted by any live scenario runs.
+func (o *Orchestrator) guard(key string, run func(context.Context) (any, error)) func(context.Context) (any, error) {
+	return func(ctx context.Context) (any, error) {
+		if o.keyCanceled(key) {
+			return nil, ErrCanceled
+		}
+		return run(ctx)
+	}
+}
+
+// verifyArtifact is the shared Restore body: the journal says the unit
+// completed, so its artifact must be readable from the cache — downstream
+// stages consume it from there. A vanished or corrupt artifact fails the
+// restore, which quarantines the unit instead of letting a later stage
+// train on nothing.
+func (o *Orchestrator) verifyArtifact(key string, v any) func() error {
+	return func() error {
+		ok, err := o.cache.Get(key, v)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("scenario: %s checkpointed but its artifact is missing from the cache", key)
+		}
+		return nil
+	}
+}
+
+// fetch loads a dependency's artifact from the cache.
+func (o *Orchestrator) fetch(key string, v any) error {
+	ok, err := o.cache.Get(key, v)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("scenario: upstream artifact %s missing from the cache", key)
+	}
+	return nil
+}
+
+// mineRun produces the scenario's raw labeled dataset: over live HTTP
+// services for tm2/tm3 (the paper's Fig. 4 pipeline), procedurally for tm1
+// (the athlete's own history involves no mining). Cache-first: a prior run's
+// artifact short-circuits the whole environment, issuing zero HTTP calls.
+func (o *Orchestrator) mineRun(sc *Scenario, key string) func(context.Context) (any, error) {
+	return func(ctx context.Context) (any, error) {
+		var art datasetArtifact
+		if ok, err := o.cache.Get(key, &art); err != nil {
+			return nil, err
+		} else if ok {
+			return marker{Key: key, Items: len(art.Samples)}, nil
+		}
+
+		if sc.ThreatModel == TM1 {
+			d, err := elevprivacy.NewUserSpecificDataset(elevprivacy.DatasetConfig{
+				Scale:          float64(sc.Population) / tm1Denominator,
+				ProfileSamples: sc.Samples,
+				MinPerClass:    2 * sc.Folds,
+				Seed:           sc.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			art.Samples = d.Samples
+		} else {
+			e, err := startEnv(sc, o.spec.RateLimit, subJournalPath(o.ckptDir, key), o.drain)
+			if err != nil {
+				return nil, err
+			}
+			defer e.close()
+			mined, sweepErr := e.miner.MineClassesPartial(ctx, e.classes)
+			o.httpAttempts.Add(e.attempts())
+			if sweepErr != nil {
+				if sweepErr.Interrupted() {
+					// The sub-journal keeps the completed cells; the next run
+					// re-enters here and mines only what is missing.
+					return nil, fmt.Errorf("scenario: mine drained: %w", durable.ErrInterrupted)
+				}
+				return nil, sweepErr
+			}
+			art.Samples = dataset.FromMined(mined).Samples
+			e.discardJournal()
+		}
+		if err := o.cache.Put(key, art); err != nil {
+			return nil, err
+		}
+		return marker{Key: key, Items: len(art.Samples)}, nil
+	}
+}
+
+// featRun applies the scenario's defense to the mined dataset and balances
+// classes at the smallest class size (the paper's bias-mitigation protocol).
+func (o *Orchestrator) featRun(sc *Scenario, key, mineKey string) func(context.Context) (any, error) {
+	return func(ctx context.Context) (any, error) {
+		var art datasetArtifact
+		if ok, err := o.cache.Get(key, &art); err != nil {
+			return nil, err
+		} else if ok {
+			return marker{Key: key, Items: len(art.Samples)}, nil
+		}
+
+		var mined datasetArtifact
+		if err := o.fetch(mineKey, &mined); err != nil {
+			return nil, err
+		}
+		base := &dataset.Dataset{Samples: mined.Samples}
+		defended := defense.ApplyToDataset(base, sc.defense(), sc.Seed+11)
+
+		perClass := -1
+		for _, n := range defended.CountByLabel() {
+			if perClass < 0 || n < perClass {
+				perClass = n
+			}
+		}
+		if perClass < sc.Folds {
+			return nil, fmt.Errorf("scenario: smallest class has %d samples, need >= %d folds", perClass, sc.Folds)
+		}
+		balanced, err := defended.Balanced(perClass, rand.New(rand.NewSource(sc.Seed+13)))
+		if err != nil {
+			return nil, err
+		}
+		art.Samples = balanced.Samples
+		if err := o.cache.Put(key, art); err != nil {
+			return nil, err
+		}
+		return marker{Key: key, Items: len(art.Samples)}, nil
+	}
+}
+
+// trainRun fits the scenario's classifier on the featurized dataset and
+// caches the persisted model — the artifact a serving deployment would load.
+func (o *Orchestrator) trainRun(sc *Scenario, key, featKey string) func(context.Context) (any, error) {
+	return func(ctx context.Context) (any, error) {
+		var art modelArtifact
+		if ok, err := o.cache.Get(key, &art); err != nil {
+			return nil, err
+		} else if ok {
+			return marker{Key: key, Items: len(art.Model)}, nil
+		}
+
+		var feat datasetArtifact
+		if err := o.fetch(featKey, &feat); err != nil {
+			return nil, err
+		}
+		attack, err := elevprivacy.TrainTextAttack(&dataset.Dataset{Samples: feat.Samples}, sc.attackConfig())
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := attack.Save(&buf); err != nil {
+			return nil, err
+		}
+		art.Model = buf.Bytes()
+		if err := o.cache.Put(key, art); err != nil {
+			return nil, err
+		}
+		return marker{Key: key, Items: len(art.Model)}, nil
+	}
+}
+
+// evalRun cross-validates the attack configuration on the featurized
+// dataset, producing the scenario's headline metrics.
+func (o *Orchestrator) evalRun(sc *Scenario, key, featKey string) func(context.Context) (any, error) {
+	return func(ctx context.Context) (any, error) {
+		var art evalArtifact
+		if ok, err := o.cache.Get(key, &art); err != nil {
+			return nil, err
+		} else if ok {
+			return marker{Key: key, Items: 1}, nil
+		}
+
+		var feat datasetArtifact
+		if err := o.fetch(featKey, &feat); err != nil {
+			return nil, err
+		}
+		m, err := elevprivacy.CrossValidateText(&dataset.Dataset{Samples: feat.Samples}, sc.attackConfig(), sc.Folds)
+		if err != nil {
+			return nil, err
+		}
+		art.Metrics = m
+		if err := o.cache.Put(key, art); err != nil {
+			return nil, err
+		}
+		return marker{Key: key, Items: 1}, nil
+	}
+}
+
+// defense materializes the scenario's countermeasure.
+func (sc *Scenario) defense() defense.Defense {
+	switch sc.Defense {
+	case DefenseNoise:
+		return defense.GaussianNoise{SigmaMeters: sc.DefenseStrength}
+	case DefenseQuantize:
+		return defense.Quantizer{StepMeters: sc.DefenseStrength}
+	case DefenseZeroBaseline:
+		return defense.ZeroBaseline{}
+	case DefenseSummaryStats:
+		return defense.SummaryStats{}
+	default:
+		return defense.Noop{}
+	}
+}
+
+// attackConfig maps the scenario onto the text-attack settings, keeping the
+// paper's discretizer choice: ⌊e⌋ for the user-specific dataset, d = 3 for
+// mined datasets.
+func (sc *Scenario) attackConfig() elevprivacy.TextAttackConfig {
+	tc := elevprivacy.DefaultTextAttackConfig(elevprivacy.ClassifierKind(sc.Model))
+	tc.NGram = sc.NGram
+	tc.MaxFeatures = sc.MaxFeatures
+	tc.Seed = sc.Seed
+	if sc.ThreatModel != TM1 {
+		tc.Precision = 3
+	}
+	return tc
+}

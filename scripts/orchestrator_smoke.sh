@@ -1,0 +1,120 @@
+#!/bin/sh
+# Orchestrator smoke test: the end-to-end contract of the scenario subsystem.
+#
+#  1. Baseline: run the example multi-scenario spec to completion, capture
+#     the deterministic results JSON.
+#  2. Crash: rerun from scratch with the admin API up, exercise the live
+#     endpoints (list run, inspect a scenario), then SIGKILL mid-sweep.
+#  3. Resume: -resume must finish the sweep and write results byte-identical
+#     to the uninterrupted baseline.
+#  4. Dedup: a repeat run with a fresh journal but the same artifact cache
+#     must recompute nothing — cache hits > 0, zero HTTP attempts — and
+#     still write byte-identical results.
+#  5. Cancel: POST /api/run/cancel mid-sweep must drain gracefully
+#     (exit 0, "interrupted" on stdout).
+#
+# Exercised non-gating by CI (kill/cancel timing on shared runners is noisy)
+# and locally via `make orch-smoke`.
+set -eu
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/experiments" ./cmd/experiments
+spec=examples/scenarios/sweep.json
+
+port=19391
+addr="127.0.0.1:$port"
+
+# wait_running polls the admin API until a unit is live (or dies trying).
+wait_running() {
+    for i in $(seq 1 100); do
+        if curl -sf "http://$addr/api/run" 2>/dev/null | grep -q '"running": *[1-9]'; then
+            return 0
+        fi
+        sleep 0.05
+    done
+    echo "FAIL: no unit entered running state on $addr" >&2
+    return 1
+}
+
+echo "==> baseline: uninterrupted run"
+"$workdir/experiments" -spec "$spec" -checkpoint "$workdir/base-ck" \
+    -out "$workdir/base.json" >"$workdir/base.log" 2>&1
+grep -q "wrote results" "$workdir/base.log"
+
+echo "==> crash run: admin API up, SIGKILL mid-sweep"
+"$workdir/experiments" -spec "$spec" -checkpoint "$workdir/ck" \
+    -admin-addr "$addr" -out "$workdir/crash.json" >"$workdir/crash.log" 2>&1 &
+pid=$!
+wait_running
+
+echo "==> admin API: list and inspect the live run"
+run_json="$workdir/run.json"
+curl -sf "http://$addr/api/run" >"$run_json"
+grep -q '"spec": *"three-city-defense-sweep"' "$run_json"
+grep -q '"state": *"running"' "$run_json"
+curl -sf "http://$addr/api/scenarios" | grep -q '"baseline-svm"'
+curl -sf "http://$addr/api/scenarios/baseline-svm" | grep -q '"threat_model": *"tm3"'
+if curl -sf "http://$addr/api/scenarios/no-such-scenario" >/dev/null 2>&1; then
+    echo "FAIL: unknown scenario did not 404" >&2
+    kill -9 "$pid" 2>/dev/null || true
+    exit 1
+fi
+echo "    admin list/inspect OK"
+
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+if [ -f "$workdir/crash.json" ]; then
+    echo "FAIL: killed run wrote a results file" >&2
+    exit 1
+fi
+echo "    SIGKILLed mid-sweep"
+
+echo "==> resume: finish the sweep from the journal"
+"$workdir/experiments" -spec "$spec" -checkpoint "$workdir/ck" -resume \
+    -out "$workdir/resumed.json" >"$workdir/resume.log" 2>&1
+if ! cmp -s "$workdir/base.json" "$workdir/resumed.json"; then
+    echo "FAIL: resumed results differ from the uninterrupted baseline" >&2
+    diff "$workdir/base.json" "$workdir/resumed.json" >&2 || true
+    exit 1
+fi
+echo "    resumed results byte-identical to baseline"
+
+echo "==> dedup: fresh journal, same artifact cache"
+rm -f "$workdir/ck/scenario.journal"
+"$workdir/experiments" -spec "$spec" -checkpoint "$workdir/ck" \
+    -out "$workdir/dedup.json" >"$workdir/dedup.log" 2>&1
+if ! cmp -s "$workdir/base.json" "$workdir/dedup.json"; then
+    echo "FAIL: cache-served results differ from baseline" >&2
+    exit 1
+fi
+cacheline=$(grep '^cache:' "$workdir/dedup.log")
+echo "    $cacheline"
+case "$cacheline" in
+    "cache: 0 hits"*)
+        echo "FAIL: cache-served run registered no hits" >&2
+        exit 1 ;;
+esac
+if ! echo "$cacheline" | grep -q "http attempts: 0;"; then
+    echo "FAIL: cache-served run re-issued HTTP calls" >&2
+    exit 1
+fi
+echo "    cache hits > 0, zero HTTP calls re-issued"
+
+echo "==> cancel: POST /api/run/cancel drains gracefully"
+rm -rf "$workdir/ck2"
+"$workdir/experiments" -spec "$spec" -checkpoint "$workdir/ck2" \
+    -admin-addr "$addr" >"$workdir/cancel.log" 2>&1 &
+pid=$!
+wait_running
+curl -sf -X POST "http://$addr/api/run/cancel" | grep -q '"status": *"canceling"'
+if ! wait "$pid"; then
+    echo "FAIL: canceled run exited non-zero" >&2
+    cat "$workdir/cancel.log" >&2
+    exit 1
+fi
+grep -q "^interrupted:" "$workdir/cancel.log"
+echo "    canceled run drained, exit 0, interrupted summary printed"
+
+echo "PASS: orchestrator smoke"
