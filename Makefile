@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet staticcheck test test-short check bench bench-full experiments experiments-quick smoke-resume obs-smoke orch-smoke clean
+.PHONY: all build vet staticcheck test test-short check bench bench-train bench-full experiments experiments-quick smoke-resume obs-smoke orch-smoke clean
 
 all: build vet test
 
@@ -61,12 +61,20 @@ orch-smoke:
 	sh scripts/orchestrator_smoke.sh
 
 ## bench runs every experiment benchmark at smoke scale plus the substrate
-## micro-benchmarks, then the text-pipeline comparison harness, which
-## measures the legacy string+dense path against the token+sparse path at
-## Table-II scale and writes BENCH_textpipeline.json.
+## micro-benchmarks, then the text-pipeline and training comparison
+## harnesses, which measure the legacy paths against the current ones at
+## Table-II scale and write BENCH_textpipeline.json / BENCH_train.json.
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/textbench -out BENCH_textpipeline.json
+	$(GO) run ./cmd/trainbench -out BENCH_train.json
+
+## bench-train runs only the training-path harness: the frozen per-sample
+## MLP trainer against the batched float64/float32/sparse paths and the
+## SVM dense path against its sparse one, with built-in bit-exactness
+## checks, writing BENCH_train.json.
+bench-train:
+	$(GO) run ./cmd/trainbench -out BENCH_train.json
 
 ## bench-full runs the experiment benchmarks at the laptop scale that
 ## EXPERIMENTS.md records (tens of minutes).

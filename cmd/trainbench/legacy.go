@@ -1,0 +1,201 @@
+package main
+
+import (
+	"math"
+	"math/rand"
+
+	"elevprivacy/internal/ml/linalg"
+)
+
+// legacyMLP is a frozen replica of the pre-batching MLP trainer: one
+// sample at a time through scalar forward/backward passes, re-reading both
+// weight matrices from memory for every sample. It is rebuilt here (rather
+// than kept in the library) so the benchmark's baseline stays pinned at
+// the per-sample implementation, and so the bit-exactness of the batched
+// rewrite stays checkable: with the same config and data, legacyFit and
+// mlp.Fit must produce identical probabilities on every sample.
+type legacyMLP struct {
+	classes   int
+	hidden    int
+	epochs    int
+	batchSize int
+	lr        float64
+	seed      int64
+
+	dim    int
+	params []float64
+	adam   *legacyAdam
+
+	w1, b1, w2, b2 int
+}
+
+// legacyAdam freezes the pre-optimization Adam StepSum loop: per-element
+// field loads, per-element bounds checks, and the generic shard reduce even
+// for one shard. The library's StepSum has since been rewritten for the
+// divider unit; pinning the old loop here keeps the baseline measuring the
+// whole retired trainer, optimizer included. Arithmetic (and so every
+// result bit) is identical to the library's — only the loop plumbing
+// differs — so the parity checks still compare the current paths against
+// the old trainer's exact numbers.
+type legacyAdam struct {
+	lr    float64
+	beta1 float64
+	beta2 float64
+	eps   float64
+	m     []float64
+	v     []float64
+	t     int
+}
+
+func newLegacyAdam(size int, lr float64) *legacyAdam {
+	return &legacyAdam{
+		lr:    lr,
+		beta1: 0.9,
+		beta2: 0.999,
+		eps:   1e-8,
+		m:     make([]float64, size),
+		v:     make([]float64, size),
+	}
+}
+
+func (a *legacyAdam) stepSum(params []float64, parts [][]float64, scale float64) {
+	a.t++
+	c1 := 1 - math.Pow(a.beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.beta2, float64(a.t))
+	for i := range params {
+		var g float64
+		for _, p := range parts {
+			g += p[i]
+		}
+		g *= scale
+		a.m[i] = a.beta1*a.m[i] + (1-a.beta1)*g
+		a.v[i] = a.beta2*a.v[i] + (1-a.beta2)*g*g
+		mHat := a.m[i] / c1
+		vHat := a.v[i] / c2
+		params[i] -= a.lr * mHat / (math.Sqrt(vHat) + a.eps)
+	}
+}
+
+func newLegacyMLP(classes, hidden, epochs, batchSize int, lr float64, seed int64) *legacyMLP {
+	return &legacyMLP{classes: classes, hidden: hidden, epochs: epochs, batchSize: batchSize, lr: lr, seed: seed}
+}
+
+func (m *legacyMLP) init(d int, rng *rand.Rand) error {
+	m.dim = d
+	h, k := m.hidden, m.classes
+
+	m.w1 = 0
+	m.b1 = h * d
+	m.w2 = m.b1 + h
+	m.b2 = m.w2 + k*h
+	m.params = make([]float64, m.b2+k)
+
+	scale1 := math.Sqrt(2 / float64(d))
+	for i := 0; i < h*d; i++ {
+		m.params[m.w1+i] = rng.NormFloat64() * scale1
+	}
+	scale2 := math.Sqrt(2 / float64(h))
+	for i := 0; i < k*h; i++ {
+		m.params[m.w2+i] = rng.NormFloat64() * scale2
+	}
+
+	m.adam = newLegacyAdam(len(m.params), m.lr)
+	return nil
+}
+
+type legacyScratch struct {
+	hidden []float64
+	logits []float64
+	probs  []float64
+	dHide  []float64
+}
+
+func (m *legacyMLP) newScratch() *legacyScratch {
+	return &legacyScratch{
+		hidden: make([]float64, m.hidden),
+		logits: make([]float64, m.classes),
+		probs:  make([]float64, m.classes),
+		dHide:  make([]float64, m.hidden),
+	}
+}
+
+func (m *legacyMLP) forward(x []float64, s *legacyScratch) {
+	h, d, k := m.hidden, m.dim, m.classes
+	for j := 0; j < h; j++ {
+		z := m.params[m.b1+j] + linalg.Dot(m.params[m.w1+j*d:m.w1+(j+1)*d], x)
+		if z < 0 {
+			z = 0
+		}
+		s.hidden[j] = z
+	}
+	for c := 0; c < k; c++ {
+		s.logits[c] = m.params[m.b2+c] + linalg.Dot(m.params[m.w2+c*h:m.w2+(c+1)*h], s.hidden)
+	}
+	linalg.Softmax(s.logits, s.probs)
+}
+
+func (m *legacyMLP) backward(x []float64, label int, grads []float64, s *legacyScratch) {
+	m.forward(x, s)
+	h, d, k := m.hidden, m.dim, m.classes
+
+	linalg.Zero(s.dHide)
+	for c := 0; c < k; c++ {
+		dLogit := s.probs[c]
+		if c == label {
+			dLogit--
+		}
+		grads[m.b2+c] += dLogit
+		wRow := m.params[m.w2+c*h : m.w2+(c+1)*h]
+		gRow := grads[m.w2+c*h : m.w2+(c+1)*h]
+		for j := 0; j < h; j++ {
+			gRow[j] += dLogit * s.hidden[j]
+			s.dHide[j] += dLogit * wRow[j]
+		}
+	}
+	for j := 0; j < h; j++ {
+		if s.hidden[j] <= 0 {
+			continue
+		}
+		grads[m.b1+j] += s.dHide[j]
+		linalg.Axpy(grads[m.w1+j*d:m.w1+(j+1)*d], x, s.dHide[j])
+	}
+}
+
+func (m *legacyMLP) fit(x [][]float64, y []int) error {
+	rng := rand.New(rand.NewSource(m.seed))
+	if err := m.init(len(x[0]), rng); err != nil {
+		return err
+	}
+
+	n := len(x)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	grads := make([]float64, len(m.params))
+	scratch := m.newScratch()
+
+	for epoch := 0; epoch < m.epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < n; start += m.batchSize {
+			end := start + m.batchSize
+			if end > n {
+				end = n
+			}
+			linalg.Zero(grads)
+			for _, i := range order[start:end] {
+				m.backward(x[i], y[i], grads, scratch)
+			}
+			m.adam.stepSum(m.params, [][]float64{grads}, 1/float64(end-start))
+		}
+	}
+	return nil
+}
+
+// probabilities returns the class distribution for one sample.
+func (m *legacyMLP) probabilities(x []float64, s *legacyScratch) []float64 {
+	m.forward(x, s)
+	out := make([]float64, len(s.probs))
+	copy(out, s.probs)
+	return out
+}

@@ -1,0 +1,433 @@
+// Command trainbench measures classifier training hot paths — the frozen
+// per-sample MLP trainer against the batched float64, reduced-precision
+// float32, and sparse-CSR paths, and the SVM's dense fit against its
+// sparse one — on a synthetic corpus at the scale of the paper's Table II
+// mined datasets, and records ns/sample per path in a JSON report. Every
+// comparison doubles as a correctness check: the batched float64 paths
+// must reproduce the legacy model bit for bit, and the float32 path must
+// agree within reported tolerances.
+//
+// Usage:
+//
+//	trainbench                     # full Table-II-scale run
+//	trainbench -quick              # smoke-scale run (CI)
+//	trainbench -out BENCH_train.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"runtime/pprof"
+	"testing"
+
+	"elevprivacy/internal/durable"
+	"elevprivacy/internal/ml/linalg"
+	"elevprivacy/internal/ml/mlp"
+	"elevprivacy/internal/ml/svm"
+	"elevprivacy/internal/obs"
+	"elevprivacy/internal/textrep"
+)
+
+// corpusConfig describes the synthetic workload.
+type corpusConfig struct {
+	Samples     int `json:"samples"`
+	Points      int `json:"points"`
+	Classes     int `json:"classes"`
+	Precision   int `json:"precision"`
+	MaxFeatures int `json:"max_features"`
+}
+
+// mlpReport compares the MLP training paths against the frozen per-sample
+// baseline.
+type mlpReport struct {
+	Epochs             int     `json:"epochs"`
+	LegacyNsPerSample  float64 `json:"legacy_ns_per_sample"`
+	BatchedNsPerSample float64 `json:"batched_ns_per_sample"`
+	SparseNsPerSample  float64 `json:"sparse_ns_per_sample"`
+	// Float32NsPerSample measures the float32 path on the sparse features —
+	// the configuration the Float32 knob actually deploys (bag-of-words
+	// batches train via FitSparse).
+	Float32NsPerSample float64 `json:"float32_ns_per_sample"`
+	Speedup            float64 `json:"speedup"`         // legacy / batched (float64)
+	SparseSpeedup      float64 `json:"sparse_speedup"`  // legacy / sparse (float64)
+	Float32Speedup     float64 `json:"float32_speedup"` // legacy / float32
+	// BatchedBitExact and SparseBitExact report whether the batched and
+	// sparse float64 models reproduce the legacy model's probabilities bit
+	// for bit on every training sample.
+	BatchedBitExact bool `json:"batched_bit_exact"`
+	SparseBitExact  bool `json:"sparse_bit_exact"`
+	// Float32MaxAbsDiff is the largest |p32 - p64| over all samples and
+	// classes; Float32ArgmaxAgreement the fraction of samples where both
+	// paths predict the same class.
+	Float32MaxAbsDiff      float64 `json:"float32_max_abs_diff"`
+	Float32ArgmaxAgreement float64 `json:"float32_argmax_agreement"`
+}
+
+// svmReport compares the SVM's dense and sparse training paths.
+type svmReport struct {
+	Epochs            int     `json:"epochs"`
+	DenseNsPerSample  float64 `json:"dense_ns_per_sample"`
+	SparseNsPerSample float64 `json:"sparse_ns_per_sample"`
+	Speedup           float64 `json:"speedup"`
+	SparseBitExact    bool    `json:"sparse_bit_exact"`
+}
+
+// report is the BENCH_train.json schema.
+type report struct {
+	Corpus   corpusConfig `json:"corpus"`
+	Features int          `json:"features"`
+	MLP      mlpReport    `json:"mlp"`
+	SVM      svmReport    `json:"svm"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "trainbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		quick      = flag.Bool("quick", false, "smoke-scale corpus (seconds; used by CI)")
+		out        = flag.String("out", "BENCH_train.json", "report path")
+		seed       = flag.Int64("seed", 1, "corpus random seed")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this path")
+		metricsOut = flag.String("metrics-out", "", "also write the bench numbers as Prometheus text to this path")
+	)
+	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := durable.CreateAtomic(*cpuprofile, 0o644)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := f.Commit(); err != nil {
+				fmt.Fprintln(os.Stderr, "trainbench: cpuprofile:", err)
+			}
+		}()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Abort()
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	cc := corpusConfig{Samples: 400, Points: 200, Classes: 4, Precision: 3, MaxFeatures: 4096}
+	mlpEpochs, svmEpochs := 4, 10
+	if *quick {
+		cc = corpusConfig{Samples: 60, Points: 60, Classes: 3, Precision: 3, MaxFeatures: 512}
+		mlpEpochs, svmEpochs = 2, 5
+	}
+	signals, y := syntheticCorpus(cc, *seed)
+
+	pcfg := textrep.DefaultPipelineConfig()
+	pcfg.Discretizer = nil
+	pcfg.Precision = cc.Precision
+	pcfg.MaxFeatures = cc.MaxFeatures
+	pipe, err := textrep.NewPipeline(signals, pcfg)
+	if err != nil {
+		return err
+	}
+	dense := pipe.FeaturesAll(signals)
+	sparse := pipe.FeaturesAllSparse(signals)
+	rows := dense.RowSlices()
+
+	rep := report{Corpus: cc, Features: pipe.Dim()}
+
+	// MLP: legacy per-sample baseline vs batched f64 / sparse f64 / f32.
+	mcfg := mlp.DefaultConfig(cc.Classes)
+	mcfg.Epochs = mlpEpochs
+	mcfg.Seed = *seed
+	rep.MLP.Epochs = mlpEpochs
+
+	legacyRes := bestOf(2, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := newLegacyMLP(mcfg.Classes, mcfg.Hidden, mcfg.Epochs, mcfg.BatchSize, mcfg.LearningRate, mcfg.Seed)
+			if err := m.fit(rows, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	batchedRes := bestOf(2, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := mlp.New(mcfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := m.Fit(rows, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	sparseRes := bestOf(2, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := mlp.New(mcfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := m.FitSparse(sparse, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	m32cfg := mcfg
+	m32cfg.Float32 = true
+	f32Res := bestOf(2, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := mlp.New(m32cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := m.FitSparse(sparse, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	perSample := func(r testing.BenchmarkResult) float64 {
+		return float64(r.NsPerOp()) / float64(cc.Samples)
+	}
+	rep.MLP.LegacyNsPerSample = perSample(legacyRes)
+	rep.MLP.BatchedNsPerSample = perSample(batchedRes)
+	rep.MLP.SparseNsPerSample = perSample(sparseRes)
+	rep.MLP.Float32NsPerSample = perSample(f32Res)
+	rep.MLP.Speedup = rep.MLP.LegacyNsPerSample / rep.MLP.BatchedNsPerSample
+	rep.MLP.SparseSpeedup = rep.MLP.LegacyNsPerSample / rep.MLP.SparseNsPerSample
+	rep.MLP.Float32Speedup = rep.MLP.LegacyNsPerSample / rep.MLP.Float32NsPerSample
+
+	if err := checkMLPParity(&rep.MLP, mcfg, m32cfg, rows, sparse, y); err != nil {
+		return err
+	}
+
+	// SVM: dense Fit vs FitSparse.
+	scfg := svm.DefaultConfig(cc.Classes)
+	scfg.Epochs = svmEpochs
+	scfg.Seed = *seed
+	rep.SVM.Epochs = svmEpochs
+	denseRes := bestOf(2, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			clf, err := svm.New(scfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := clf.Fit(rows, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	sparseSVMRes := bestOf(2, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			clf, err := svm.New(scfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := clf.FitSparse(sparse, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.SVM.DenseNsPerSample = perSample(denseRes)
+	rep.SVM.SparseNsPerSample = perSample(sparseSVMRes)
+	rep.SVM.Speedup = rep.SVM.DenseNsPerSample / rep.SVM.SparseNsPerSample
+
+	svmDense, err := svm.New(scfg)
+	if err != nil {
+		return err
+	}
+	if err := svmDense.Fit(rows, y); err != nil {
+		return err
+	}
+	svmSparse, err := svm.New(scfg)
+	if err != nil {
+		return err
+	}
+	if err := svmSparse.FitSparse(sparse, y); err != nil {
+		return err
+	}
+	sd, err := svmDense.Scores(dense)
+	if err != nil {
+		return err
+	}
+	ss, err := svmSparse.Scores(dense)
+	if err != nil {
+		return err
+	}
+	rep.SVM.SparseBitExact = bitsEqual(sd.Data, ss.Data)
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	err = durable.WriteFileAtomic(*out, 0o644, func(w io.Writer) error {
+		_, werr := w.Write(append(blob, '\n'))
+		return werr
+	})
+	if err != nil {
+		return err
+	}
+
+	publishReport(rep)
+	if *metricsOut != "" {
+		err := durable.WriteFileAtomic(*metricsOut, 0o644, func(w io.Writer) error {
+			return obs.DefaultRegistry().WritePrometheus(w)
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("corpus: %d samples x %d points, %d classes, precision %d (%d features)\n",
+		cc.Samples, cc.Points, cc.Classes, cc.Precision, rep.Features)
+	fmt.Printf("mlp   legacy %12.0f ns/sample | batched %12.0f (%5.2fx, bit-exact=%v) | sparse %12.0f (%5.2fx, bit-exact=%v) | f32 %12.0f (%5.2fx, maxdiff=%.2e, argmax=%.3f)\n",
+		rep.MLP.LegacyNsPerSample,
+		rep.MLP.BatchedNsPerSample, rep.MLP.Speedup, rep.MLP.BatchedBitExact,
+		rep.MLP.SparseNsPerSample, rep.MLP.SparseSpeedup, rep.MLP.SparseBitExact,
+		rep.MLP.Float32NsPerSample, rep.MLP.Float32Speedup, rep.MLP.Float32MaxAbsDiff, rep.MLP.Float32ArgmaxAgreement)
+	fmt.Printf("svm   dense  %12.0f ns/sample | sparse  %12.0f (%5.2fx, bit-exact=%v)\n",
+		rep.SVM.DenseNsPerSample, rep.SVM.SparseNsPerSample, rep.SVM.Speedup, rep.SVM.SparseBitExact)
+	fmt.Printf("report written to %s\n", *out)
+	return nil
+}
+
+// checkMLPParity trains one model per path outside the timing loops and
+// fills the report's correctness fields: legacy-vs-batched and
+// legacy-vs-sparse probabilities compared bit for bit, float32-vs-float64
+// compared by max abs difference and argmax agreement.
+func checkMLPParity(r *mlpReport, cfg, cfg32 mlp.Config, rows [][]float64, sparse *linalg.SparseMatrix, y []int) error {
+	legacy := newLegacyMLP(cfg.Classes, cfg.Hidden, cfg.Epochs, cfg.BatchSize, cfg.LearningRate, cfg.Seed)
+	if err := legacy.fit(rows, y); err != nil {
+		return err
+	}
+	batched, err := mlp.New(cfg)
+	if err != nil {
+		return err
+	}
+	if err := batched.Fit(rows, y); err != nil {
+		return err
+	}
+	sparseM, err := mlp.New(cfg)
+	if err != nil {
+		return err
+	}
+	if err := sparseM.FitSparse(sparse, y); err != nil {
+		return err
+	}
+	m32, err := mlp.New(cfg32)
+	if err != nil {
+		return err
+	}
+	if err := m32.FitSparse(sparse, y); err != nil {
+		return err
+	}
+
+	r.BatchedBitExact = true
+	r.SparseBitExact = true
+	agree := 0
+	scratch := legacy.newScratch()
+	for i, row := range rows {
+		lp := legacy.probabilities(row, scratch)
+		bp, err := batched.Probabilities(row)
+		if err != nil {
+			return err
+		}
+		sp, err := sparseM.Probabilities(row)
+		if err != nil {
+			return err
+		}
+		p32, err := m32.Probabilities(row)
+		if err != nil {
+			return err
+		}
+		if !bitsEqual(lp, bp) {
+			r.BatchedBitExact = false
+		}
+		if !bitsEqual(lp, sp) {
+			r.SparseBitExact = false
+		}
+		for c := range bp {
+			if d := math.Abs(p32[c] - bp[c]); d > r.Float32MaxAbsDiff {
+				r.Float32MaxAbsDiff = d
+			}
+		}
+		if linalg.ArgMax(p32) == linalg.ArgMax(bp) {
+			agree++
+		}
+		_ = i
+	}
+	r.Float32ArgmaxAgreement = float64(agree) / float64(len(rows))
+	return nil
+}
+
+// bitsEqual reports whether two float64 slices are bitwise identical.
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// publishReport routes the BENCH report through the metrics registry as
+// gauges, so the same numbers that land in BENCH_train.json are
+// scrapeable (and renderable with -metrics-out).
+func publishReport(rep report) {
+	obs.GetGauge(`elevpriv_trainbench_ns_per_sample{model="mlp",path="legacy"}`).Set(rep.MLP.LegacyNsPerSample)
+	obs.GetGauge(`elevpriv_trainbench_ns_per_sample{model="mlp",path="batched"}`).Set(rep.MLP.BatchedNsPerSample)
+	obs.GetGauge(`elevpriv_trainbench_ns_per_sample{model="mlp",path="sparse"}`).Set(rep.MLP.SparseNsPerSample)
+	obs.GetGauge(`elevpriv_trainbench_ns_per_sample{model="mlp",path="float32"}`).Set(rep.MLP.Float32NsPerSample)
+	obs.GetGauge(`elevpriv_trainbench_speedup{model="mlp",path="batched"}`).Set(rep.MLP.Speedup)
+	obs.GetGauge(`elevpriv_trainbench_speedup{model="mlp",path="sparse"}`).Set(rep.MLP.SparseSpeedup)
+	obs.GetGauge(`elevpriv_trainbench_speedup{model="mlp",path="float32"}`).Set(rep.MLP.Float32Speedup)
+	obs.GetGauge(`elevpriv_trainbench_ns_per_sample{model="svm",path="dense"}`).Set(rep.SVM.DenseNsPerSample)
+	obs.GetGauge(`elevpriv_trainbench_ns_per_sample{model="svm",path="sparse"}`).Set(rep.SVM.SparseNsPerSample)
+	obs.GetGauge(`elevpriv_trainbench_speedup{model="svm",path="sparse"}`).Set(rep.SVM.Speedup)
+	obs.GetGauge("elevpriv_trainbench_corpus_samples").Set(float64(rep.Corpus.Samples))
+	obs.GetGauge("elevpriv_trainbench_features").Set(float64(rep.Features))
+}
+
+// bestOf returns the run with the lowest ns/op out of k benchmark runs.
+func bestOf(k int, f func(b *testing.B)) testing.BenchmarkResult {
+	best := testing.Benchmark(f)
+	for i := 1; i < k; i++ {
+		if r := testing.Benchmark(f); r.NsPerOp() < best.NsPerOp() {
+			best = r
+		}
+	}
+	return best
+}
+
+// syntheticCorpus generates elevation profiles the way mined data looks at
+// the paper's precision-3 discretization (Table II): each profile is a
+// bounded random walk around its class's base altitude, yielding the
+// sparse high-vocabulary features the mined-corpus text attack trains on.
+func syntheticCorpus(cc corpusConfig, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	signals := make([][]float64, cc.Samples)
+	y := make([]int, cc.Samples)
+	for i := range signals {
+		class := i % cc.Classes
+		base := 20 + float64(class)*150
+		elev := base + rng.Float64()*30
+		sig := make([]float64, cc.Points)
+		for j := range sig {
+			elev += rng.NormFloat64() * 1.5
+			if elev < base-40 {
+				elev = base - 40
+			}
+			sig[j] = elev
+		}
+		signals[i] = sig
+		y[i] = class
+	}
+	return signals, y
+}

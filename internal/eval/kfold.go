@@ -63,6 +63,35 @@ func sortInts(v []int) {
 	}
 }
 
+// featData couples the CSR form of a feature set with a lazily
+// materialized dense form. Classifiers with native sparse train/score
+// paths never trigger the densify; the first fold that needs dense rows
+// (a forest, say) materializes them once for all folds, guarded by the
+// sync.Once so concurrent folds race safely.
+type featData struct {
+	sp   *linalg.SparseMatrix
+	once sync.Once
+	x    *linalg.Matrix
+}
+
+func (d *featData) rows() int {
+	if d.sp != nil {
+		return d.sp.Rows
+	}
+	return d.x.Rows
+}
+
+// dense returns the dense form, materializing it from the CSR form on
+// first use.
+func (d *featData) dense() *linalg.Matrix {
+	d.once.Do(func() {
+		if d.x == nil {
+			d.x = d.sp.ToDense()
+		}
+	})
+	return d.x
+}
+
 // CrossValidate runs k-fold cross-validation over a dense feature matrix
 // (one sample per row): for each fold, a fresh classifier from factory
 // trains on the remaining folds and is scored on the held-out fold with
@@ -71,23 +100,24 @@ func sortInts(v []int) {
 // split and every classifier seed derive from seed, so results are
 // deterministic regardless of scheduling.
 func CrossValidate(x *linalg.Matrix, y []int, classes, k int, seed int64, factory func() (ml.Classifier, error)) (Metrics, error) {
-	return crossValidate(x, nil, y, classes, k, seed, factory)
+	return crossValidate(&featData{x: x}, y, classes, k, seed, factory)
 }
 
 // CrossValidateSparse runs the same k-fold protocol over a CSR feature
-// matrix. Training still walks dense rows (the Fit contract), materialized
-// once here; held-out folds are gathered as CSR sub-matrices and scored
-// through PredictBatchSparse whenever the classifier implements
-// ml.SparseBatchClassifier, which is bit-identical to the dense score by
-// that interface's contract — so metrics match CrossValidate on ToDense()
-// exactly.
+// matrix, staying sparse end to end when the classifier allows it:
+// training folds feed FitSparse for ml.SparseTrainer implementations and
+// held-out folds feed PredictBatchSparse for ml.SparseBatchClassifier
+// implementations. Classifiers without a sparse train path (the forest)
+// trigger a single lazy densify shared across folds. Both sparse paths
+// are bit-identical to their dense counterparts by interface contract, so
+// metrics match CrossValidate on ToDense() exactly.
 func CrossValidateSparse(sp *linalg.SparseMatrix, y []int, classes, k int, seed int64, factory func() (ml.Classifier, error)) (Metrics, error) {
-	return crossValidate(sp.ToDense(), sp, y, classes, k, seed, factory)
+	return crossValidate(&featData{sp: sp}, y, classes, k, seed, factory)
 }
 
-func crossValidate(x *linalg.Matrix, sp *linalg.SparseMatrix, y []int, classes, k int, seed int64, factory func() (ml.Classifier, error)) (Metrics, error) {
-	if x.Rows != len(y) {
-		return Metrics{}, fmt.Errorf("eval: %d samples but %d labels", x.Rows, len(y))
+func crossValidate(d *featData, y []int, classes, k int, seed int64, factory func() (ml.Classifier, error)) (Metrics, error) {
+	if d.rows() != len(y) {
+		return Metrics{}, fmt.Errorf("eval: %d samples but %d labels", d.rows(), len(y))
 	}
 	rng := rand.New(rand.NewSource(seed))
 	folds, err := StratifiedKFold(y, k, rng)
@@ -95,7 +125,7 @@ func crossValidate(x *linalg.Matrix, sp *linalg.SparseMatrix, y []int, classes, 
 		return Metrics{}, err
 	}
 
-	cms, err := runFolds(x, sp, y, classes, folds, factory)
+	cms, err := runFolds(d, y, classes, folds, factory)
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -118,7 +148,7 @@ func CrossValidateConfusion(x *linalg.Matrix, y []int, classes, k int, seed int6
 	if err != nil {
 		return nil, err
 	}
-	cms, err := runFolds(x, nil, y, classes, folds, factory)
+	cms, err := runFolds(&featData{x: x}, y, classes, folds, factory)
 	if err != nil {
 		return nil, err
 	}
@@ -142,7 +172,7 @@ func CrossValidateConfusion(x *linalg.Matrix, y []int, classes, k int, seed int6
 
 // runFolds evaluates every fold concurrently; per-fold confusion matrices
 // land in fixed slots, so results are deterministic.
-func runFolds(x *linalg.Matrix, sp *linalg.SparseMatrix, y []int, classes int, folds [][]int, factory func() (ml.Classifier, error)) ([]*ConfusionMatrix, error) {
+func runFolds(d *featData, y []int, classes int, folds [][]int, factory func() (ml.Classifier, error)) ([]*ConfusionMatrix, error) {
 	cms := make([]*ConfusionMatrix, len(folds))
 	errs := make([]error, len(folds))
 	var wg sync.WaitGroup
@@ -151,7 +181,7 @@ func runFolds(x *linalg.Matrix, sp *linalg.SparseMatrix, y []int, classes int, f
 		go func(f int) {
 			defer wg.Done()
 			start := time.Now()
-			cms[f], errs[f] = evaluateFold(x, sp, y, classes, folds[f], factory)
+			cms[f], errs[f] = evaluateFold(d, y, classes, folds[f], factory)
 			foldSeconds.ObserveSince(start)
 			foldsTotal.Inc()
 		}(f)
@@ -166,20 +196,23 @@ func runFolds(x *linalg.Matrix, sp *linalg.SparseMatrix, y []int, classes int, f
 }
 
 // evaluateFold trains a fresh classifier on everything outside the fold
-// and scores the fold in one batch prediction. Training rows are zero-copy
-// views into the feature matrix; the held-out fold is gathered into a CSR
-// sub-matrix when a sparse companion is supplied and the classifier scores
-// CSR natively, and into a dense test matrix otherwise.
-func evaluateFold(x *linalg.Matrix, sp *linalg.SparseMatrix, y []int, classes int, fold []int, factory func() (ml.Classifier, error)) (*ConfusionMatrix, error) {
+// and scores the fold in one batch prediction. With a CSR feature set,
+// both halves stay sparse when the classifier's interfaces allow: training
+// folds gather into a CSR sub-matrix for ml.SparseTrainer implementations,
+// held-out folds for ml.SparseBatchClassifier ones. The dense fallbacks
+// use zero-copy row views into the (lazily materialized) dense matrix for
+// training and a gathered dense test matrix for scoring.
+func evaluateFold(d *featData, y []int, classes int, fold []int, factory func() (ml.Classifier, error)) (*ConfusionMatrix, error) {
 	holdout := map[int]bool{}
 	for _, i := range fold {
 		holdout[i] = true
 	}
-	trainX := make([][]float64, 0, x.Rows-len(fold))
-	trainY := make([]int, 0, x.Rows-len(fold))
-	for i := 0; i < x.Rows; i++ {
+	n := d.rows()
+	trainIdx := make([]int, 0, n-len(fold))
+	trainY := make([]int, 0, n-len(fold))
+	for i := 0; i < n; i++ {
 		if !holdout[i] {
-			trainX = append(trainX, x.Row(i))
+			trainIdx = append(trainIdx, i)
 			trainY = append(trainY, y[i])
 		}
 	}
@@ -188,14 +221,25 @@ func evaluateFold(x *linalg.Matrix, sp *linalg.SparseMatrix, y []int, classes in
 	if err != nil {
 		return nil, err
 	}
-	if err := clf.Fit(trainX, trainY); err != nil {
+	if st, ok := clf.(ml.SparseTrainer); ok && d.sp != nil {
+		err = st.FitSparse(d.sp.GatherRows(trainIdx), trainY)
+	} else {
+		x := d.dense()
+		trainX := make([][]float64, len(trainIdx))
+		for k, i := range trainIdx {
+			trainX[k] = x.Row(i)
+		}
+		err = clf.Fit(trainX, trainY)
+	}
+	if err != nil {
 		return nil, fmt.Errorf("fit: %w", err)
 	}
 
 	var preds []int
-	if sc, ok := clf.(ml.SparseBatchClassifier); ok && sp != nil {
-		preds, err = sc.PredictBatchSparse(sp.GatherRows(fold))
+	if sc, ok := clf.(ml.SparseBatchClassifier); ok && d.sp != nil {
+		preds, err = sc.PredictBatchSparse(d.sp.GatherRows(fold))
 	} else {
+		x := d.dense()
 		testX := linalg.NewMatrix(len(fold), x.Cols)
 		for k, i := range fold {
 			copy(testX.Row(k), x.Row(i))

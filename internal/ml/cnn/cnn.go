@@ -129,17 +129,31 @@ func New(cfg Config) (*CNN, error) {
 	c.bf = c.wf + nf
 	c.params = make([]float64, c.bf+cfg.Classes)
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	heInit(c.params[c.w1:c.w1+n1], cfg.InChannels*k2, rng)
-	heInit(c.params[c.w2:c.w2+n2], cfg.Conv1*k2, rng)
-	heInit(c.params[c.wf:c.wf+nf], c.fcIn, rng)
-
 	adam, err := linalg.NewAdam(len(c.params), cfg.LearningRate)
 	if err != nil {
 		return nil, err
 	}
 	c.adam = adam
+	c.initParams()
 	return c, nil
+}
+
+// initParams redraws every weight from cfg.Seed (He-normal, biases zero)
+// and resets the Adam moments — the state of a freshly constructed
+// network. New calls it once; Fit calls it again so refitting a used
+// model is bit-identical to fitting a fresh one.
+func (c *CNN) initParams() {
+	linalg.Zero(c.params)
+	k2 := kernel * kernel
+	n1 := c.cfg.Conv1 * c.cfg.InChannels * k2
+	n2 := c.cfg.Conv2 * c.cfg.Conv1 * k2
+	nf := c.cfg.Classes * c.fcIn
+
+	rng := rand.New(rand.NewSource(c.cfg.Seed))
+	heInit(c.params[c.w1:c.w1+n1], c.cfg.InChannels*k2, rng)
+	heInit(c.params[c.w2:c.w2+n2], c.cfg.Conv1*k2, rng)
+	heInit(c.params[c.wf:c.wf+nf], c.fcIn, rng)
+	c.adam.Reset()
 }
 
 // heInit fills w with He-normal values for the given fan-in.
@@ -194,8 +208,12 @@ func (c *CNN) validateImages(images []*imagerep.Image, labels []int) error {
 	return nil
 }
 
-// Fit trains for the configured epoch count (cold or warm start).
+// Fit trains for the configured epoch count from a fresh initialization:
+// parameters are redrawn from cfg.Seed and the Adam moments reset, so
+// refitting a used model is bit-identical to fitting a fresh one. Use
+// TrainEpochs to warm-start (fine-tuning rounds).
 func (c *CNN) Fit(images []*imagerep.Image, labels []int) error {
+	c.initParams()
 	return c.TrainEpochs(images, labels, c.cfg.Epochs)
 }
 
@@ -231,6 +249,7 @@ func (c *CNN) TrainEpochs(images []*imagerep.Image, labels []int, epochs int) er
 		workerGrads[w] = make([]float64, len(c.params))
 		workerScratch[w] = c.newScratch()
 	}
+	weightTotals := make([]float64, workers)
 
 	for epoch := 0; epoch < epochs; epoch++ {
 		epochStart := time.Now()
@@ -244,7 +263,7 @@ func (c *CNN) TrainEpochs(images []*imagerep.Image, labels []int, epochs int) er
 
 			// Fan the batch out in fixed contiguous chunks per worker.
 			var wg sync.WaitGroup
-			var weightTotals = make([]float64, workers)
+			linalg.Zero(weightTotals)
 			chunk := (len(batch) + workers - 1) / workers
 			for w := 0; w < workers; w++ {
 				lo := w * chunk

@@ -218,6 +218,46 @@ func TestWeightedLossShiftsMinorityRecall(t *testing.T) {
 	}
 }
 
+// TestRefitMatchesFresh pins the Fit contract shared by all four
+// classifiers: Fit always reinitializes (parameters redrawn from cfg.Seed,
+// Adam moments reset), so refitting a used model is bit-identical to
+// fitting a fresh one. Warm starting is TrainEpochs's job, not Fit's.
+func TestRefitMatchesFresh(t *testing.T) {
+	images, labels := syntheticImages(2, 8, 6)
+	refit, err := New(fastConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := refit.Fit(images, labels); err != nil {
+		t.Fatal(err)
+	}
+	if err := refit.Fit(images, labels); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := New(fastConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Fit(images, labels); err != nil {
+		t.Fatal(err)
+	}
+	for i := range images {
+		want, err := fresh.Probabilities(images[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := refit.Probabilities(images[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("image %d class %d: refit %g, fresh %g", i, k, got[k], want[k])
+			}
+		}
+	}
+}
+
 func TestFineTuningWarmStart(t *testing.T) {
 	// Train on classes {0,1} only, then fine-tune with all 3; the final
 	// model must know all 3 classes.

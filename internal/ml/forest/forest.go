@@ -114,12 +114,13 @@ func (f *Forest) Fit(x [][]float64, y []int) error {
 		go func() {
 			defer wg.Done()
 			idx := make([]int, len(x))
+			scr := newSplitScratch(dim, len(x), f.cfg.Classes)
 			for t := range work {
 				rng := rand.New(rand.NewSource(f.cfg.Seed + int64(t)*104729))
 				for i := range idx {
 					idx[i] = rng.Intn(len(x))
 				}
-				f.trees[t] = f.grow(x, y, idx, mtry, 0, rng)
+				f.trees[t] = f.grow(x, y, idx, mtry, 0, rng, scr)
 			}
 		}()
 	}
@@ -131,8 +132,45 @@ func (f *Forest) Fit(x [][]float64, y []int) error {
 	return nil
 }
 
+// splitScratch holds the per-worker buffers bestSplit reuses across every
+// split of every tree the worker grows: the feature permutation, the
+// (value, class) pairs under sort, and the left-side class counts. One
+// worker previously allocated all three per split — a fresh rand.Perm slice
+// plus two more for each of the thousands of nodes in a deep forest.
+type splitScratch struct {
+	perm       []int
+	pairs      []pair
+	leftCounts []int
+}
+
+// pair is one (feature value, class) sample under the split sweep's sort.
+type pair struct {
+	v float64
+	c int
+}
+
+func newSplitScratch(dim, samples, classes int) *splitScratch {
+	return &splitScratch{
+		perm:       make([]int, dim),
+		pairs:      make([]pair, samples),
+		leftCounts: make([]int, classes),
+	}
+}
+
+// fillPerm writes a uniform random permutation of [0, len(p)) into p,
+// consuming exactly the rng draws rand.Perm consumes (one Intn(i+1) per
+// position, same insertion scheme), so replacing rand.Perm with a reused
+// buffer leaves every grown tree byte-identical.
+func fillPerm(p []int, rng *rand.Rand) {
+	for i := range p {
+		j := rng.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+}
+
 // grow recursively builds a tree over the samples in idx.
-func (f *Forest) grow(x [][]float64, y []int, idx []int, mtry, depth int, rng *rand.Rand) *node {
+func (f *Forest) grow(x [][]float64, y []int, idx []int, mtry, depth int, rng *rand.Rand, scr *splitScratch) *node {
 	counts := make([]int, f.cfg.Classes)
 	for _, i := range idx {
 		counts[y[i]]++
@@ -145,7 +183,7 @@ func (f *Forest) grow(x [][]float64, y []int, idx []int, mtry, depth int, rng *r
 		return &node{leaf: true, class: majority}
 	}
 
-	feature, threshold, ok := f.bestSplit(x, y, idx, counts, mtry, rng)
+	feature, threshold, ok := f.bestSplit(x, y, idx, counts, mtry, rng, scr)
 	if !ok {
 		return &node{leaf: true, class: majority}
 	}
@@ -164,24 +202,23 @@ func (f *Forest) grow(x [][]float64, y []int, idx []int, mtry, depth int, rng *r
 	return &node{
 		feature:   feature,
 		threshold: threshold,
-		left:      f.grow(x, y, left, mtry, depth+1, rng),
-		right:     f.grow(x, y, right, mtry, depth+1, rng),
+		left:      f.grow(x, y, left, mtry, depth+1, rng, scr),
+		right:     f.grow(x, y, right, mtry, depth+1, rng, scr),
 	}
 }
 
 // bestSplit scans mtry random features for the split minimizing weighted
-// Gini impurity, sweeping sorted values with incremental class counts.
-func (f *Forest) bestSplit(x [][]float64, y []int, idx []int, counts []int, mtry int, rng *rand.Rand) (feature int, threshold float64, ok bool) {
+// Gini impurity, sweeping sorted values with incremental class counts. All
+// buffers come from scr; the only allocations left on the split path are
+// sort.Slice's closure.
+func (f *Forest) bestSplit(x [][]float64, y []int, idx []int, counts []int, mtry int, rng *rand.Rand, scr *splitScratch) (feature int, threshold float64, ok bool) {
 	bestGini := math.Inf(1)
 
-	type pair struct {
-		v float64
-		c int
-	}
-	pairs := make([]pair, len(idx))
-	leftCounts := make([]int, f.cfg.Classes)
+	pairs := scr.pairs[:len(idx)]
+	leftCounts := scr.leftCounts
 
-	for _, feat := range rng.Perm(f.dim)[:mtry] {
+	fillPerm(scr.perm, rng)
+	for _, feat := range scr.perm[:mtry] {
 		for k, i := range idx {
 			pairs[k] = pair{v: x[i][feat], c: y[i]}
 		}

@@ -3,6 +3,8 @@ package forest
 import (
 	"math/rand"
 	"testing"
+
+	"elevprivacy/internal/ml/linalg"
 )
 
 func blobs(centers [][]float64, perClass int, spread float64, seed int64) (x [][]float64, y []int) {
@@ -24,6 +26,48 @@ func testConfig(classes int) Config {
 	cfg := DefaultConfig(classes)
 	cfg.Trees = 25 // plenty for tests, faster
 	return cfg
+}
+
+// TestRefitMatchesFresh pins the Fit contract shared by all four
+// classifiers: refitting a used model is bit-identical to fitting a fresh
+// one — tree RNGs derive from cfg.Seed and the tree index, never from
+// state left by a previous fit.
+func TestRefitMatchesFresh(t *testing.T) {
+	x, y := blobs([][]float64{{0, 0}, {6, 6}}, 20, 0.5, 9)
+	refit, err := New(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := refit.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := refit.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := New(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	xm, err := linalg.FromRows(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Scores(xm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := refit.Scores(xm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("vote share %d: refit %v, fresh %v", i, got.Data[i], want.Data[i])
+		}
+	}
 }
 
 func TestNewValidation(t *testing.T) {

@@ -1,0 +1,149 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The float32 kernels make no bit-exactness promise against the float64
+// reference — they sit on the "within stated tolerance" side of the
+// precision policy. These tests pin that tolerance explicitly: float32 has
+// a 2^-24 relative rounding step, so with O(hundreds) of accumulation terms
+// of O(1) magnitude, results must stay within ~1e-4 relative of the
+// float64 kernels.
+const f32RelTol = 1e-4
+
+// relDiff32 returns |got-want| / max(1, |want|).
+func relDiff32(got float32, want float64) float64 {
+	scale := math.Abs(want)
+	if scale < 1 {
+		scale = 1
+	}
+	return math.Abs(float64(got)-want) / scale
+}
+
+func randomPair32(rows, cols int, seed int64) (*Matrix, *Matrix32) {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	m32 := NewMatrix32(rows, cols)
+	Convert32(m32.Data, m.Data)
+	return m, m32
+}
+
+func TestDot32WithinTolerance(t *testing.T) {
+	// 203 is odd and not a multiple of the 4-lane unroll, so the remainder
+	// loop runs too.
+	const n = 203
+	rng := rand.New(rand.NewSource(1))
+	a64 := make([]float64, n)
+	b64 := make([]float64, n)
+	a32 := make([]float32, n)
+	b32 := make([]float32, n)
+	for i := 0; i < n; i++ {
+		a64[i] = rng.NormFloat64()
+		b64[i] = rng.NormFloat64()
+		a32[i] = float32(a64[i])
+		b32[i] = float32(b64[i])
+	}
+	got := Dot32(a32, b32)
+	want := Dot(a64, b64)
+	if d := relDiff32(got, want); d > f32RelTol {
+		t.Fatalf("Dot32 = %g, float64 %g (rel diff %g)", got, want, d)
+	}
+}
+
+// TestAffineT32WithinTolerance compares the tiled float32 affine kernel
+// against the float64 one on identical (narrowed) inputs, at a size that
+// crosses the row-tile boundary with a remainder.
+func TestAffineT32WithinTolerance(t *testing.T) {
+	const n, d, h = 37, 129, 23
+	a, a32 := randomPair32(n, d, 2)
+	w, w32 := randomPair32(h, d, 3)
+	rng := rand.New(rand.NewSource(4))
+	bias := make([]float64, h)
+	bias32 := make([]float32, h)
+	for i := range bias {
+		bias[i] = rng.NormFloat64()
+		bias32[i] = float32(bias[i])
+	}
+
+	want := NewMatrix(n, h)
+	AffineTInto(a, w, bias, want)
+	got := NewMatrix32(n, h)
+	AffineT32Into(a32, w32, bias32, got)
+
+	for i := range want.Data {
+		if diff := relDiff32(got.Data[i], want.Data[i]); diff > f32RelTol {
+			t.Fatalf("element %d: float32 %g, float64 %g (rel diff %g)",
+				i, got.Data[i], want.Data[i], diff)
+		}
+	}
+}
+
+// TestSparseAffineT32WithinTolerance checks the sparse float32 first-layer
+// kernel against the dense float32 kernel on the dense form of the same
+// batch. The two accumulate in different orders (gather vs 4-lane dot), so
+// the comparison is a tolerance, not bit equality.
+func TestSparseAffineT32WithinTolerance(t *testing.T) {
+	dense := randomSparseDense(37, 129, 0.1, 5)
+	sp := SparseFromDense(dense)
+	dense32 := NewMatrix32(dense.Rows, dense.Cols)
+	Convert32(dense32.Data, dense.Data)
+
+	_, w32 := randomPair32(23, 129, 6)
+	rng := rand.New(rand.NewSource(7))
+	bias32 := make([]float32, 23)
+	for i := range bias32 {
+		bias32[i] = float32(rng.NormFloat64())
+	}
+
+	want := NewMatrix32(dense.Rows, 23)
+	AffineT32Into(dense32, w32, bias32, want)
+	got := NewMatrix32(dense.Rows, 23)
+	SparseAffineT32Into(sp, w32, bias32, got)
+
+	for i := range want.Data {
+		if diff := relDiff32(got.Data[i], float64(want.Data[i])); diff > f32RelTol {
+			t.Fatalf("element %d: sparse %g, dense %g (rel diff %g)",
+				i, got.Data[i], want.Data[i], diff)
+		}
+	}
+}
+
+// TestSoftmaxRows32WithinTolerance includes a large-magnitude row to check
+// the max-shift stabilization survives the narrow path.
+func TestSoftmaxRows32WithinTolerance(t *testing.T) {
+	rows := [][]float64{{1, 2, 3}, {-5, 0, 5}, {1000, 999, 998}}
+	want, _ := FromRows(rows)
+	SoftmaxRows(want)
+
+	got := NewMatrix32(len(rows), 3)
+	for i, r := range rows {
+		for j, v := range r {
+			got.Row(i)[j] = float32(v)
+		}
+	}
+	SoftmaxRows32(got)
+
+	for i := range want.Data {
+		if diff := relDiff32(got.Data[i], want.Data[i]); diff > f32RelTol {
+			t.Fatalf("element %d: float32 %g, float64 %g (rel diff %g)",
+				i, got.Data[i], want.Data[i], diff)
+		}
+	}
+}
+
+func TestConvert32Narrows(t *testing.T) {
+	src := []float64{0, 1, -1.5, math.Pi, 1e-40}
+	dst := make([]float32, len(src))
+	Convert32(dst, src)
+	for i, v := range src {
+		if dst[i] != float32(v) {
+			t.Fatalf("element %d: %g, want %g", i, dst[i], float32(v))
+		}
+	}
+}

@@ -79,6 +79,36 @@ func TestAffineT(t *testing.T) {
 	}
 }
 
+// TestAffineTIntoMatchesPerCell pins the kernel's documented contract
+// across the row tiling and the four-sample interleave: every cell must be
+// exactly bias[j] + Dot(w.Row(j), a.Row(i)). Sizes are chosen to leave
+// remainders at both the 16-row tile and the 4-row interleave, so the
+// cleanup loops are checked along with the steady state.
+func TestAffineTIntoMatchesPerCell(t *testing.T) {
+	const n, d, h = 37, 29, 23
+	a := NewMatrix(n, d)
+	w := NewMatrix(h, d)
+	bias := make([]float64, h)
+	for i := range a.Data {
+		a.Data[i] = math.Sin(float64(i))
+	}
+	for i := range w.Data {
+		w.Data[i] = math.Cos(float64(i))
+	}
+	for i := range bias {
+		bias[i] = math.Sin(float64(i) * 0.7)
+	}
+	c := NewMatrix(n, h)
+	AffineTInto(a, w, bias, c)
+	for i := 0; i < n; i++ {
+		for j := 0; j < h; j++ {
+			if want := bias[j] + Dot(w.Row(j), a.Row(i)); c.At(i, j) != want {
+				t.Fatalf("C[%d][%d] = %g, want %g", i, j, c.At(i, j), want)
+			}
+		}
+	}
+}
+
 func TestMatMulShapePanics(t *testing.T) {
 	a := NewMatrix(2, 3)
 	b := NewMatrix(2, 2)

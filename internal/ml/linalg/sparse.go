@@ -119,6 +119,31 @@ func (s *SparseMatrix) GatherRows(idx []int) *SparseMatrix {
 	return out
 }
 
+// GatherRowsInto is GatherRows reusing dst's backing slices — the
+// per-minibatch gather of sparse training loops, allocation-free once dst
+// has grown to the largest batch.
+func (s *SparseMatrix) GatherRowsInto(idx []int, dst *SparseMatrix) {
+	var nnz int
+	for _, i := range idx {
+		nnz += s.RowPtr[i+1] - s.RowPtr[i]
+	}
+	dst.Cols = s.Cols
+	dst.Rows = len(idx)
+	dst.RowPtr = append(dst.RowPtr[:0], 0)
+	dst.ColIdx = dst.ColIdx[:0]
+	if cap(dst.Val) < nnz {
+		dst.ColIdx = make([]int32, 0, nnz)
+		dst.Val = make([]float64, 0, nnz)
+	}
+	dst.Val = dst.Val[:0]
+	for _, i := range idx {
+		cols, vals := s.RowNZ(i)
+		dst.ColIdx = append(dst.ColIdx, cols...)
+		dst.Val = append(dst.Val, vals...)
+		dst.AppendRow()
+	}
+}
+
 // ScatterRow writes row r into dst, which must be zeroed (pair with
 // ClearRow to reuse dst across rows without a full wipe).
 func (s *SparseMatrix) ScatterRow(r int, dst []float64) {
@@ -146,31 +171,61 @@ func SparseDot(cols []int32, vals []float64, w []float64) float64 {
 	return sum
 }
 
+// SparseAxpy computes w[cols[k]] += s·vals[k] for every stored nonzero —
+// the sparse Axpy of stochastic-gradient hinge steps. Identical in value
+// to a dense Axpy on the scattered row: the skipped terms are exact-zero
+// products, which add as identity on accumulators that are never -0.0.
+func SparseAxpy(w []float64, cols []int32, vals []float64, s float64) {
+	for k, c := range cols {
+		w[c] += s * vals[k]
+	}
+}
+
 // SparseAffineT returns C = A·Wᵀ + bias for a CSR A: row i of C is
 // W·a_i + bias, computed as bias[j] + SparseDot(row, w_j) — the sparse
 // analogue of AffineT, with identical per-cell accumulation order, so it
 // reproduces the dense kernel bit for bit on the same logical matrix. Rows
 // fan out over GOMAXPROCS goroutines when the work is large enough.
 func SparseAffineT(a *SparseMatrix, w *Matrix, bias []float64) *Matrix {
+	c := NewMatrix(a.Rows, w.Rows)
+	SparseAffineTInto(a, w, bias, c)
+	return c
+}
+
+// SparseAffineTInto is SparseAffineT writing into a caller-owned c. Like
+// the dense AffineTInto it tiles sample rows with the weight loop
+// outermost: a tile's column indices and values stay cache-resident while
+// each W row is gathered against once per tile rather than once per
+// sample. Per-cell accumulation (bias[j] + ascending-column SparseDot) is
+// unchanged, so the tiled order produces identical bits.
+func SparseAffineTInto(a *SparseMatrix, w *Matrix, bias []float64, c *Matrix) {
 	if a.Cols != w.Cols {
 		panic(fmt.Sprintf("linalg: sparse affineT shape mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, w.Rows, w.Cols))
 	}
 	if len(bias) != w.Rows {
 		panic(fmt.Sprintf("linalg: sparse affineT bias length %d, want %d", len(bias), w.Rows))
 	}
-	c := NewMatrix(a.Rows, w.Rows)
+	if c.Rows != a.Rows || c.Cols != w.Rows {
+		panic(fmt.Sprintf("linalg: sparse affineT output %dx%d, want %dx%d", c.Rows, c.Cols, a.Rows, w.Rows))
+	}
 	avgNNZ := 0
 	if a.Rows > 0 {
 		avgNNZ = a.NNZ() / a.Rows
 	}
 	parallelRows(a.Rows, a.Rows*avgNNZ*w.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			cols, vals := a.RowNZ(i)
-			cRow := c.Row(i)
+		for i0 := lo; i0 < hi; i0 += affineTileRows {
+			i1 := i0 + affineTileRows
+			if i1 > hi {
+				i1 = hi
+			}
 			for j := 0; j < w.Rows; j++ {
-				cRow[j] = bias[j] + SparseDot(cols, vals, w.Row(j))
+				wRow := w.Row(j)
+				bj := bias[j]
+				for i := i0; i < i1; i++ {
+					cols, vals := a.RowNZ(i)
+					c.Row(i)[j] = bj + SparseDot(cols, vals, wRow)
+				}
 			}
 		}
 	})
-	return c
 }

@@ -40,6 +40,41 @@ type SparseBatchClassifier interface {
 	ScoresSparse(x *linalg.SparseMatrix) (*linalg.Matrix, error)
 }
 
+// SparseTrainer is implemented by classifiers that train on CSR feature
+// batches natively — the training-path counterpart of
+// SparseBatchClassifier. Implementations must produce a model bit-identical
+// to Fit on ToDense() of the same matrix: sparse training skips multiplies
+// against zeros, never reorders the surviving accumulation.
+type SparseTrainer interface {
+	// FitSparse trains on a CSR feature matrix with labels y in
+	// [0, classes).
+	FitSparse(x *linalg.SparseMatrix, y []int) error
+}
+
+// ValidateSparseTrainingSet performs the shape checks sparse training
+// needs: non-empty X, matching y, labels within [0, classes). Row
+// dimensionality is uniform by CSR construction.
+func ValidateSparseTrainingSet(x *linalg.SparseMatrix, y []int, classes int) error {
+	if x == nil || x.Rows == 0 {
+		return fmt.Errorf("ml: empty training set")
+	}
+	if x.Rows != len(y) {
+		return fmt.Errorf("ml: %d samples but %d labels", x.Rows, len(y))
+	}
+	if classes < 2 {
+		return fmt.Errorf("ml: need >= 2 classes, got %d", classes)
+	}
+	if x.Cols == 0 {
+		return fmt.Errorf("ml: zero-dimensional features")
+	}
+	for i, label := range y {
+		if label < 0 || label >= classes {
+			return fmt.Errorf("ml: label %d of sample %d outside [0,%d)", label, i, classes)
+		}
+	}
+	return nil
+}
+
 // ValidateTrainingSet performs the shape checks every classifier needs:
 // non-empty X with consistent dimensionality, matching y, labels within
 // [0, classes).

@@ -1,6 +1,7 @@
 package mlp
 
 import (
+	"math/rand"
 	"testing"
 
 	"elevprivacy/internal/ml/linalg"
@@ -30,6 +31,46 @@ func benchFitted(b *testing.B, n int) (*MLP, [][]float64, *linalg.Matrix) {
 	}
 	return m, x, xm
 }
+
+// tableIISparse builds a CSR training set at the paper's Table II scale:
+// 400 samples over a 4096-bucket feature space with ~200 stored entries
+// per row — the shape the elevation-profile attack trains at, and the one
+// the training-path benchmarks should be judged on.
+func tableIISparse() (*linalg.SparseMatrix, []int) {
+	const n, d, k = 400, 4096, 4
+	const nnzPerRow = 200
+	rng := rand.New(rand.NewSource(7))
+	rows := make([][]float64, n)
+	y := make([]int, n)
+	for i := range rows {
+		r := make([]float64, d)
+		for t := 0; t < nnzPerRow; t++ {
+			r[rng.Intn(d)] = float64(rng.Intn(5) + 1)
+		}
+		rows[i] = r
+		y[i] = rng.Intn(k)
+	}
+	m, _ := linalg.FromRows(rows)
+	return linalg.SparseFromDense(m), y
+}
+
+func benchFitSparse(b *testing.B, float32Path bool) {
+	sp, y := tableIISparse()
+	cfg := Config{Classes: 4, Hidden: 100, Epochs: 4, BatchSize: 16, LearningRate: 1e-3, Seed: 42, Float32: float32Path}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.FitSparse(sp, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitSparseTableII(b *testing.B)   { benchFitSparse(b, false) }
+func BenchmarkFitSparse32TableII(b *testing.B) { benchFitSparse(b, true) }
 
 func BenchmarkPredictLoop(b *testing.B) {
 	m, x, _ := benchFitted(b, 240)

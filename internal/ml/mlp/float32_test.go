@@ -1,0 +1,149 @@
+package mlp
+
+import (
+	"math"
+	"testing"
+
+	"elevprivacy/internal/ml/linalg"
+)
+
+// float32TrainTol bounds how far Float32-trained probabilities may drift
+// from the float64 reference on the same data and seed. Training error
+// compounds across steps (float32 kernels + Adam32's reciprocal-multiply
+// bias correction), so the tolerance is far looser than a single forward
+// pass would need; at benchmark scale (400 samples, 4 epochs) the observed
+// drift is ~5e-8, and these small-problem runs stay under ~1e-4.
+const float32TrainTol = 1e-2
+
+// TestFloat32TrainingTracksFloat64 trains the reduced-precision path and
+// the float64 path on identical data and requires the class distributions
+// to agree within the stated tolerance, with full argmax agreement.
+func TestFloat32TrainingTracksFloat64(t *testing.T) {
+	x, y := blobs([][]float64{{0, 0}, {4, 0}, {0, 4}}, 20, 0.5, 33)
+	cfg := DefaultConfig(3)
+	cfg.Epochs = 10
+
+	ref, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg32 := cfg
+	cfg32.Float32 = true
+	fast, err := New(cfg32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fast.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+
+	var maxDiff float64
+	for i := range x {
+		want, _ := ref.Probabilities(x[i])
+		got, err := fast.Probabilities(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range want {
+			if d := math.Abs(want[k] - got[k]); d > maxDiff {
+				maxDiff = d
+			}
+		}
+		if linalg.ArgMax(want) != linalg.ArgMax(got) {
+			t.Fatalf("sample %d: argmax disagrees (float64 %v, float32 %v)", i, want, got)
+		}
+	}
+	if maxDiff > float32TrainTol {
+		t.Fatalf("max probability drift %g exceeds %g", maxDiff, float32TrainTol)
+	}
+	if maxDiff == 0 {
+		t.Fatal("float32 path produced bit-identical probabilities; reduced-precision kernels likely not exercised")
+	}
+}
+
+// TestFloat32FitSparseTracksDense checks the Float32 knob's deployed
+// configuration — FitSparse on CSR features — against the dense Float32
+// path. The sparse and dense float32 kernels accumulate in different
+// orders, so this is a tolerance comparison, not bit equality.
+func TestFloat32FitSparseTracksDense(t *testing.T) {
+	raw, y := blobs([][]float64{{0, 0}, {4, 0}, {0, 4}}, 20, 0.5, 34)
+	x := padSparse(raw, 10)
+	cfg := DefaultConfig(3)
+	cfg.Epochs = 8
+	cfg.Float32 = true
+
+	dense, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dense.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+
+	xm, err := linalg.FromRows(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sparse.FitSparse(linalg.SparseFromDense(xm), y); err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := dense.Scores(xm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sparse.Scores(xm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if d := math.Abs(want.Data[i] - got.Data[i]); d > float32TrainTol {
+			t.Fatalf("probability %d: dense-trained %v, sparse-trained %v (diff %g)",
+				i, want.Data[i], got.Data[i], d)
+		}
+	}
+}
+
+// TestFloat32RefitMatchesFresh extends the refit contract to the
+// reduced-precision path: Adam32 moments and the float32 shadow must reset
+// on every Fit.
+func TestFloat32RefitMatchesFresh(t *testing.T) {
+	x, y := blobs([][]float64{{0}, {3}}, 10, 0.3, 35)
+	cfg := testConfig(2)
+	cfg.Float32 = true
+
+	refit, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := refit.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := refit.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		want, _ := fresh.Probabilities(x[i])
+		got, _ := refit.Probabilities(x[i])
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("sample %d class %d: refit %g, fresh %g", i, k, got[k], want[k])
+			}
+		}
+	}
+}

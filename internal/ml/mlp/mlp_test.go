@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 )
 
@@ -150,24 +151,100 @@ func TestDeterministicTraining(t *testing.T) {
 	}
 }
 
-func TestWarmStartKeepsDimensions(t *testing.T) {
+// TestRefitMatchesFresh pins the Fit contract: refitting a used model is
+// bit-identical to fitting a fresh one. A previous version silently
+// warm-started when the input dimension matched — stale weights and stale
+// Adam moments/step count leaked into the second fit.
+func TestRefitMatchesFresh(t *testing.T) {
 	x, y := blobs([][]float64{{0}, {3}}, 10, 0.3, 5)
+	refit, err := New(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := refit.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := refit.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := New(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		want, _ := fresh.Probabilities(x[i])
+		got, _ := refit.Probabilities(x[i])
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("sample %d class %d: refit %g, fresh %g", i, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+// TestRefitChangesDimension checks that a second Fit with a different
+// feature width reshapes the network instead of failing or mixing stale
+// parameters.
+func TestRefitChangesDimension(t *testing.T) {
 	m, err := New(testConfig(2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Fit(x, y); err != nil {
+	x1, y1 := blobs([][]float64{{0}, {3}}, 10, 0.3, 5)
+	if err := m.Fit(x1, y1); err != nil {
 		t.Fatal(err)
 	}
-	before, _ := m.Probabilities([]float64{0})
-	// Second fit continues from current parameters (no re-init).
-	if err := m.Fit(x, y); err != nil {
+	x2, y2 := blobs([][]float64{{0, 0}, {3, 3}}, 10, 0.3, 6)
+	if err := m.Fit(x2, y2); err != nil {
 		t.Fatal(err)
 	}
-	after, _ := m.Probabilities([]float64{0})
-	// Training more should not degrade a fully learned problem.
-	if after[0] < before[0]-0.2 {
-		t.Errorf("warm start degraded: %f -> %f", before[0], after[0])
+	if _, err := m.Predict([]float64{1, 1}); err != nil {
+		t.Fatalf("predict after refit with new width: %v", err)
+	}
+	if _, err := m.Predict([]float64{1}); err == nil {
+		t.Error("old-width predict still accepted after refit")
+	}
+}
+
+// TestDeterministicTrainingAcrossParallelism trains the same model under
+// GOMAXPROCS 1 and 4 and requires bit-identical probabilities: the batched
+// kernels may fan rows out across goroutines, but each output cell is one
+// accumulator summed in a fixed order, so parallelism must not change a
+// single bit. Under -race this also exercises the data-parallel epoch for
+// unsynchronized access.
+func TestDeterministicTrainingAcrossParallelism(t *testing.T) {
+	// Wide enough that the affine kernels cross the parallel threshold.
+	x, y := blobs([][]float64{make([]float64, 96), func() []float64 {
+		c := make([]float64, 96)
+		for i := range c {
+			c[i] = 3
+		}
+		return c
+	}()}, 24, 0.8, 7)
+	cfg := testConfig(2)
+	cfg.Hidden = 64
+	cfg.Epochs = 6
+	run := func(procs int) []float64 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		probs, _ := m.Probabilities(x[0])
+		return probs
+	}
+	serial := run(1)
+	parallel := run(4)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("class %d: GOMAXPROCS=1 %g, GOMAXPROCS=4 %g", i, serial[i], parallel[i])
+		}
 	}
 }
 

@@ -71,6 +71,52 @@ func TestSparseMatchesDense(t *testing.T) {
 	}
 }
 
+// TestFitSparseMatchesFit pins the sparse training contract: FitSparse on
+// a CSR batch must produce a model bit-identical to Fit on its dense form.
+// The sparse first-layer kernels skip only exact-zero terms, and every
+// gradient cell accumulates its per-sample contributions in the same
+// ascending order as the dense path.
+func TestFitSparseMatchesFit(t *testing.T) {
+	raw, y := blobs([][]float64{{0, 0}, {4, 0}, {0, 4}}, 20, 0.5, 23)
+	x := padSparse(raw, 10)
+	cfg := DefaultConfig(3)
+	cfg.Epochs = 8
+
+	dense, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dense.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+
+	xm, err := linalg.FromRows(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sparse.FitSparse(linalg.SparseFromDense(xm), y); err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := dense.Scores(xm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sparse.Scores(xm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("probability %d: dense-trained %v, sparse-trained %v", i, want.Data[i], got.Data[i])
+		}
+	}
+}
+
 func TestSparsePredictValidation(t *testing.T) {
 	clf, err := New(DefaultConfig(2))
 	if err != nil {

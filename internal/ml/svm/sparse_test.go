@@ -70,6 +70,89 @@ func TestSparseMatchesDense(t *testing.T) {
 	}
 }
 
+// TestFitSparseMatchesFit pins the sparse training contract: FitSparse on
+// a CSR batch must produce a model bit-identical to Fit on its dense form —
+// same Pegasos RNG streams, hinge updates over stored nonzeros only.
+func TestFitSparseMatchesFit(t *testing.T) {
+	raw, y := gaussianBlobs([][]float64{{0, 0}, {6, 0}, {0, 6}}, 25, 0.8, 13)
+	x := padSparse(raw, 12)
+
+	dense, err := New(DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dense.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+
+	xm, err := linalg.FromRows(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := New(DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sparse.FitSparse(linalg.SparseFromDense(xm), y); err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := dense.Scores(xm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sparse.Scores(xm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("score %d: dense-trained %v, sparse-trained %v", i, want.Data[i], got.Data[i])
+		}
+	}
+}
+
+// TestRefitMatchesFresh pins the Fit contract shared by all four
+// classifiers: refitting a used model is bit-identical to fitting a fresh
+// one (no state survives across fits).
+func TestRefitMatchesFresh(t *testing.T) {
+	x, y := gaussianBlobs([][]float64{{0, 0}, {6, 6}}, 20, 0.5, 14)
+	refit, err := New(DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := refit.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := refit.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := New(DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	xm, err := linalg.FromRows(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Scores(xm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := refit.Scores(xm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("score %d: refit %v, fresh %v", i, want.Data[i], got.Data[i])
+		}
+	}
+}
+
 func TestSparsePredictValidation(t *testing.T) {
 	clf, err := New(DefaultConfig(2))
 	if err != nil {

@@ -81,6 +81,10 @@ type Scenario struct {
 	NGram int `json:"ngram,omitempty"`
 	// MaxFeatures bounds the n-gram vocabulary (default 1024).
 	MaxFeatures int `json:"max_features,omitempty"`
+	// Float32 trains through the reduced-precision kernel path. Only the
+	// mlp model has one; setting it with svm is rejected rather than
+	// silently ignored, since the flag changes the train fingerprint.
+	Float32 bool `json:"float32,omitempty"`
 	// Seed drives all randomness for the scenario (default 1).
 	Seed int64 `json:"seed,omitempty"`
 }
@@ -231,6 +235,9 @@ func (sc *Scenario) normalize() error {
 	default:
 		return fmt.Errorf("unknown model %q (want svm or mlp)", sc.Model)
 	}
+	if sc.Float32 && sc.Model != "mlp" {
+		return fmt.Errorf("float32 training requires model mlp, not %q", sc.Model)
+	}
 	if sc.Folds < 2 {
 		return fmt.Errorf("folds = %d, want >= 2", sc.Folds)
 	}
@@ -273,6 +280,7 @@ type trainConfig struct {
 	Model       string
 	NGram       int
 	MaxFeatures int
+	Float32     bool
 	Seed        int64
 }
 
@@ -308,6 +316,7 @@ func (sc *Scenario) trainConfig() trainConfig {
 		Model:       sc.Model,
 		NGram:       sc.NGram,
 		MaxFeatures: sc.MaxFeatures,
+		Float32:     sc.Float32,
 		Seed:        sc.Seed,
 	}
 }

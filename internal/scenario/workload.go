@@ -282,6 +282,7 @@ func (sc *Scenario) attackConfig() elevprivacy.TextAttackConfig {
 	tc := elevprivacy.DefaultTextAttackConfig(elevprivacy.ClassifierKind(sc.Model))
 	tc.NGram = sc.NGram
 	tc.MaxFeatures = sc.MaxFeatures
+	tc.Float32 = sc.Float32
 	tc.Seed = sc.Seed
 	if sc.ThreatModel != TM1 {
 		tc.Precision = 3

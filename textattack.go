@@ -38,6 +38,10 @@ type TextAttackConfig struct {
 	// ForestTrees overrides the random forest's ensemble size when
 	// positive (paper default: 100). Ignored by the other classifiers.
 	ForestTrees int
+	// Float32 trains the MLP through the reduced-precision kernel path
+	// (see mlp.Config.Float32). Ignored by the other classifiers, whose
+	// training is float64-only.
+	Float32 bool
 	// Seed drives classifier randomness.
 	Seed int64
 }
@@ -83,6 +87,7 @@ func (c TextAttackConfig) newClassifier(classes int) (ml.Classifier, error) {
 	case ClassifierMLP:
 		cfg := mlp.DefaultConfig(classes)
 		cfg.Seed = c.Seed
+		cfg.Float32 = c.Float32
 		return mlp.New(cfg)
 	default:
 		return nil, fmt.Errorf("elevprivacy: unknown classifier %q", c.Classifier)
@@ -197,9 +202,9 @@ func CrossValidateText(d *Dataset, cfg TextAttackConfig, folds int) (Metrics, er
 	if err != nil {
 		return Metrics{}, err
 	}
-	// Featurize once into CSR form: folds train on dense row views
-	// (materialized inside CrossValidateSparse) and score held-out folds
-	// through the sparse path, which is bit-identical to the dense one.
+	// Featurize once into CSR form: SVM and MLP folds train and score
+	// through their native sparse paths (bit-identical to dense); only the
+	// forest triggers the lazy densify inside CrossValidateSparse.
 	return eval.CrossValidateSparse(pipe.FeaturesAllSparse(signals), y, enc.Len(), folds, cfg.Seed,
 		func() (ml.Classifier, error) { return cfg.newClassifier(enc.Len()) })
 }
