@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet staticcheck test test-short check bench bench-train bench-full experiments experiments-quick smoke-resume obs-smoke orch-smoke clean
+.PHONY: all build vet staticcheck test test-short check bench bench-train bench-full experiments experiments-quick smoke-resume obs-smoke orch-smoke shard-smoke clean
 
 all: build vet test
 
@@ -60,14 +60,26 @@ obs-smoke:
 orch-smoke:
 	sh scripts/orchestrator_smoke.sh
 
+## shard-smoke proves the sharded serving tier end to end: four shard
+## replicas behind consistent-hash pools, a mining sweep that survives a
+## SIGKILL of one shard mid-run with byte-identical output, pool failover
+## metrics, a nonzero serving-cache hit rate on the warm survivors, and
+## per-endpoint balance within 2x. CI runs it non-gating (kill timing on
+## shared runners is noisy); locally it is the sanity check after touching
+## internal/httpx pooling or internal/serving.
+shard-smoke:
+	sh scripts/shard_smoke.sh
+
 ## bench runs every experiment benchmark at smoke scale plus the substrate
-## micro-benchmarks, then the text-pipeline and training comparison
-## harnesses, which measure the legacy paths against the current ones at
-## Table-II scale and write BENCH_textpipeline.json / BENCH_train.json.
+## micro-benchmarks, then the text-pipeline, training, and serving-tier
+## comparison harnesses, which measure the legacy paths against the current
+## ones and write BENCH_textpipeline.json / BENCH_train.json /
+## BENCH_serving.json.
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/textbench -out BENCH_textpipeline.json
 	$(GO) run ./cmd/trainbench -out BENCH_train.json
+	$(GO) run ./cmd/servebench -out BENCH_serving.json
 
 ## bench-train runs only the training-path harness: the frozen per-sample
 ## MLP trainer against the batched float64/float32/sparse paths and the

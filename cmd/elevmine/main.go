@@ -98,11 +98,17 @@ func run() error {
 		rps       = flag.Float64("rps", 0, "client-side rate limit in requests/sec per service (0 = unlimited)")
 		faultRate = flag.Float64("faultrate", 0, "inject transient 503s at this probability per request (seeded)")
 		serve     = flag.String("serve", "", "comma-separated listen addrs for segment,elevation services (keeps serving)")
+		shards    = flag.Int("shards", 1, "in-process replicas per service; >1 mines through a consistent-hash pool")
+		segAddrs  = flag.String("seg-addrs", "", "comma-separated external segment-service base URLs (skips in-process servers)")
+		elevAddrs = flag.String("elev-addrs", "", "comma-separated external elevation-service base URLs (skips in-process servers)")
+		shardIdx  = flag.Int("shard-index", 0, "this instance's shard index in -serve mode")
+		shardCnt  = flag.Int("shard-count", 0, "total shards in the tier in -serve mode (0 = unsharded)")
 		ckptDir   = flag.String("checkpoint", "", "directory for the crash-safe work journal (enables resumable sweeps)")
 		resume    = flag.Bool("resume", false, "reuse an existing checkpoint journal instead of starting fresh")
 		outPath   = flag.String("out", "", "write the mined dataset as JSON to this path (atomic: never observed torn)")
 	)
 	obsFlags := obsboot.Register(nil)
+	poolFlags := obsboot.RegisterPool(nil)
 	flag.Parse()
 
 	tel, err := obsFlags.Start("elevmine")
@@ -141,33 +147,73 @@ func run() error {
 	}
 
 	if *serve != "" {
-		return serveForever(*serve, store, source)
+		if *shardCnt > 0 && (*shardIdx < 0 || *shardIdx >= *shardCnt) {
+			return fmt.Errorf("-shard-index %d out of range for -shard-count %d", *shardIdx, *shardCnt)
+		}
+		return serveForever(*serve, store, source, *shardIdx, *shardCnt)
+	}
+	if (*segAddrs == "") != (*elevAddrs == "") {
+		return fmt.Errorf("-seg-addrs and -elev-addrs must be set together")
+	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be at least 1, got %d", *shards)
 	}
 
-	// In-process servers over real TCP.
-	segLis, segURL, err := listen()
-	if err != nil {
-		return err
+	// Resolve the serving tier: external addresses when given, otherwise
+	// -shards in-process replicas of each service over real TCP. All shards
+	// are full replicas of the same store and terrain, so routing is purely
+	// cache affinity and any shard can answer any request.
+	var segURLs, elevURLs []string
+	if *segAddrs != "" {
+		segURLs = splitAddrs(*segAddrs)
+		elevURLs = splitAddrs(*elevAddrs)
+	} else {
+		for i := 0; i < *shards; i++ {
+			segSrv, segURL, err := spawn(segments.NewServer(store, segments.WithShard(i, *shards)).Handler())
+			if err != nil {
+				return err
+			}
+			defer segSrv.Close()
+			elevSrv, elevURL, err := spawn(elevsvc.NewServer(source, elevsvc.WithShard(i, *shards)).Handler())
+			if err != nil {
+				return err
+			}
+			defer elevSrv.Close()
+			segURLs = append(segURLs, segURL)
+			elevURLs = append(elevURLs, elevURL)
+		}
 	}
-	elevLis, elevURL, err := listen()
-	if err != nil {
-		return err
-	}
-	segSrv := &http.Server{Handler: segments.NewServer(store).Handler(), ReadHeaderTimeout: 5 * time.Second}
-	elevSrv := &http.Server{Handler: elevsvc.NewServer(source).Handler(), ReadHeaderTimeout: 5 * time.Second}
-	go func() { _ = segSrv.Serve(segLis) }()
-	go func() { _ = elevSrv.Serve(elevLis) }()
-	defer func() {
-		_ = segSrv.Close()
-		_ = elevSrv.Close()
-	}()
 
-	segClient := resilientClient("segments", *rps, *faultRate, *seed)
-	elevClient := resilientClient("elevation", *rps, *faultRate, *seed+1)
-	miner := segments.NewMiner(
-		segments.NewClient(segURL, segClient),
-		elevsvc.NewClient(elevURL, elevClient),
+	// Single-endpoint tiers go through the classic resilient client (whose
+	// retry loop and limiter the run meta reports on); multi-endpoint tiers
+	// go through consistent-hash pools that own failover themselves.
+	var (
+		segClient, elevClient *httpx.Client
+		segPool, elevPool     *httpx.Pool
+		minerSeg              *segments.Client
+		minerElev             *elevsvc.Client
 	)
+	if len(segURLs) == 1 && len(elevURLs) == 1 {
+		segClient = resilientClient("segments", *rps, *faultRate, *seed)
+		elevClient = resilientClient("elevation", *rps, *faultRate, *seed+1)
+		minerSeg = segments.NewClient(segURLs[0], segClient)
+		minerElev = elevsvc.NewClient(elevURLs[0], elevClient)
+	} else {
+		segPool, err = newPool(segURLs, "segments", poolFlags, *rps, *faultRate, *seed)
+		if err != nil {
+			return err
+		}
+		defer segPool.Close()
+		elevPool, err = newPool(elevURLs, "elevation", poolFlags, *rps, *faultRate, *seed+1)
+		if err != nil {
+			return err
+		}
+		defer elevPool.Close()
+		minerSeg = segments.NewPoolClient(segPool)
+		minerElev = elevsvc.NewPoolClient(elevPool)
+		fmt.Printf("serving tier: %d segment shards, %d elevation shards\n", len(segURLs), len(elevURLs))
+	}
+	miner := segments.NewMiner(minerSeg, minerElev)
 	miner.GridRows = *grid
 	miner.GridCols = *grid
 	miner.Samples = *samples
@@ -225,19 +271,28 @@ func run() error {
 		}
 		fmt.Printf("wrote %d segments to %s\n", len(mined), *outPath)
 	}
-	cfg, err := json.Marshal(mineConfig{
+	mc := mineConfig{
 		Grid: *grid, Samples: *samples, Seed: *seed, Workers: *workers, Mined: len(mined),
-	})
+		Shards: len(segURLs),
+	}
+	clients := map[string]httpx.Stats{}
+	if segPool != nil {
+		mc.Pools = map[string][]httpx.EndpointStats{
+			"segments":  segPool.Stats(),
+			"elevation": elevPool.Stats(),
+		}
+	} else {
+		clients["segments"] = segClient.Stats()
+		clients["elevation"] = elevClient.Stats()
+	}
+	cfg, err := json.Marshal(mc)
 	if err != nil {
 		return err
 	}
 	if err := obsboot.SaveRunMeta(*ckptDir, "elevmine.meta", obsboot.RunMeta{
-		Tool:   "elevmine",
-		Config: cfg,
-		Clients: map[string]httpx.Stats{
-			"segments":  segClient.Stats(),
-			"elevation": elevClient.Stats(),
-		},
+		Tool:    "elevmine",
+		Config:  cfg,
+		Clients: clients,
 		Journal: journal.Stats(),
 	}); err != nil {
 		return err
@@ -268,6 +323,10 @@ type mineConfig struct {
 	Seed    int64 `json:"seed"`
 	Workers int   `json:"workers"`
 	Mined   int   `json:"mined"`
+	Shards  int   `json:"shards,omitempty"`
+	// Pools carries per-endpoint transport stats when the sweep ran against
+	// a sharded tier (the single-endpoint path reports via Clients instead).
+	Pools map[string][]httpx.EndpointStats `json:"pools,omitempty"`
 }
 
 // writeMined writes the mined dataset as JSON, atomically: a crash mid-write
@@ -324,17 +383,98 @@ func listen() (net.Listener, string, error) {
 	return lis, "http://" + lis.Addr().String(), nil
 }
 
+// spawn serves handler on a fresh loopback listener, returning the server
+// for shutdown and its base URL.
+func spawn(handler http.Handler) (*http.Server, string, error) {
+	lis, url, err := listen()
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(lis) }()
+	return srv, url, nil
+}
+
+// splitAddrs parses a comma-separated address list, dropping empty entries.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// newPool builds the consistent-hash endpoint pool a sharded sweep talks
+// through: per-endpoint breakers and health probes, pool-owned failover,
+// the same -rps self-pacing the single-endpoint client applies, and — for
+// the -faultrate demo — the same seeded fault-injecting transport.
+func newPool(baseURLs []string, service string, pf *obsboot.PoolFlags, rps, faultRate float64, seed int64) (*httpx.Pool, error) {
+	var transport http.RoundTripper = http.DefaultTransport
+	if faultRate > 0 {
+		ft := httpx.NewFaultTripper(transport)
+		ft.Stub(httpx.MatchAll, httpx.RandomFaults(seed, 1<<16, faultRate, httpx.Fault{
+			Delay:  2 * time.Millisecond,
+			Status: http.StatusServiceUnavailable,
+			Body:   "injected transient fault",
+		})...)
+		transport = ft
+	}
+	var doer httpx.Doer = &http.Client{Transport: transport, Timeout: 30 * time.Second}
+	if rps > 0 {
+		doer = &pacedDoer{doer: doer, limiter: httpx.NewLimiter(rps, 10)}
+	}
+	opts := append(pf.Options(service),
+		httpx.WithPoolTransport(doer),
+		httpx.WithPoolJitterSeed(seed),
+	)
+	return httpx.NewPool(baseURLs, opts...)
+}
+
+// pacedDoer rate-limits a Doer with a shared token bucket, giving pooled
+// sweeps the same -rps self-pacing the single-endpoint client gets from
+// its built-in limiter. Health probes ride through it too, which is fine:
+// they are rare relative to any realistic budget.
+type pacedDoer struct {
+	doer    httpx.Doer
+	limiter *httpx.Limiter
+}
+
+func (p *pacedDoer) Do(req *http.Request) (*http.Response, error) {
+	if err := p.limiter.Wait(req.Context()); err != nil {
+		return nil, err
+	}
+	return p.doer.Do(req)
+}
+
 // serveForever runs both services on fixed addresses until interrupted.
-func serveForever(addrs string, store *segments.Store, source dem.Source) error {
+// shardIdx/shardCnt tag the instance's identity inside a sharded tier
+// (every shard is a full replica, so the index only names the instance on
+// /healthz and /metrics).
+func serveForever(addrs string, store *segments.Store, source dem.Source, shardIdx, shardCnt int) error {
 	parts := strings.Split(addrs, ",")
 	if len(parts) != 2 {
 		return fmt.Errorf("-serve wants two comma-separated addresses, got %q", addrs)
 	}
 	errc := make(chan error, 2)
-	segSrv := &http.Server{Addr: parts[0], Handler: segments.NewServer(store).Handler(), ReadHeaderTimeout: 5 * time.Second}
-	elevSrv := &http.Server{Addr: parts[1], Handler: elevsvc.NewServer(source).Handler(), ReadHeaderTimeout: 5 * time.Second}
+	segSrv := &http.Server{
+		Addr:              parts[0],
+		Handler:           segments.NewServer(store, segments.WithShard(shardIdx, shardCnt)).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	elevSrv := &http.Server{
+		Addr:              parts[1],
+		Handler:           elevsvc.NewServer(source, elevsvc.WithShard(shardIdx, shardCnt)).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
 	go func() { errc <- segSrv.ListenAndServe() }()
 	go func() { errc <- elevSrv.ListenAndServe() }()
-	fmt.Printf("segment service on %s, elevation service on %s\n", parts[0], parts[1])
+	if shardCnt > 0 {
+		fmt.Printf("shard %d/%d: segment service on %s, elevation service on %s\n",
+			shardIdx, shardCnt, parts[0], parts[1])
+	} else {
+		fmt.Printf("segment service on %s, elevation service on %s\n", parts[0], parts[1])
+	}
 	return <-errc
 }

@@ -1,0 +1,449 @@
+// Command servebench measures the sharded serving tier's hot paths and
+// writes BENCH_serving.json: warm-cache hot-tile lookups against an
+// uncached single-shard mirror (the LRU+singleflight payoff), warm
+// elevation-profile repeats against a cache-disabled server, and a full
+// mining sweep against a 4-shard consistent-hash tier versus a single
+// endpoint — with a byte-identity check against the serial single-endpoint
+// baseline, per-endpoint balance from the pool stats, and the serving-cache
+// hit rate off the process metrics registry.
+//
+// Usage:
+//
+//	servebench                     # laptop-scale run
+//	servebench -quick              # smoke-scale run (CI)
+//	servebench -out BENCH_serving.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"elevprivacy/internal/dem"
+	"elevprivacy/internal/durable"
+	"elevprivacy/internal/elevsvc"
+	"elevprivacy/internal/geo"
+	"elevprivacy/internal/httpx"
+	"elevprivacy/internal/obs"
+	"elevprivacy/internal/segments"
+	"elevprivacy/internal/terrain"
+)
+
+// benchConfig records the workload knobs the numbers were measured at.
+type benchConfig struct {
+	Quick    bool  `json:"quick"`
+	TileSize int   `json:"tile_size"`
+	Segments int   `json:"segments"`
+	Grid     int   `json:"grid"`
+	Samples  int   `json:"samples"`
+	Shards   int   `json:"shards"`
+	Seed     int64 `json:"seed"`
+}
+
+// tileReport compares hot-tile fetch latency: an uncached mirror rasterizes
+// the tile on every request, a warm mirror serves it from the LRU.
+type tileReport struct {
+	UncachedNsPerFetch float64 `json:"uncached_ns_per_fetch"`
+	WarmNsPerFetch     float64 `json:"warm_ns_per_fetch"`
+	Speedup            float64 `json:"speedup"`
+	// MeetsFiveX is the acceptance bound: warm hot-tile lookups at least 5x
+	// faster than the uncached single-shard path.
+	MeetsFiveX bool `json:"meets_5x"`
+}
+
+// profileReport compares repeated identical elevation-profile queries with
+// and without the server-side profile cache.
+type profileReport struct {
+	UncachedNsPerQuery float64 `json:"uncached_ns_per_query"`
+	WarmNsPerQuery     float64 `json:"warm_ns_per_query"`
+	Speedup            float64 `json:"speedup"`
+}
+
+// sweepReport compares mining-sweep wall time against a single endpoint and
+// a 4-shard pooled tier, cold and warm, and records the correctness and
+// balance evidence.
+type sweepReport struct {
+	SingleShardMs float64 `json:"single_shard_ms"`
+	PooledColdMs  float64 `json:"pooled_cold_ms"`
+	PooledWarmMs  float64 `json:"pooled_warm_ms"`
+	WarmSpeedup   float64 `json:"warm_speedup"` // single-shard cold / pooled warm
+	// ByteIdentical reports whether every sweep (single-shard, pooled cold,
+	// pooled warm) reproduced the serial single-endpoint baseline exactly.
+	ByteIdentical bool `json:"byte_identical"`
+	// SegmentRequests / ElevationRequests are per-endpoint request counts
+	// from the pool stats; BalanceRatio is max/min over the elevation tier.
+	SegmentRequests   []int64 `json:"segment_requests"`
+	ElevationRequests []int64 `json:"elevation_requests"`
+	BalanceRatio      float64 `json:"balance_ratio"`
+	// ProfileCacheHitRate is hits/(hits+misses) on the elev_profiles serving
+	// cache across the two pooled sweeps.
+	ProfileCacheHitRate float64 `json:"profile_cache_hit_rate"`
+}
+
+// report is the BENCH_serving.json schema.
+type report struct {
+	Config   benchConfig   `json:"config"`
+	Tiles    tileReport    `json:"tiles"`
+	Profiles profileReport `json:"profiles"`
+	Sweep    sweepReport   `json:"sweep"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "servebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		quick = flag.Bool("quick", false, "smoke-scale run (seconds; used by CI)")
+		out   = flag.String("out", "BENCH_serving.json", "write the JSON report to this path")
+		seed  = flag.Int64("seed", 11, "random seed for the synthetic workload")
+	)
+	flag.Parse()
+
+	cfg := benchConfig{
+		Quick:    *quick,
+		TileSize: 401,
+		Segments: 120,
+		Grid:     8,
+		Samples:  100,
+		Shards:   4,
+		Seed:     *seed,
+	}
+	if *quick {
+		cfg.TileSize, cfg.Segments, cfg.Grid, cfg.Samples = 151, 40, 4, 30
+	}
+
+	rep := report{Config: cfg}
+	var err error
+	if rep.Tiles, err = benchTiles(cfg); err != nil {
+		return err
+	}
+	fmt.Printf("tiles:    uncached %.0f ns/fetch, warm %.0f ns/fetch -> %.1fx (meets 5x: %v)\n",
+		rep.Tiles.UncachedNsPerFetch, rep.Tiles.WarmNsPerFetch, rep.Tiles.Speedup, rep.Tiles.MeetsFiveX)
+
+	if rep.Profiles, err = benchProfiles(cfg); err != nil {
+		return err
+	}
+	fmt.Printf("profiles: uncached %.0f ns/query, warm %.0f ns/query -> %.1fx\n",
+		rep.Profiles.UncachedNsPerQuery, rep.Profiles.WarmNsPerQuery, rep.Profiles.Speedup)
+
+	if rep.Sweep, err = benchSweep(cfg); err != nil {
+		return err
+	}
+	fmt.Printf("sweep:    single-shard %.0f ms, pooled cold %.0f ms, pooled warm %.0f ms (identical: %v, balance %.2fx, hit rate %.2f)\n",
+		rep.Sweep.SingleShardMs, rep.Sweep.PooledColdMs, rep.Sweep.PooledWarmMs,
+		rep.Sweep.ByteIdentical, rep.Sweep.BalanceRatio, rep.Sweep.ProfileCacheHitRate)
+
+	blob, err := json.MarshalIndent(rep, "", " ")
+	if err != nil {
+		return err
+	}
+	err = durable.WriteFileAtomic(*out, 0o644, func(w io.Writer) error {
+		_, werr := w.Write(append(blob, '\n'))
+		return werr
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+// benchTiles measures hot-tile fetch latency against an uncached mirror
+// (1-byte budget: every request rasterizes) and a warm default-budget one.
+// The mirror fronts the WDC synthetic terrain — the fBm noise field the
+// whole pipeline serves — so the rasterize cost the cache saves is the real
+// per-sample evaluation, not a toy ramp.
+func benchTiles(cfg benchConfig) (tileReport, error) {
+	const stem = "N38W078"
+	wdc, err := terrain.CityByName(terrain.World(), "WDC")
+	if err != nil {
+		return tileReport{}, err
+	}
+	tr, err := wdc.Terrain()
+	if err != nil {
+		return tileReport{}, err
+	}
+	ctx := context.Background()
+
+	fetchNs := func(opts ...dem.TileServerOption) (float64, error) {
+		ts, err := dem.NewTileServer(tr, cfg.TileSize, opts...)
+		if err != nil {
+			return 0, err
+		}
+		srv, url, err := spawn(ts.Handler())
+		if err != nil {
+			return 0, err
+		}
+		defer srv.Close()
+		client := dem.NewTileClient(url, nil)
+		// One fetch outside the timer: warms the cache when there is one,
+		// and pays connection setup either way.
+		if _, err := client.FetchTile(ctx, stem); err != nil {
+			return 0, err
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := client.FetchTile(ctx, stem); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return float64(res.NsPerOp()), nil
+	}
+
+	uncached, err := fetchNs(dem.WithTileCacheBytes(1))
+	if err != nil {
+		return tileReport{}, err
+	}
+	warm, err := fetchNs()
+	if err != nil {
+		return tileReport{}, err
+	}
+	speedup := uncached / warm
+	return tileReport{
+		UncachedNsPerFetch: uncached,
+		WarmNsPerFetch:     warm,
+		Speedup:            speedup,
+		MeetsFiveX:         speedup >= 5,
+	}, nil
+}
+
+// benchProfiles measures one repeated elevation-profile query against a
+// cache-disabled server and a warm default one.
+func benchProfiles(cfg benchConfig) (profileReport, error) {
+	wdc, err := terrain.CityByName(terrain.World(), "WDC")
+	if err != nil {
+		return profileReport{}, err
+	}
+	tr, err := wdc.Terrain()
+	if err != nil {
+		return profileReport{}, err
+	}
+	path := geo.Path{
+		{Lat: 38.85, Lng: -77.12},
+		{Lat: 38.92, Lng: -77.03},
+		{Lat: 38.96, Lng: -76.95},
+	}
+	ctx := context.Background()
+
+	queryNs := func(opts ...elevsvc.Option) (float64, error) {
+		srv, url, err := spawn(elevsvc.NewServer(tr, opts...).Handler())
+		if err != nil {
+			return 0, err
+		}
+		defer srv.Close()
+		client := elevsvc.NewClient(url, httpx.NewClient(nil))
+		if _, err := client.ElevationAlongPath(ctx, path, cfg.Samples); err != nil {
+			return 0, err
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := client.ElevationAlongPath(ctx, path, cfg.Samples); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return float64(res.NsPerOp()), nil
+	}
+
+	uncached, err := queryNs(elevsvc.WithProfileCacheBytes(0))
+	if err != nil {
+		return profileReport{}, err
+	}
+	warm, err := queryNs()
+	if err != nil {
+		return profileReport{}, err
+	}
+	return profileReport{
+		UncachedNsPerQuery: uncached,
+		WarmNsPerQuery:     warm,
+		Speedup:            uncached / warm,
+	}, nil
+}
+
+// benchSweep times a full mining sweep against one endpoint per service and
+// against a 4-shard pooled tier (cold, then warm), checking every variant's
+// output against the serial single-endpoint baseline.
+func benchSweep(cfg benchConfig) (sweepReport, error) {
+	wdc, err := terrain.CityByName(terrain.World(), "WDC")
+	if err != nil {
+		return sweepReport{}, err
+	}
+	tr, err := wdc.Terrain()
+	if err != nil {
+		return sweepReport{}, err
+	}
+	store := segments.NewStore()
+	err = store.Populate(wdc.Bounds, cfg.Segments, wdc.Abbrev, segments.DefaultPopulateConfig(),
+		rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return sweepReport{}, err
+	}
+	ctx := context.Background()
+
+	newMiner := func(seg *segments.Client, elev *elevsvc.Client, workers int) *segments.Miner {
+		m := segments.NewMiner(seg, elev)
+		m.GridRows, m.GridCols = cfg.Grid, cfg.Grid
+		m.Samples = cfg.Samples
+		m.Workers = workers
+		return m
+	}
+
+	// Serial single-endpoint baseline: the ground truth every variant must
+	// reproduce byte for byte.
+	segSrv, segURL, err := spawn(segments.NewServer(store).Handler())
+	if err != nil {
+		return sweepReport{}, err
+	}
+	defer segSrv.Close()
+	elevSrv, elevURL, err := spawn(elevsvc.NewServer(tr).Handler())
+	if err != nil {
+		return sweepReport{}, err
+	}
+	defer elevSrv.Close()
+
+	serial := newMiner(
+		segments.NewClient(segURL, httpx.NewClient(nil)),
+		elevsvc.NewClient(elevURL, httpx.NewClient(nil)), 1)
+	want, err := serial.MineBoundary(ctx, wdc.Name, wdc.Bounds)
+	if err != nil {
+		return sweepReport{}, err
+	}
+	if len(want) == 0 {
+		return sweepReport{}, fmt.Errorf("baseline sweep mined nothing")
+	}
+
+	// Single-shard concurrent sweep against fresh servers (cold caches).
+	segSrv2, segURL2, err := spawn(segments.NewServer(store).Handler())
+	if err != nil {
+		return sweepReport{}, err
+	}
+	defer segSrv2.Close()
+	elevSrv2, elevURL2, err := spawn(elevsvc.NewServer(tr).Handler())
+	if err != nil {
+		return sweepReport{}, err
+	}
+	defer elevSrv2.Close()
+	single := newMiner(
+		segments.NewClient(segURL2, httpx.NewClient(nil)),
+		elevsvc.NewClient(elevURL2, httpx.NewClient(nil)), segments.DefaultWorkers)
+	start := time.Now()
+	got, err := single.MineBoundary(ctx, wdc.Name, wdc.Bounds)
+	if err != nil {
+		return sweepReport{}, err
+	}
+	singleMs := float64(time.Since(start).Microseconds()) / 1e3
+	identical := reflect.DeepEqual(want, got)
+
+	// 4-shard pooled tier: full replicas behind consistent-hash pools.
+	var segURLs, elevURLs []string
+	for i := 0; i < cfg.Shards; i++ {
+		s1, u1, err := spawn(segments.NewServer(store, segments.WithShard(i, cfg.Shards)).Handler())
+		if err != nil {
+			return sweepReport{}, err
+		}
+		defer s1.Close()
+		s2, u2, err := spawn(elevsvc.NewServer(tr, elevsvc.WithShard(i, cfg.Shards)).Handler())
+		if err != nil {
+			return sweepReport{}, err
+		}
+		defer s2.Close()
+		segURLs, elevURLs = append(segURLs, u1), append(elevURLs, u2)
+	}
+	segPool, err := httpx.NewPool(segURLs, httpx.WithPoolMetrics("segments"))
+	if err != nil {
+		return sweepReport{}, err
+	}
+	defer segPool.Close()
+	elevPool, err := httpx.NewPool(elevURLs, httpx.WithPoolMetrics("elevation"))
+	if err != nil {
+		return sweepReport{}, err
+	}
+	defer elevPool.Close()
+	pooled := newMiner(segments.NewPoolClient(segPool), elevsvc.NewPoolClient(elevPool), segments.DefaultWorkers)
+
+	hits := obs.GetCounter(`elevpriv_serving_cache_hits_total{cache="elev_profiles"}`)
+	misses := obs.GetCounter(`elevpriv_serving_cache_misses_total{cache="elev_profiles"}`)
+	hits0, misses0 := hits.Value(), misses.Value()
+
+	start = time.Now()
+	got, err = pooled.MineBoundary(ctx, wdc.Name, wdc.Bounds)
+	if err != nil {
+		return sweepReport{}, err
+	}
+	coldMs := float64(time.Since(start).Microseconds()) / 1e3
+	identical = identical && reflect.DeepEqual(want, got)
+
+	start = time.Now()
+	got, err = pooled.MineBoundary(ctx, wdc.Name, wdc.Bounds)
+	if err != nil {
+		return sweepReport{}, err
+	}
+	warmMs := float64(time.Since(start).Microseconds()) / 1e3
+	identical = identical && reflect.DeepEqual(want, got)
+
+	dh, dm := hits.Value()-hits0, misses.Value()-misses0
+	hitRate := 0.0
+	if dh+dm > 0 {
+		hitRate = float64(dh) / float64(dh+dm)
+	}
+
+	segReqs, _ := requestCounts(segPool)
+	elevReqs, ratio := requestCounts(elevPool)
+	return sweepReport{
+		SingleShardMs:       singleMs,
+		PooledColdMs:        coldMs,
+		PooledWarmMs:        warmMs,
+		WarmSpeedup:         singleMs / warmMs,
+		ByteIdentical:       identical,
+		SegmentRequests:     segReqs,
+		ElevationRequests:   elevReqs,
+		BalanceRatio:        ratio,
+		ProfileCacheHitRate: hitRate,
+	}, nil
+}
+
+// requestCounts extracts per-endpoint request counts and the max/min ratio.
+func requestCounts(pool *httpx.Pool) ([]int64, float64) {
+	stats := pool.Stats()
+	out := make([]int64, len(stats))
+	lo, hi := int64(-1), int64(0)
+	for i, s := range stats {
+		out[i] = s.Requests
+		if lo < 0 || s.Requests < lo {
+			lo = s.Requests
+		}
+		if s.Requests > hi {
+			hi = s.Requests
+		}
+	}
+	if lo <= 0 {
+		return out, 0
+	}
+	return out, float64(hi) / float64(lo)
+}
+
+// spawn serves handler on a fresh loopback listener, returning the server
+// for shutdown and its base URL.
+func spawn(handler http.Handler) (*http.Server, string, error) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(lis) }()
+	return srv, "http://" + lis.Addr().String(), nil
+}

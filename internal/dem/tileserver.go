@@ -7,18 +7,20 @@ import (
 	"math"
 	"net/http"
 	"strings"
-	"sync"
 	"time"
 
 	"elevprivacy/internal/geo"
 	"elevprivacy/internal/httpx"
 	"elevprivacy/internal/obs"
+	"elevprivacy/internal/serving"
 )
 
 // TileServer serves SRTM .hgt tiles over HTTP, the way public SRTM mirrors
 // distribute elevation data: GET /tiles/N38W078.hgt returns the raw
 // big-endian payload. Tiles are rasterized on demand from any Source and
-// cached.
+// held in a size-bounded LRU with singleflight dedup, so a thundering herd
+// on a cold tile rasterizes it once and a shard's cache stays inside its
+// memory budget no matter how many tiles a sweep touches.
 type TileServer struct {
 	source      Source
 	size        int
@@ -26,9 +28,11 @@ type TileServer struct {
 	maxInFlight int
 	reqTimeout  time.Duration
 	pprof       bool
+	cacheBytes  int64
+	shardIndex  int
+	shardCount  int
 
-	mu    sync.Mutex
-	cache map[string][]byte
+	cache *serving.Cache
 }
 
 // TileServerOption configures a TileServer.
@@ -58,6 +62,19 @@ func WithTileRequestTimeout(d time.Duration) TileServerOption {
 	return func(s *TileServer) { s.reqTimeout = d }
 }
 
+// WithTileCacheBytes overrides the tile cache budget (default 256 MiB —
+// ~10 full SRTM3 tiles). The cache never exceeds the budget; cold tiles
+// evict the least recently served ones.
+func WithTileCacheBytes(n int64) TileServerOption {
+	return func(s *TileServer) { s.cacheBytes = n }
+}
+
+// WithTileShard tags this instance as shard index of count in a sharded
+// tier; /healthz and /metrics report the identity.
+func WithTileShard(index, count int) TileServerOption {
+	return func(s *TileServer) { s.shardIndex, s.shardCount = index, count }
+}
+
 // NewTileServer creates a server rasterizing size×size tiles from source.
 // Use SRTM3Size for realistic tiles or a smaller size for tests.
 func NewTileServer(source Source, size int, opts ...TileServerOption) (*TileServer, error) {
@@ -70,11 +87,12 @@ func NewTileServer(source Source, size int, opts ...TileServerOption) (*TileServ
 		logf:        func(format string, args ...any) { obs.DefaultLogger().Errorf(format, args...) },
 		maxInFlight: 64,
 		reqTimeout:  30 * time.Second,
-		cache:       map[string][]byte{},
+		cacheBytes:  256 << 20,
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	s.cache = serving.NewCache(s.cacheBytes, serving.WithCacheMetrics("dem_tiles"))
 	return s, nil
 }
 
@@ -93,7 +111,9 @@ func (s *TileServer) Handler() http.Handler {
 			RequestTimeout: s.reqTimeout,
 			Logf:           s.logf,
 		},
-		Pprof: s.pprof,
+		Pprof:      s.pprof,
+		ShardIndex: s.shardIndex,
+		ShardCount: s.shardCount,
 	})
 }
 
@@ -123,59 +143,82 @@ func (s *TileServer) handleTile(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// tileBytes rasterizes (or recalls) the named tile's .hgt payload.
+// tileBytes rasterizes (or recalls) the named tile's .hgt payload. The LRU
+// cache runs the rasterize at most once per cold key across concurrent
+// requests.
 func (s *TileServer) tileBytes(stem string, swLat, swLng int) ([]byte, error) {
-	s.mu.Lock()
-	payload, ok := s.cache[stem]
-	s.mu.Unlock()
-	if ok {
-		return payload, nil
-	}
-
-	tile, err := NewTile(swLat, swLng, s.size)
-	if err != nil {
-		return nil, err
-	}
-	var sampled int
-	tile.Fill(func(lat, lng float64) float64 {
-		e, err := s.source.ElevationAt(geo.LatLng{Lat: lat, Lng: lng})
+	payload, _, err := s.cache.Get(stem, func() ([]byte, error) {
+		tile, err := NewTile(swLat, swLng, s.size)
 		if err != nil {
-			return float64(Void)
+			return nil, err
 		}
-		sampled++
-		return e
+		var sampled int
+		tile.Fill(func(lat, lng float64) float64 {
+			e, err := s.source.ElevationAt(geo.LatLng{Lat: lat, Lng: lng})
+			if err != nil {
+				return float64(Void)
+			}
+			sampled++
+			return e
+		})
+		if sampled == 0 {
+			return nil, fmt.Errorf("dem: tile %s entirely outside source coverage", stem)
+		}
+
+		var sb strings.Builder
+		sb.Grow(2 * s.size * s.size)
+		if err := tile.WriteHGT(&sb); err != nil {
+			return nil, err
+		}
+		return []byte(sb.String()), nil
 	})
-	if sampled == 0 {
-		return nil, fmt.Errorf("dem: tile %s entirely outside source coverage", stem)
-	}
-
-	var sb strings.Builder
-	sb.Grow(2 * s.size * s.size)
-	if err := tile.WriteHGT(&sb); err != nil {
-		return nil, err
-	}
-	payload = []byte(sb.String())
-
-	s.mu.Lock()
-	s.cache[stem] = payload
-	s.mu.Unlock()
-	return payload, nil
+	return payload, err
 }
 
-// FetchTile downloads and parses one tile from an SRTM-style mirror.
-func FetchTile(ctx context.Context, httpc *http.Client, baseURL, stem string) (*Tile, error) {
+// TileClient downloads tiles from an SRTM-style mirror — a single instance
+// (NewTileClient) or a sharded mirror tier behind an endpoint pool
+// (NewTileClientPool), where each tile routes by consistent hash on its stem
+// so one shard's LRU owns it.
+type TileClient struct {
+	baseURL string
+	httpc   *http.Client
+	pool    *httpx.Pool
+}
+
+// NewTileClient creates a client for the mirror at baseURL (trailing
+// slashes are normalized away). nil httpc falls back to
+// http.DefaultClient.
+func NewTileClient(baseURL string, httpc *http.Client) *TileClient {
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	return &TileClient{baseURL: httpx.NormalizeBaseURL(baseURL), httpc: httpc}
+}
+
+// NewTileClientPool creates a client issuing requests through a
+// multi-endpoint pool, which owns retries, failover, and circuit breaking.
+func NewTileClientPool(pool *httpx.Pool) *TileClient {
+	return &TileClient{pool: pool}
+}
+
+// FetchTile downloads and parses one tile by stem name.
+func (c *TileClient) FetchTile(ctx context.Context, stem string) (*Tile, error) {
 	swLat, swLng, err := ParseTileName(stem)
 	if err != nil {
 		return nil, err
 	}
-	if httpc == nil {
-		httpc = http.DefaultClient
+	pathAndQuery := "/tiles/" + stem + ".hgt"
+	var resp *http.Response
+	if c.pool != nil {
+		resp, err = c.pool.Get(ctx, httpx.HashKey(stem), pathAndQuery)
+	} else {
+		var req *http.Request
+		req, err = http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+pathAndQuery, nil)
+		if err != nil {
+			return nil, fmt.Errorf("dem: building request: %w", err)
+		}
+		resp, err = c.httpc.Do(req)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/tiles/"+stem+".hgt", nil)
-	if err != nil {
-		return nil, fmt.Errorf("dem: building request: %w", err)
-	}
-	resp, err := httpc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("dem: fetching %s: %w", stem, err)
 	}
@@ -196,7 +239,7 @@ func FetchTile(ctx context.Context, httpc *http.Client, baseURL, stem string) (*
 // FetchMosaic downloads every 1°×1° tile overlapping bounds and assembles
 // them into a Mosaic — the standard workflow for building an elevation
 // model of a study area from an SRTM mirror.
-func FetchMosaic(ctx context.Context, httpc *http.Client, baseURL string, bounds geo.BBox) (*Mosaic, error) {
+func (c *TileClient) FetchMosaic(ctx context.Context, bounds geo.BBox) (*Mosaic, error) {
 	if !bounds.Valid() {
 		return nil, fmt.Errorf("dem: invalid bounds %v", bounds)
 	}
@@ -208,7 +251,7 @@ func FetchMosaic(ctx context.Context, httpc *http.Client, baseURL string, bounds
 	for lat := latLo; lat <= latHi; lat++ {
 		for lng := lngLo; lng <= lngHi; lng++ {
 			stub := &Tile{SWLat: lat, SWLng: lng}
-			tile, err := FetchTile(ctx, httpc, baseURL, stub.Name())
+			tile, err := c.FetchTile(ctx, stub.Name())
 			if err != nil {
 				return nil, err
 			}
@@ -216,4 +259,16 @@ func FetchMosaic(ctx context.Context, httpc *http.Client, baseURL string, bounds
 		}
 	}
 	return m, nil
+}
+
+// FetchTile downloads and parses one tile from a single-instance mirror.
+// Kept for callers that don't need pooling; see TileClient.
+func FetchTile(ctx context.Context, httpc *http.Client, baseURL, stem string) (*Tile, error) {
+	return NewTileClient(baseURL, httpc).FetchTile(ctx, stem)
+}
+
+// FetchMosaic downloads every tile overlapping bounds from a
+// single-instance mirror; see TileClient.FetchMosaic.
+func FetchMosaic(ctx context.Context, httpc *http.Client, baseURL string, bounds geo.BBox) (*Mosaic, error) {
+	return NewTileClient(baseURL, httpc).FetchMosaic(ctx, bounds)
 }

@@ -18,9 +18,9 @@ func (rampSource) ElevationAt(p geo.LatLng) (float64, error) {
 	return 100 + 50*p.Lat + 10*p.Lng, nil
 }
 
-func newTileMirror(t *testing.T, size int) (*httptest.Server, *TileServer) {
+func newTileMirror(t *testing.T, size int, opts ...TileServerOption) (*httptest.Server, *TileServer) {
 	t.Helper()
-	ts, err := NewTileServer(rampSource{}, size, WithTileLogf(t.Logf))
+	ts, err := NewTileServer(rampSource{}, size, append([]TileServerOption{WithTileLogf(t.Logf)}, opts...)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,11 +73,27 @@ func TestTileServerCaches(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	ts.mu.Lock()
-	cached := len(ts.cache)
-	ts.mu.Unlock()
-	if cached != 1 {
+	if cached := ts.cache.Len(); cached != 1 {
 		t.Errorf("cache holds %d tiles, want 1", cached)
+	}
+	if !ts.cache.Peek("N10E020") {
+		t.Error("fetched tile not resident under its stem")
+	}
+}
+
+func TestTileServerCacheEviction(t *testing.T) {
+	// A budget of ~1.5 tiles (31×31×2 bytes each) keeps only the most
+	// recently served tile resident.
+	size := 31
+	srv, ts := newTileMirror(t, size, WithTileCacheBytes(int64(3*size*size)))
+	for _, stem := range []string{"N38W078", "N39W078"} {
+		if _, err := FetchTile(context.Background(), srv.Client(), srv.URL, stem); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ts.cache.Peek("N38W078") || !ts.cache.Peek("N39W078") {
+		t.Errorf("residency N38W078=%v N39W078=%v, want newest only",
+			ts.cache.Peek("N38W078"), ts.cache.Peek("N39W078"))
 	}
 }
 
@@ -179,6 +195,20 @@ func TestTileMirrorFeedsElevationChain(t *testing.T) {
 		if samples[i]+1 < samples[i-1] {
 			t.Errorf("sample %d decreased: %f -> %f", i, samples[i-1], samples[i])
 		}
+	}
+}
+
+// TestTileClientNormalizesTrailingSlash pins the base-URL fix: a configured
+// mirror address with trailing slashes must not produce "//" request paths.
+func TestTileClientNormalizesTrailingSlash(t *testing.T) {
+	srv, _ := newTileMirror(t, 21)
+	c := NewTileClient(srv.URL+"///", srv.Client())
+	tile, err := c.FetchTile(context.Background(), "N38W078")
+	if err != nil {
+		t.Fatalf("fetch through slashed base URL: %v", err)
+	}
+	if tile.SWLat != 38 || tile.SWLng != -78 {
+		t.Fatalf("corner = (%d,%d)", tile.SWLat, tile.SWLng)
 	}
 }
 

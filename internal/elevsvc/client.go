@@ -17,22 +17,34 @@ import (
 
 // Client queries an elevation service over HTTP. It implements the same
 // call shape the paper used against the Google Maps Elevation API: a path
-// plus a sample count, answered with evenly spaced elevations.
+// plus a sample count, answered with evenly spaced elevations. A Client
+// speaks either to a single instance (NewClient) or to a sharded tier
+// behind an endpoint pool (NewPoolClient), where requests route by
+// consistent hash on the polyline so each shard's profile cache owns a
+// stable slice of the paths.
 type Client struct {
 	baseURL string
 	httpc   httpx.Doer
+	pool    *httpx.Pool
 }
 
-// NewClient creates a client for the service at baseURL (no trailing slash
-// required). httpc may be a bare *http.Client or an httpx.Client carrying
-// retries and rate limits; nil gets a default httpx.Client with per-attempt
-// timeouts and bounded retries, so a hung server can never block a sweep
-// forever.
+// NewClient creates a client for the service at baseURL (trailing slashes
+// are normalized away). httpc may be a bare *http.Client or an httpx.Client
+// carrying retries and rate limits; nil gets a default httpx.Client with
+// per-attempt timeouts and bounded retries, so a hung server can never
+// block a sweep forever.
 func NewClient(baseURL string, httpc httpx.Doer) *Client {
 	if httpc == nil {
 		httpc = httpx.NewClient(nil)
 	}
-	return &Client{baseURL: baseURL, httpc: httpc}
+	return &Client{baseURL: httpx.NormalizeBaseURL(baseURL), httpc: httpc}
+}
+
+// NewPoolClient creates a client issuing requests through a multi-endpoint
+// pool. The pool owns retries, failover, and circuit breaking — do not hand
+// it a transport that retries internally.
+func NewPoolClient(pool *httpx.Pool) *Client {
+	return &Client{pool: pool}
 }
 
 // APIError is a non-OK service response.
@@ -59,10 +71,13 @@ func (c *Client) ElevationAlongPath(ctx context.Context, path geo.Path, samples 
 		return nil, fmt.Errorf("elevsvc: samples %d outside [2,%d]", samples, MaxSamples)
 	}
 
+	encoded := geo.EncodePolyline(path)
 	q := url.Values{}
-	q.Set("path", geo.EncodePolyline(path))
+	q.Set("path", encoded)
 	q.Set("samples", strconv.Itoa(samples))
-	resp, err := c.get(ctx, "/v1/elevation/path", q)
+	// Shard by polyline (not polyline+samples) so every profile of one
+	// segment warms the same shard's cache.
+	resp, err := c.get(ctx, "/v1/elevation/path", q, encoded)
 	if err != nil {
 		return nil, err
 	}
@@ -82,7 +97,7 @@ func (c *Client) ElevationAt(ctx context.Context, p geo.LatLng) (float64, error)
 	q := url.Values{}
 	q.Set("lat", strconv.FormatFloat(p.Lat, 'f', -1, 64))
 	q.Set("lng", strconv.FormatFloat(p.Lng, 'f', -1, 64))
-	resp, err := c.get(ctx, "/v1/elevation/point", q)
+	resp, err := c.get(ctx, "/v1/elevation/point", q, q.Encode())
 	if err != nil {
 		return 0, err
 	}
@@ -93,14 +108,10 @@ func (c *Client) ElevationAt(ctx context.Context, p geo.LatLng) (float64, error)
 }
 
 // get performs the request and decodes the envelope, mapping non-OK
-// statuses to *APIError.
-func (c *Client) get(ctx context.Context, endpoint string, q url.Values) (*Response, error) {
-	u := c.baseURL + endpoint + "?" + q.Encode()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
-	if err != nil {
-		return nil, fmt.Errorf("elevsvc: building request: %w", err)
-	}
-	httpResp, err := c.httpc.Do(req)
+// statuses to *APIError. key is the request's shard identity: pool-backed
+// clients hash it to pick the endpoint, single-endpoint clients ignore it.
+func (c *Client) get(ctx context.Context, endpoint string, q url.Values, key string) (*Response, error) {
+	httpResp, err := c.issue(ctx, endpoint+"?"+q.Encode(), key)
 	if err != nil {
 		return nil, fmt.Errorf("elevsvc: request failed: %w", err)
 	}
@@ -129,6 +140,19 @@ func (c *Client) get(ctx context.Context, endpoint string, q url.Values) (*Respo
 		return nil, &APIError{Status: resp.Status, Message: resp.ErrorMessage, HTTPCode: httpResp.StatusCode}
 	}
 	return &resp, nil
+}
+
+// issue sends the GET through the pool (hashing key for shard affinity) or
+// the single-endpoint transport.
+func (c *Client) issue(ctx context.Context, pathAndQuery, key string) (*http.Response, error) {
+	if c.pool != nil {
+		return c.pool.Get(ctx, httpx.HashKey(key), pathAndQuery)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+pathAndQuery, nil)
+	if err != nil {
+		return nil, fmt.Errorf("building request: %w", err)
+	}
+	return c.httpc.Do(req)
 }
 
 // jsonBody reports whether the response declares a JSON media type.

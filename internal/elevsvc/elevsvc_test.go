@@ -1,14 +1,17 @@
 package elevsvc
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"elevprivacy/internal/dem"
@@ -266,5 +269,90 @@ func TestResponseEnvelopeShape(t *testing.T) {
 	// Locations are echoed back.
 	if math.Abs(body.Results[0].Location.Lat-1) > 1e-4 {
 		t.Errorf("first location = %+v", body.Results[0].Location)
+	}
+}
+
+// countingSource counts ElevationAt calls over testSource.
+type countingSource struct {
+	calls atomic.Int64
+}
+
+func (c *countingSource) ElevationAt(p geo.LatLng) (float64, error) {
+	c.calls.Add(1)
+	return testSource{}.ElevationAt(p)
+}
+
+func TestProfileCacheServesRepeatsWithoutResampling(t *testing.T) {
+	src := &countingSource{}
+	srv := httptest.NewServer(NewServer(src, WithLogf(t.Logf)).Handler())
+	t.Cleanup(srv.Close)
+
+	q := "/v1/elevation/path?path=" + url.QueryEscape(geo.EncodePolyline(geo.Path{{Lat: 10, Lng: 0}, {Lat: 20, Lng: 0}})) + "&samples=5"
+	get := func() []byte {
+		t.Helper()
+		resp, err := http.Get(srv.URL + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	first := get()
+	callsAfterFirst := src.calls.Load()
+	second := get()
+	if src.calls.Load() != callsAfterFirst {
+		t.Errorf("repeat query re-sampled the source (%d -> %d calls)",
+			callsAfterFirst, src.calls.Load())
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("cached response differs from fresh one:\n%s\nvs\n%s", first, second)
+	}
+}
+
+func TestProfileCacheSkipsNonOK(t *testing.T) {
+	// Out-of-coverage answers (DATA_NOT_AVAILABLE) must not be cached; every
+	// request reaches the source again.
+	src := &countingSource{}
+	srv := httptest.NewServer(NewServer(src, WithLogf(t.Logf)).Handler())
+	t.Cleanup(srv.Close)
+
+	q := "/v1/elevation/path?path=" + url.QueryEscape(geo.EncodePolyline(geo.Path{{Lat: 85, Lng: 0}, {Lat: 86, Lng: 0}})) + "&samples=2"
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(srv.URL + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env Response
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if env.Status != "DATA_NOT_AVAILABLE" {
+			t.Fatalf("status %q, want DATA_NOT_AVAILABLE", env.Status)
+		}
+	}
+	if src.calls.Load() < 2 {
+		t.Errorf("source saw %d calls, want >=2 (non-OK must not be cached)", src.calls.Load())
+	}
+}
+
+// TestClientNormalizesTrailingSlash pins the base-URL fix: a configured
+// address like "http://host:port/" used to produce "//v1/..." request paths
+// that miss the mux routes entirely.
+func TestClientNormalizesTrailingSlash(t *testing.T) {
+	srv := httptest.NewServer(NewServer(testSource{}, WithLogf(t.Logf)).Handler())
+	t.Cleanup(srv.Close)
+	client := NewClient(srv.URL+"/", srv.Client())
+
+	if _, err := client.ElevationAt(context.Background(), geo.LatLng{Lat: 10, Lng: 10}); err != nil {
+		t.Fatalf("point query through slash-suffixed base URL: %v", err)
 	}
 }

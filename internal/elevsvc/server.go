@@ -17,9 +17,10 @@ import (
 	"time"
 
 	"elevprivacy/internal/dem"
-	"elevprivacy/internal/obs"
 	"elevprivacy/internal/geo"
 	"elevprivacy/internal/httpx"
+	"elevprivacy/internal/obs"
+	"elevprivacy/internal/serving"
 )
 
 // MaxSamples bounds a single path request, mirroring the real API's limit.
@@ -53,13 +54,22 @@ const DefaultMaxInFlight = 256
 // DefaultRequestTimeout bounds one request's handling.
 const DefaultRequestTimeout = 15 * time.Second
 
-// Server serves elevation queries from a dem.Source.
+// Server serves elevation queries from a dem.Source. Successful path
+// profiles are cached by (polyline, samples) in a size-bounded LRU with
+// singleflight dedup: a profile is a pure function of its query, so when the
+// sharded client pins a polyline's requests to one shard, repeats cost a
+// memory read instead of a resample loop.
 type Server struct {
 	source      dem.Source
 	logf        func(format string, args ...any)
 	maxInFlight int
 	reqTimeout  time.Duration
 	pprof       bool
+	cacheBytes  int64
+	shardIndex  int
+	shardCount  int
+
+	cache *serving.Cache
 }
 
 // Option configures a Server.
@@ -86,6 +96,18 @@ func WithPprof(enabled bool) Option {
 	return func(s *Server) { s.pprof = enabled }
 }
 
+// WithProfileCacheBytes overrides the path-profile cache budget (default
+// 64 MiB); 0 disables the cache entirely.
+func WithProfileCacheBytes(n int64) Option {
+	return func(s *Server) { s.cacheBytes = n }
+}
+
+// WithShard tags this instance as shard index of count in a sharded tier;
+// /healthz and /metrics report the identity.
+func WithShard(index, count int) Option {
+	return func(s *Server) { s.shardIndex, s.shardCount = index, count }
+}
+
 // obsErrorf is the default logf: error-level lines on the process obs
 // logger, resolved per call so SetDefaultLogger takes effect everywhere.
 func obsErrorf(format string, args ...any) {
@@ -99,9 +121,13 @@ func NewServer(source dem.Source, opts ...Option) *Server {
 		logf:        obsErrorf,
 		maxInFlight: DefaultMaxInFlight,
 		reqTimeout:  DefaultRequestTimeout,
+		cacheBytes:  64 << 20,
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	if s.cacheBytes > 0 {
+		s.cache = serving.NewCache(s.cacheBytes, serving.WithCacheMetrics("elev_profiles"))
 	}
 	return s
 }
@@ -123,7 +149,9 @@ func (s *Server) Handler() http.Handler {
 			RequestTimeout: s.reqTimeout,
 			Logf:           s.logf,
 		},
-		Pprof: s.pprof,
+		Pprof:      s.pprof,
+		ShardIndex: s.shardIndex,
+		ShardCount: s.shardCount,
 	})
 }
 
@@ -152,26 +180,75 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if s.cache == nil {
+		code, resp := s.profile(path, samples)
+		writeJSON(w, code, resp)
+		return
+	}
+
+	// Only fully successful profiles are cached: a non-OK envelope rides out
+	// of the fill as a respError, reaches this client, and leaves the cache
+	// untouched so transient failures are retried.
+	key := encoded + "\x00" + strconv.Itoa(samples)
+	payload, _, err := s.cache.Get(key, func() ([]byte, error) {
+		code, resp := s.profile(path, samples)
+		if code != http.StatusOK || resp.Status != "OK" {
+			return nil, &respError{code: code, resp: resp}
+		}
+		b, err := json.Marshal(resp)
+		if err != nil {
+			return nil, err
+		}
+		// writeJSON's encoder terminates with a newline; match it so cached
+		// and uncached responses are byte-identical.
+		return append(b, '\n'), nil
+	})
+	if err != nil {
+		var re *respError
+		if errors.As(err, &re) {
+			writeJSON(w, re.code, re.resp)
+			return
+		}
+		s.logf("elevsvc: encoding profile: %v", err)
+		writeStatus(w, http.StatusInternalServerError, "UNKNOWN_ERROR", "internal error")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(payload); err != nil {
+		s.logf("elevsvc: writing profile: %v", err)
+	}
+}
+
+// profile samples elevations along the resampled path, returning the HTTP
+// code and envelope to serialize.
+func (s *Server) profile(path geo.Path, samples int) (int, Response) {
 	pts := path.Resample(samples)
 	results := make([]Result, 0, len(pts))
 	for _, p := range pts {
 		e, err := s.source.ElevationAt(p)
 		if err != nil {
 			if errors.Is(err, dem.ErrOutOfBounds) {
-				writeStatus(w, http.StatusOK, "DATA_NOT_AVAILABLE", err.Error())
-				return
+				return http.StatusOK, Response{Status: "DATA_NOT_AVAILABLE", ErrorMessage: err.Error()}
 			}
 			s.logf("elevsvc: internal error at %v: %v", p, err)
-			writeStatus(w, http.StatusInternalServerError, "UNKNOWN_ERROR", "internal error")
-			return
+			return http.StatusInternalServerError, Response{Status: "UNKNOWN_ERROR", ErrorMessage: "internal error"}
 		}
 		results = append(results, Result{
 			Location:  LocationJSON{Lat: p.Lat, Lng: p.Lng},
 			Elevation: e,
 		})
 	}
-	writeJSON(w, http.StatusOK, Response{Status: "OK", Results: results})
+	return http.StatusOK, Response{Status: "OK", Results: results}
 }
+
+// respError carries a non-OK envelope out of a cache fill so it is written
+// to the waiting clients but never cached.
+type respError struct {
+	code int
+	resp Response
+}
+
+func (e *respError) Error() string { return "elevsvc: " + e.resp.Status }
 
 // handlePoint answers a single-point query:
 // GET /v1/elevation/point?lat=..&lng=..

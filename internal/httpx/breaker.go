@@ -66,6 +66,29 @@ func (b *Breaker) Allow() error {
 	}
 }
 
+// Ready is the read-only admission hint: true when Allow would plausibly
+// admit an attempt right now — closed, or open with the cooldown elapsed —
+// and false while open-and-cooling or while a half-open probe is in
+// flight. Selection loops (the endpoint pool) filter candidates on Ready
+// and call Allow only on the endpoint they actually picked, so scanning
+// candidates never consumes the half-open probe slot. A nil breaker is
+// always ready.
+func (b *Breaker) Ready() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		return b.now().Sub(b.openedAt) >= b.cooldown
+	default:
+		return false
+	}
+}
+
 // State reports the breaker's current state as "closed", "open", or
 // "half-open" — exposed so checkpoint metadata and shutdown summaries can
 // record transport health. A nil breaker reports "closed".

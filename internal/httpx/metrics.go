@@ -51,6 +51,44 @@ func WithMetrics(service string) Option {
 	}
 }
 
+// Pool telemetry: WithPoolMetrics fits a Pool with per-endpoint handles so
+// a sharded sweep's balance, failovers, and per-shard health are visible on
+// /metrics live (Pool.Stats() remains the end-of-run snapshot):
+//
+//	elevpriv_pool_requests_total{service=...,endpoint=...}  attempts issued
+//	elevpriv_pool_failures_total{service=...,endpoint=...}  failed attempts
+//	elevpriv_pool_in_flight{service=...,endpoint=...}       live requests
+//	elevpriv_pool_endpoint_healthy{service=...,endpoint=...} 1 up, 0 down
+//	elevpriv_pool_breaker_state{service=...,endpoint=...}   0/1/2 like httpx
+//	elevpriv_pool_failovers_total{service=...}              re-issued attempts
+type poolMetrics struct {
+	failovers    *obs.Counter
+	requests     []*obs.Counter
+	failures     []*obs.Counter
+	inFlight     []*obs.Gauge
+	healthy      []*obs.Gauge
+	breakerState []*obs.Gauge
+}
+
+// newPoolMetrics resolves every per-endpoint handle once at pool
+// construction; the per-request cost stays a couple of atomic adds.
+func newPoolMetrics(service string, endpoints []*Endpoint) *poolMetrics {
+	m := &poolMetrics{
+		failovers: obs.GetCounter(`elevpriv_pool_failovers_total{service="` + service + `"}`),
+	}
+	for _, ep := range endpoints {
+		label := `{service="` + service + `",endpoint="` + ep.base + `"}`
+		m.requests = append(m.requests, obs.GetCounter("elevpriv_pool_requests_total"+label))
+		m.failures = append(m.failures, obs.GetCounter("elevpriv_pool_failures_total"+label))
+		m.inFlight = append(m.inFlight, obs.GetGauge("elevpriv_pool_in_flight"+label))
+		healthy := obs.GetGauge("elevpriv_pool_endpoint_healthy" + label)
+		healthy.Set(1) // endpoints start healthy
+		m.healthy = append(m.healthy, healthy)
+		m.breakerState = append(m.breakerState, obs.GetGauge("elevpriv_pool_breaker_state"+label))
+	}
+	return m
+}
+
 // breakerStateValue maps Breaker.State() strings onto the gauge scale.
 func breakerStateValue(state string) float64 {
 	switch state {

@@ -1,6 +1,7 @@
 package httpx
 
 import (
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"time"
@@ -42,6 +43,12 @@ type MuxConfig struct {
 	DisableMetrics bool
 	// Pprof mounts net/http/pprof endpoints under /debug/pprof/.
 	Pprof bool
+	// ShardIndex and ShardCount identify this instance inside a sharded
+	// tier: /healthz reports them so pool probes and smoke scripts can tell
+	// shards apart, and elevpriv_server_shard_index{service=...} pins the
+	// identity on /metrics. ShardCount 0 means unsharded.
+	ShardIndex int
+	ShardCount int
 }
 
 // NewServeMux assembles the root handler described above. app may be nil
@@ -53,7 +60,14 @@ func NewServeMux(app http.Handler, cfg MuxConfig) http.Handler {
 		reg = obs.DefaultRegistry()
 	}
 	root := http.NewServeMux()
-	root.Handle("GET /healthz", HealthHandler(cfg.Service))
+	if cfg.ShardCount > 0 {
+		root.Handle("GET /healthz", shardHealthHandler(cfg.Service, cfg.ShardIndex, cfg.ShardCount))
+		if !cfg.DisableMetrics {
+			reg.Gauge(`elevpriv_server_shard_index{service="` + cfg.Service + `"}`).Set(float64(cfg.ShardIndex))
+		}
+	} else {
+		root.Handle("GET /healthz", HealthHandler(cfg.Service))
+	}
 	if !cfg.DisableMetrics {
 		root.Handle("GET /metrics", reg.Handler())
 	}
@@ -74,6 +88,17 @@ func NewServeMux(app http.Handler, cfg MuxConfig) http.Handler {
 		root.Handle("/", h)
 	}
 	return root
+}
+
+// shardHealthHandler is HealthHandler plus the instance's shard identity.
+func shardHealthHandler(name string, index, count int) http.Handler {
+	body := []byte(fmt.Sprintf("{\"status\":\"ok\",\"service\":%q,\"shard\":%d,\"shards\":%d}\n",
+		name, index, count))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(body)
+	})
 }
 
 // instrumentHandler wraps h with the per-service server metrics.

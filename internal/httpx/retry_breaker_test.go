@@ -1,0 +1,135 @@
+package httpx
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// respWithRetryAfter builds a bare response carrying the given Retry-After
+// header value ("" means no header at all).
+func respWithRetryAfter(v string) *http.Response {
+	h := http.Header{}
+	if v != "" {
+		h.Set("Retry-After", v)
+	}
+	return &http.Response{Header: h}
+}
+
+// TestRetryAfterParsesHTTPDate covers the HTTP-date form of Retry-After
+// (RFC 9110 allows both delta-seconds and an absolute date; real proxies
+// send either), plus the reject cases: past dates, negative deltas, and
+// garbage all collapse to 0 so the caller falls back to its own backoff.
+func TestRetryAfterParsesHTTPDate(t *testing.T) {
+	future := time.Now().Add(90 * time.Second).UTC().Format(http.TimeFormat)
+	d := retryAfter(respWithRetryAfter(future))
+	// http.TimeFormat has second granularity and time passes between
+	// formatting and parsing, so accept a little slack below 90s.
+	if d <= 85*time.Second || d > 90*time.Second {
+		t.Errorf("future HTTP date parsed to %v, want ~90s", d)
+	}
+
+	past := time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat)
+	if d := retryAfter(respWithRetryAfter(past)); d != 0 {
+		t.Errorf("past HTTP date parsed to %v, want 0", d)
+	}
+	if d := retryAfter(respWithRetryAfter("7")); d != 7*time.Second {
+		t.Errorf("delta-seconds parsed to %v, want 7s", d)
+	}
+	if d := retryAfter(respWithRetryAfter("-3")); d != 0 {
+		t.Errorf("negative delta parsed to %v, want 0", d)
+	}
+	if d := retryAfter(respWithRetryAfter("next tuesday")); d != 0 {
+		t.Errorf("garbage parsed to %v, want 0", d)
+	}
+	if d := retryAfter(respWithRetryAfter("")); d != 0 {
+		t.Errorf("absent header parsed to %v, want 0", d)
+	}
+}
+
+// TestBreakerHalfOpenAdmitsOneConcurrentProbe races many goroutines at an
+// open breaker whose cooldown has just elapsed: exactly one must win the
+// half-open probe slot, the rest fail fast, and the winner's success
+// re-closes the circuit. This is the invariant the pool's Ready/Allow split
+// depends on — if two probes were admitted, a recovering shard would take
+// a thundering herd instead of one request.
+func TestBreakerHalfOpenAdmitsOneConcurrentProbe(t *testing.T) {
+	b := NewBreaker(1, 100*time.Millisecond)
+	var clock atomic.Int64 // fake time as unix-nano, injected below
+	b.now = func() time.Time { return time.Unix(0, clock.Load()) }
+
+	b.Record(false)
+	if got := b.State(); got != "open" {
+		t.Fatalf("state after trip = %q, want open", got)
+	}
+	if b.Ready() {
+		t.Fatal("Ready() = true while open and cooling")
+	}
+
+	clock.Add(int64(150 * time.Millisecond)) // cooldown elapses
+	if !b.Ready() {
+		t.Fatal("Ready() = false after cooldown elapsed")
+	}
+
+	const workers = 32
+	var admitted atomic.Int64
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if b.Allow() == nil {
+				admitted.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if n := admitted.Load(); n != 1 {
+		t.Fatalf("admitted %d concurrent probes, want exactly 1", n)
+	}
+	if got := b.State(); got != "half-open" {
+		t.Fatalf("state during probe = %q, want half-open", got)
+	}
+	if b.Ready() {
+		t.Fatal("Ready() = true while a half-open probe is in flight")
+	}
+
+	b.Record(true)
+	if got := b.State(); got != "closed" {
+		t.Fatalf("state after successful probe = %q, want closed", got)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("Allow() after re-close = %v, want nil", err)
+	}
+}
+
+// TestBreakerFailedProbeReopensFreshCooldown: a failed half-open probe
+// re-opens the circuit and restarts the cooldown from the failure, not the
+// original trip.
+func TestBreakerFailedProbeReopensFreshCooldown(t *testing.T) {
+	b := NewBreaker(1, 100*time.Millisecond)
+	var clock atomic.Int64
+	b.now = func() time.Time { return time.Unix(0, clock.Load()) }
+
+	b.Record(false)
+	clock.Add(int64(150 * time.Millisecond))
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe not admitted after cooldown: %v", err)
+	}
+	b.Record(false) // probe failed at t=150ms: cooldown restarts there
+
+	clock.Add(int64(50 * time.Millisecond)) // t=200ms, only 50ms into new cooldown
+	if b.Ready() {
+		t.Fatal("Ready() = true 50ms into the restarted cooldown")
+	}
+	clock.Add(int64(60 * time.Millisecond)) // t=260ms, cooldown elapsed again
+	if !b.Ready() {
+		t.Fatal("Ready() = false after the restarted cooldown elapsed")
+	}
+}

@@ -49,6 +49,53 @@ func Register(fs *flag.FlagSet) *Flags {
 	return f
 }
 
+// PoolFlags holds the endpoint-pool tuning knobs a CLI grows once it talks
+// to a sharded serving tier; populate via RegisterPool, then hand
+// Options(service) to httpx.NewPool. Shared here so every sweep binary
+// exposes the same four flags instead of inventing its own spellings.
+type PoolFlags struct {
+	// HealthInterval is the background /healthz probe period; 0 disables
+	// active probing (passive down-marking still applies).
+	HealthInterval time.Duration
+	// DownTTL is how long a passive down mark keeps an endpoint out of
+	// selection before it gets an optimistic retry.
+	DownTTL time.Duration
+	// BreakerThreshold is the consecutive failures that open an endpoint's
+	// circuit breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects before half-open.
+	BreakerCooldown time.Duration
+}
+
+// RegisterPool declares the pool flags on fs (the default flag set when
+// nil) and returns the struct their values land in.
+func RegisterPool(fs *flag.FlagSet) *PoolFlags {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	f := &PoolFlags{}
+	fs.DurationVar(&f.HealthInterval, "pool-health-interval", httpx.DefaultHealthInterval,
+		"endpoint pool /healthz probe period (0 = passive marking only)")
+	fs.DurationVar(&f.DownTTL, "pool-down-ttl", 2*time.Second,
+		"how long a down-marked endpoint stays out of pool selection before an optimistic retry")
+	fs.IntVar(&f.BreakerThreshold, "pool-breaker-threshold", 8,
+		"consecutive failures that open an endpoint's circuit breaker")
+	fs.DurationVar(&f.BreakerCooldown, "pool-breaker-cooldown", 3*time.Second,
+		"open period before an endpoint breaker admits a half-open probe")
+	return f
+}
+
+// Options converts the flag values into pool options, instrumented under
+// the given service label.
+func (f *PoolFlags) Options(service string) []httpx.PoolOption {
+	return []httpx.PoolOption{
+		httpx.WithPoolHealthInterval(f.HealthInterval),
+		httpx.WithPoolDownTTL(f.DownTTL),
+		httpx.WithPoolBreaker(f.BreakerThreshold, f.BreakerCooldown),
+		httpx.WithPoolMetrics(service),
+	}
+}
+
 // Telemetry is the running telemetry plumbing behind the flags. Always call
 // Close — it is what flushes the trace file.
 type Telemetry struct {

@@ -15,21 +15,33 @@ import (
 	"elevprivacy/internal/httpx"
 )
 
-// Client calls an ExploreSegments service over HTTP.
+// Client calls an ExploreSegments service over HTTP — against a single
+// instance (NewClient) or a sharded tier behind an endpoint pool
+// (NewPoolClient), where each explore routes by consistent hash on its
+// canonical bounds query so a grid cell always hits the same shard.
 type Client struct {
 	baseURL string
 	httpc   httpx.Doer
+	pool    *httpx.Pool
 }
 
-// NewClient creates a client for the service at baseURL. httpc may be a
-// bare *http.Client or an httpx.Client carrying retries and rate limits;
-// nil gets a default httpx.Client with per-attempt timeouts and bounded
-// retries, so a hung server can never block a sweep forever.
+// NewClient creates a client for the service at baseURL (trailing slashes
+// are normalized away). httpc may be a bare *http.Client or an httpx.Client
+// carrying retries and rate limits; nil gets a default httpx.Client with
+// per-attempt timeouts and bounded retries, so a hung server can never
+// block a sweep forever.
 func NewClient(baseURL string, httpc httpx.Doer) *Client {
 	if httpc == nil {
 		httpc = httpx.NewClient(nil)
 	}
-	return &Client{baseURL: baseURL, httpc: httpc}
+	return &Client{baseURL: httpx.NormalizeBaseURL(baseURL), httpc: httpc}
+}
+
+// NewPoolClient creates a client issuing requests through a multi-endpoint
+// pool. The pool owns retries, failover, and circuit breaking — do not hand
+// it a transport that retries internally.
+func NewPoolClient(pool *httpx.Pool) *Client {
+	return &Client{pool: pool}
 }
 
 // APIError is a non-OK service response.
@@ -56,12 +68,10 @@ func (c *Client) Explore(ctx context.Context, bounds geo.BBox) ([]Segment, error
 	q.Set("ne_lat", strconv.FormatFloat(bounds.NE.Lat, 'f', -1, 64))
 	q.Set("ne_lng", strconv.FormatFloat(bounds.NE.Lng, 'f', -1, 64))
 
-	u := c.baseURL + "/v1/segments/explore?" + q.Encode()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
-	if err != nil {
-		return nil, fmt.Errorf("segments: building request: %w", err)
-	}
-	httpResp, err := c.httpc.Do(req)
+	// url.Values.Encode sorts keys, so the query doubles as the canonical
+	// cell identity the pool shards on.
+	pathAndQuery := "/v1/segments/explore?" + q.Encode()
+	httpResp, err := c.issue(ctx, pathAndQuery)
 	if err != nil {
 		return nil, fmt.Errorf("segments: request failed: %w", err)
 	}
@@ -104,6 +114,19 @@ func (c *Client) Explore(ctx context.Context, bounds geo.BBox) ([]Segment, error
 		})
 	}
 	return out, nil
+}
+
+// issue sends the GET through the pool (hashing the path+query for shard
+// affinity) or the single-endpoint transport.
+func (c *Client) issue(ctx context.Context, pathAndQuery string) (*http.Response, error) {
+	if c.pool != nil {
+		return c.pool.Get(ctx, httpx.HashKey(pathAndQuery), pathAndQuery)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+pathAndQuery, nil)
+	if err != nil {
+		return nil, fmt.Errorf("building request: %w", err)
+	}
+	return c.httpc.Do(req)
 }
 
 // jsonBody reports whether the response declares a JSON media type.

@@ -363,3 +363,18 @@ func TestSegmentServerHealthz(t *testing.T) {
 		t.Fatalf("healthz = %d", resp.StatusCode)
 	}
 }
+
+// TestClientNormalizesTrailingSlash pins the base-URL fix: a configured
+// address like "http://host:port/" used to produce "//v1/..." request paths
+// that miss the mux routes entirely.
+func TestClientNormalizesTrailingSlash(t *testing.T) {
+	srv := httptest.NewServer(NewServer(NewStore(), WithLogf(t.Logf)).Handler())
+	defer srv.Close()
+	client := NewClient(srv.URL+"///", srv.Client())
+
+	if _, err := client.Explore(context.Background(), geo.BBox{
+		SW: geo.LatLng{Lat: 1, Lng: 1}, NE: geo.LatLng{Lat: 2, Lng: 2},
+	}); err != nil {
+		t.Fatalf("explore through slash-suffixed base URL: %v", err)
+	}
+}

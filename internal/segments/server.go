@@ -29,9 +29,11 @@ type ExploreResponse struct {
 
 // Server exposes a Store over HTTP.
 type Server struct {
-	store *Store
-	logf  func(format string, args ...any)
-	pprof bool
+	store      *Store
+	logf       func(format string, args ...any)
+	pprof      bool
+	shardIndex int
+	shardCount int
 }
 
 // ServerOption configures a Server.
@@ -46,6 +48,12 @@ func WithLogf(logf func(string, ...any)) ServerOption {
 // WithPprof mounts net/http/pprof under /debug/pprof/.
 func WithPprof(enabled bool) ServerOption {
 	return func(s *Server) { s.pprof = enabled }
+}
+
+// WithShard tags this instance as shard index of count in a sharded tier;
+// /healthz and /metrics report the identity.
+func WithShard(index, count int) ServerOption {
+	return func(s *Server) { s.shardIndex, s.shardCount = index, count }
 }
 
 // obsErrorf is the default logf: error-level lines on the process obs
@@ -79,7 +87,9 @@ func (s *Server) Handler() http.Handler {
 			RequestTimeout: 15 * time.Second,
 			Logf:           s.logf,
 		},
-		Pprof: s.pprof,
+		Pprof:      s.pprof,
+		ShardIndex: s.shardIndex,
+		ShardCount: s.shardCount,
 	})
 }
 

@@ -1,0 +1,185 @@
+#!/bin/sh
+# Sharded-serving smoke test: stand up a 4-shard serving tier (four elevmine
+# -serve processes, each a full replica tagged with its shard identity), run
+# a rate-paced mining sweep through the consistent-hash pools, SIGKILL one
+# shard mid-sweep, and require:
+#
+#   - the sweep completes with zero lost cells: output byte-identical to a
+#     single-endpoint baseline run,
+#   - the miner's pool metrics record failovers away from the corpse,
+#   - the surviving shards' serving caches show a nonzero hit rate,
+#   - per-endpoint request counts over the surviving shards balance within 2x.
+#
+# Exercised non-gating by CI (kill timing on shared runners is noisy) and
+# locally via `make shard-smoke`. The deterministic equivalents run under
+# make check (internal/httpx pool tests, internal/segments miner_pool tests).
+set -eu
+
+workdir=$(mktemp -d)
+pids=""
+cleanup() {
+    for p in $pids; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/elevmine" ./cmd/elevmine
+mine="$workdir/elevmine"
+
+# Workload: every city, identical store on every replica (same -segments and
+# -seed). -rps paces the sharded sweep to a few seconds so the SIGKILL below
+# reliably lands mid-run.
+common="-segments 80 -grid 6 -samples 50 -seed 7"
+
+echo "==> single-endpoint baseline sweep"
+# shellcheck disable=SC2086
+"$mine" $common -out "$workdir/baseline.json" >"$workdir/baseline.log" 2>&1
+test -s "$workdir/baseline.json"
+
+echo "==> starting 4 shard replicas"
+seg_addrs=""
+elev_addrs=""
+for i in 0 1 2 3; do
+    seg_port=$((19481 + i))
+    elev_port=$((19491 + i))
+    # shellcheck disable=SC2086
+    "$mine" $common -serve "127.0.0.1:$seg_port,127.0.0.1:$elev_port" \
+        -shard-index "$i" -shard-count 4 >"$workdir/shard$i.log" 2>&1 &
+    eval "shard${i}_pid=$!"
+    pids="$pids $!"
+    seg_addrs="$seg_addrs,http://127.0.0.1:$seg_port"
+    elev_addrs="$elev_addrs,http://127.0.0.1:$elev_port"
+done
+seg_addrs=${seg_addrs#,}
+elev_addrs=${elev_addrs#,}
+
+for i in 0 1 2 3; do
+    port=$((19481 + i))
+    up=0
+    for _ in $(seq 1 50); do
+        if curl -sf "http://127.0.0.1:$port/healthz" >"$workdir/hz.json" 2>/dev/null; then
+            up=1
+            break
+        fi
+        sleep 0.2
+    done
+    if [ "$up" != 1 ]; then
+        echo "FAIL: shard $i never answered /healthz" >&2
+        cat "$workdir/shard$i.log" >&2 || true
+        exit 1
+    fi
+    if ! grep -q "\"shard\":$i" "$workdir/hz.json" || ! grep -q '"shards":4' "$workdir/hz.json"; then
+        echo "FAIL: shard $i /healthz missing shard identity: $(cat "$workdir/hz.json")" >&2
+        exit 1
+    fi
+done
+echo "    all shards up, /healthz reports shard identity"
+
+echo "==> sharded sweep through the pools (SIGKILL shard 3 mid-sweep)"
+metrics_addr="127.0.0.1:19499"
+# shellcheck disable=SC2086
+"$mine" $common -rps 250 \
+    -seg-addrs "$seg_addrs" -elev-addrs "$elev_addrs" \
+    -checkpoint "$workdir/ck" -metrics-addr "$metrics_addr" \
+    -out "$workdir/sharded.json" >"$workdir/sharded.log" 2>&1 &
+miner_pid=$!
+pids="$pids $miner_pid"
+
+# Wait until the sweep is actually issuing pooled requests, then kill -9 the
+# last shard (both its services die at once).
+started=0
+for _ in $(seq 1 100); do
+    if curl -sf "http://$metrics_addr/metrics" 2>/dev/null \
+        | grep 'elevpriv_pool_requests_total' | grep -qv ' 0$'; then
+        started=1
+        break
+    fi
+    sleep 0.1
+done
+if [ "$started" != 1 ]; then
+    echo "FAIL: miner never reported pooled requests on /metrics" >&2
+    cat "$workdir/sharded.log" >&2 || true
+    exit 1
+fi
+kill -9 "$shard3_pid"
+echo "    shard 3 SIGKILLed while the sweep was running"
+
+# Keep the last metrics scrape from before the miner exits.
+while kill -0 "$miner_pid" 2>/dev/null; do
+    curl -sf "http://$metrics_addr/metrics" >"$workdir/final_metrics.txt" 2>/dev/null || true
+    sleep 0.1
+done
+if ! wait "$miner_pid"; then
+    echo "FAIL: sharded sweep exited nonzero after losing a shard" >&2
+    cat "$workdir/sharded.log" >&2 || true
+    exit 1
+fi
+grep -E "total mined" "$workdir/sharded.log" || true
+
+echo "==> zero lost cells: sharded output matches the baseline byte for byte"
+if ! cmp -s "$workdir/baseline.json" "$workdir/sharded.json"; then
+    echo "FAIL: sharded sweep output differs from single-endpoint baseline" >&2
+    exit 1
+fi
+echo "    outputs byte-identical"
+
+echo "==> pool metrics recorded failovers away from the dead shard"
+if ! grep 'elevpriv_pool_failovers_total' "$workdir/final_metrics.txt" | grep -qv ' 0$'; then
+    echo "FAIL: no failovers recorded despite the SIGKILL" >&2
+    grep 'elevpriv_pool' "$workdir/final_metrics.txt" >&2 || true
+    exit 1
+fi
+echo "    failovers > 0"
+
+echo "==> second sweep against the warm survivors"
+# The miner dedups profile fetches within one sweep, so cache hits show up
+# across sweeps: consistent-hash affinity sent each profile to the same
+# shard last time, so this run is served from the survivors' LRUs.
+# shellcheck disable=SC2086
+"$mine" $common \
+    -seg-addrs "$seg_addrs" -elev-addrs "$elev_addrs" \
+    -out "$workdir/sharded2.json" >"$workdir/sharded2.log" 2>&1
+if ! cmp -s "$workdir/baseline.json" "$workdir/sharded2.json"; then
+    echo "FAIL: warm sharded sweep output differs from baseline" >&2
+    exit 1
+fi
+echo "    warm sweep byte-identical too"
+
+echo "==> surviving shards show serving-cache hits"
+hits=0
+misses=0
+for i in 0 1 2; do
+    port=$((19491 + i))
+    curl -sf "http://127.0.0.1:$port/metrics" >"$workdir/shard_metrics.txt" || {
+        echo "FAIL: surviving shard $i stopped serving /metrics" >&2
+        exit 1
+    }
+    h=$(awk '/^elevpriv_serving_cache_hits_total/ {s+=$2} END {print s+0}' "$workdir/shard_metrics.txt")
+    m=$(awk '/^elevpriv_serving_cache_misses_total/ {s+=$2} END {print s+0}' "$workdir/shard_metrics.txt")
+    hits=$((hits + h))
+    misses=$((misses + m))
+done
+if [ "$hits" -le 0 ]; then
+    echo "FAIL: no serving-cache hits across surviving shards (misses=$misses)" >&2
+    exit 1
+fi
+echo "    cache hit rate: $hits hits / $((hits + misses)) lookups"
+
+echo "==> per-endpoint balance within 2x over surviving shards"
+python3 - "$workdir/ck/elevmine.meta" <<'EOF'
+import json, sys
+# Snapshot envelope: magic "ELCK" | u16 version | u32 len | u32 crc | JSON.
+raw = open(sys.argv[1], "rb").read()
+assert raw[:4] == b"ELCK", "bad snapshot magic"
+meta = json.loads(raw[14:])
+pools = meta["config"]["pools"]
+for service, stats in pools.items():
+    # Shard 3 was SIGKILLed mid-sweep; judge balance over the survivors.
+    reqs = [s["requests"] for s in stats[:3]]
+    assert all(r > 0 for r in reqs), f"{service}: an endpoint served zero requests: {reqs}"
+    ratio = max(reqs) / min(reqs)
+    assert ratio <= 2.0, f"{service}: balance {ratio:.2f}x exceeds 2x: {reqs}"
+    print(f"    {service}: requests {reqs} (+ dead shard {stats[3]['requests']}), balance {ratio:.2f}x")
+EOF
+
+echo "OK: 4-shard tier survives a SIGKILL mid-sweep with zero lost cells"
