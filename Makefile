@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet staticcheck test test-short check bench bench-train bench-full experiments experiments-quick smoke-resume obs-smoke orch-smoke shard-smoke clean
+.PHONY: all build vet staticcheck test test-short check bench bench-train bench-full experiments experiments-quick smoke-resume obs-smoke orch-smoke shard-smoke ingest-smoke clean
 
 all: build vet test
 
@@ -70,16 +70,28 @@ orch-smoke:
 shard-smoke:
 	sh scripts/shard_smoke.sh
 
+## ingest-smoke proves the live-attack ingestion pipeline's crash-recovery
+## contract end to end: a firehose client streams 400 activities at an
+## elevingest server with a stalled classifier, the server is SIGKILLed
+## with spilled activities in the journal, a restart on the same state
+## directory restores and replays the backlog, and the final results dump
+## must hold every activity exactly once, byte-identical to the offline
+## batch path. CI runs it non-gating (kill timing on shared runners is
+## noisy); locally it is the sanity check after touching internal/ingest.
+ingest-smoke:
+	sh scripts/ingest_smoke.sh
+
 ## bench runs every experiment benchmark at smoke scale plus the substrate
-## micro-benchmarks, then the text-pipeline, training, and serving-tier
-## comparison harnesses, which measure the legacy paths against the current
-## ones and write BENCH_textpipeline.json / BENCH_train.json /
-## BENCH_serving.json.
+## micro-benchmarks, then the text-pipeline, training, serving-tier, and
+## ingestion comparison harnesses, which measure the legacy paths against
+## the current ones and write BENCH_textpipeline.json / BENCH_train.json /
+## BENCH_serving.json / BENCH_ingest.json.
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/textbench -out BENCH_textpipeline.json
 	$(GO) run ./cmd/trainbench -out BENCH_train.json
 	$(GO) run ./cmd/servebench -out BENCH_serving.json
+	$(GO) run ./cmd/ingestbench -out BENCH_ingest.json
 
 ## bench-train runs only the training-path harness: the frozen per-sample
 ## MLP trainer against the batched float64/float32/sparse paths and the

@@ -109,6 +109,7 @@ func run() error {
 	)
 	obsFlags := obsboot.Register(nil)
 	poolFlags := obsboot.RegisterPool(nil)
+	journalFlags := obsboot.RegisterJournal(nil, 0)
 	flag.Parse()
 
 	tel, err := obsFlags.Start("elevmine")
@@ -222,7 +223,7 @@ func run() error {
 	// Checkpointing: the journal makes every completed unit durable, so a
 	// crashed (or drained) run rerun with -resume skips straight past the
 	// work it already paid for.
-	journal, err := obsboot.OpenJournal(*ckptDir, "elevmine.journal", *resume)
+	journal, err := obsboot.OpenJournal(*ckptDir, "elevmine.journal", *resume, journalFlags.SyncEvery)
 	if err != nil {
 		return err
 	}

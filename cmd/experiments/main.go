@@ -71,6 +71,7 @@ func run() error {
 		workers    = flag.Int("workers", 0, "scheduler concurrency for -spec runs (0 = spec's setting)")
 	)
 	obsFlags := obsboot.Register(nil)
+	journalFlags := obsboot.RegisterJournal(nil, 0)
 	flag.Parse()
 
 	tel, err := obsFlags.Start("experiments")
@@ -114,7 +115,7 @@ func run() error {
 	}
 
 	if *specPath != "" {
-		return runSpec(*specPath, *ckptDir, *adminAddr, *outPath, *workers, *resume)
+		return runSpec(*specPath, *ckptDir, *adminAddr, *outPath, *workers, *resume, journalFlags.SyncEvery)
 	}
 	if *adminAddr != "" || *outPath != "" {
 		return fmt.Errorf("-admin-addr and -out require -spec")
@@ -142,7 +143,7 @@ func run() error {
 		runners = []experiments.Runner{r}
 	}
 
-	journal, err := obsboot.OpenJournal(*ckptDir, "experiments.journal", *resume)
+	journal, err := obsboot.OpenJournal(*ckptDir, "experiments.journal", *resume, journalFlags.SyncEvery)
 	if err != nil {
 		return err
 	}
@@ -178,7 +179,7 @@ func run() error {
 }
 
 // runSpec drives a declarative scenario sweep through the orchestrator.
-func runSpec(specPath, ckptDir, adminAddr, outPath string, workers int, resume bool) error {
+func runSpec(specPath, ckptDir, adminAddr, outPath string, workers int, resume bool, syncEvery int) error {
 	spec, err := scenario.LoadSpec(specPath)
 	if err != nil {
 		return err
@@ -203,7 +204,7 @@ func runSpec(specPath, ckptDir, adminAddr, outPath string, workers int, resume b
 	if err != nil {
 		return err
 	}
-	journal, err := obsboot.OpenJournal(ckptDir, "scenario.journal", resume)
+	journal, err := obsboot.OpenJournal(ckptDir, "scenario.journal", resume, syncEvery)
 	if err != nil {
 		return err
 	}

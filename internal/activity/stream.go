@@ -1,0 +1,57 @@
+package activity
+
+import (
+	"fmt"
+	"math/rand"
+
+	"elevprivacy/internal/terrain"
+)
+
+// Generator is the streaming counterpart of SimulateAthlete: instead of
+// materializing a whole history up front, it yields one activity at a time,
+// round-robin across the regions — the shape a live firehose has, where
+// workouts from different regions interleave as they are shared. The stream
+// is fully determined by (regions, cfg, seed): two generators built alike
+// produce identical activities in identical order, which is what lets an
+// ingest benchmark replay the exact firehose its offline baseline saw.
+type Generator struct {
+	cfg   AthleteConfig
+	rng   *rand.Rand
+	sims  []*regionSim
+	next  int   // round-robin cursor over sims
+	count []int // per-region sequence number, for names
+}
+
+// NewGenerator prepares one simulated athlete per region and returns the
+// interleaved stream. Nil regions defaults to terrain.AthleteWorld().
+func NewGenerator(regions []*terrain.City, cfg AthleteConfig, seed int64) (*Generator, error) {
+	if regions == nil {
+		regions = terrain.AthleteWorld()
+	}
+	if len(regions) == 0 {
+		return nil, fmt.Errorf("activity: no regions")
+	}
+	if cfg.FavoriteRoutes < 0 || cfg.FavoriteProb < 0 || cfg.FavoriteProb > 1 {
+		return nil, fmt.Errorf("activity: invalid athlete config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := &Generator{cfg: cfg, rng: rng, count: make([]int, len(regions))}
+	for _, region := range regions {
+		sim, err := newRegionSim(region, cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		g.sims = append(g.sims, sim)
+	}
+	return g, nil
+}
+
+// Next yields the stream's next activity. Names are "<abbrev>-live-%06d",
+// so a dump of any prefix of the stream sorts the same way everywhere.
+func (g *Generator) Next() (Activity, error) {
+	sim := g.sims[g.next]
+	name := fmt.Sprintf("%s-live-%06d", sim.city.Abbrev, g.count[g.next])
+	g.count[g.next]++
+	g.next = (g.next + 1) % len(g.sims)
+	return sim.nextActivity(name, g.cfg, g.rng)
+}

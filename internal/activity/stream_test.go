@@ -1,0 +1,85 @@
+package activity
+
+import (
+	"testing"
+
+	"elevprivacy/internal/terrain"
+)
+
+func TestGeneratorDeterministicAndInterleaved(t *testing.T) {
+	regions := terrain.AthleteWorld()
+	cfg := DefaultAthleteConfig()
+
+	g1, err := NewGenerator(regions, cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGenerator(regions, cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 24
+	seenRegion := map[string]bool{}
+	seenName := map[string]bool{}
+	for i := 0; i < n; i++ {
+		a, err := g1.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := g2.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Name != b.Name || a.Region != b.Region || len(a.Elevations) != len(b.Elevations) {
+			t.Fatalf("streams diverged at %d: %q/%q vs %q/%q", i, a.Name, a.Region, b.Name, b.Region)
+		}
+		for j := range a.Elevations {
+			if a.Elevations[j] != b.Elevations[j] {
+				t.Fatalf("activity %q elevations diverge at sample %d", a.Name, j)
+			}
+		}
+		if len(a.Elevations) == 0 || len(a.Elevations) != len(a.Path) {
+			t.Fatalf("activity %q has %d elevations for %d path points", a.Name, len(a.Elevations), len(a.Path))
+		}
+		if seenName[a.Name] {
+			t.Fatalf("duplicate activity name %q", a.Name)
+		}
+		seenName[a.Name] = true
+		seenRegion[a.Region] = true
+	}
+	// Round-robin: a short prefix already covers every region.
+	if len(seenRegion) != len(regions) {
+		t.Fatalf("prefix of %d activities covered %d of %d regions", n, len(seenRegion), len(regions))
+	}
+
+	// A different seed is a different firehose.
+	g3, err := NewGenerator(regions, cfg, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	a1, _ := NewGenerator(regions, cfg, 42)
+	for i := 0; i < 4; i++ {
+		x, err := a1.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := g3.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(x.Elevations) != len(y.Elevations) {
+			same = false
+			break
+		}
+		for j := range x.Elevations {
+			if x.Elevations[j] != y.Elevations[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 generated identical streams")
+	}
+}

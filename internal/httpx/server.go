@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"runtime/debug"
 	"strconv"
+	"sync"
 	"time"
 )
 
@@ -24,8 +25,17 @@ type ServerConfig struct {
 	// RequestTimeout bounds one request's handling; 0 disables it.
 	RequestTimeout time.Duration
 	// RetryAfter is the hint attached to shed responses (rounded up to
-	// whole seconds; minimum, and default, 1s).
+	// whole seconds; minimum, and default, 1s). With DynamicRetryAfter it
+	// is the base the pressure scaling starts from.
 	RetryAfter time.Duration
+	// DynamicRetryAfter derives the shed hint from live pressure instead
+	// of a fixed value: the base hint grows with the shed rate observed in
+	// the current one-second window, so a pooled client fleet backs off
+	// proportionally to how overloaded the server actually is instead of
+	// stampeding back in lockstep.
+	DynamicRetryAfter bool
+	// MaxRetryAfter caps the dynamic hint (default 30s).
+	MaxRetryAfter time.Duration
 	// Logf receives panic reports; nil discards them.
 	Logf func(string, ...any)
 }
@@ -39,7 +49,7 @@ func Harden(h http.Handler, cfg ServerConfig) http.Handler {
 	}
 	h = recoverHandler(h, cfg.Logf)
 	if cfg.MaxInFlight > 0 {
-		h = shedHandler(h, cfg.MaxInFlight, cfg.RetryAfter)
+		h = shedHandler(h, cfg)
 	}
 	return h
 }
@@ -65,15 +75,20 @@ func recoverHandler(h http.Handler, logf func(string, ...any)) http.Handler {
 	})
 }
 
-// shedHandler rejects requests beyond maxInFlight with 429 + Retry-After.
-func shedHandler(h http.Handler, maxInFlight int, retryAfter time.Duration) http.Handler {
-	slots := make(chan struct{}, maxInFlight)
-	secs := int(retryAfter / time.Second)
-	if retryAfter > time.Duration(secs)*time.Second {
-		secs++
-	}
-	if secs < 1 {
-		secs = 1
+// shedHandler rejects requests beyond MaxInFlight with 429 + Retry-After.
+// In dynamic mode the hint scales with the shed rate: when shedding is rare
+// the hint stays at the base, and under a sustained stampede it grows
+// toward MaxRetryAfter, spreading the fleet's retries out in time.
+func shedHandler(h http.Handler, cfg ServerConfig) http.Handler {
+	slots := make(chan struct{}, cfg.MaxInFlight)
+	base := ceilSeconds(cfg.RetryAfter)
+	var p *shedPressure
+	if cfg.DynamicRetryAfter {
+		maxSecs := ceilSeconds(cfg.MaxRetryAfter)
+		if cfg.MaxRetryAfter <= 0 {
+			maxSecs = 30
+		}
+		p = &shedPressure{base: base, max: maxSecs, perStep: cfg.MaxInFlight}
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		select {
@@ -81,10 +96,59 @@ func shedHandler(h http.Handler, maxInFlight int, retryAfter time.Duration) http
 			defer func() { <-slots }()
 			h.ServeHTTP(w, r)
 		default:
+			secs := base
+			if p != nil {
+				secs = p.hint(time.Now())
+			}
 			w.Header().Set("Retry-After", strconv.Itoa(secs))
-			http.Error(w, fmt.Sprintf("server at capacity (%d in flight)", maxInFlight), http.StatusTooManyRequests)
+			http.Error(w, fmt.Sprintf("server at capacity (%d in flight)", cfg.MaxInFlight), http.StatusTooManyRequests)
 		}
 	})
+}
+
+// ceilSeconds rounds d up to whole seconds, minimum 1.
+func ceilSeconds(d time.Duration) int {
+	secs := int(d / time.Second)
+	if d > time.Duration(secs)*time.Second {
+		secs++
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// shedPressure tracks sheds in the current one-second window and converts
+// the count into a Retry-After hint: base seconds plus one second per
+// perStep sheds (i.e. per full in-flight capacity's worth of rejected
+// requests), capped at max.
+type shedPressure struct {
+	base, max, perStep int
+
+	mu          sync.Mutex
+	windowStart time.Time
+	sheds       int
+}
+
+// hint records one shed at now and returns the seconds a client should
+// wait before retrying.
+func (p *shedPressure) hint(now time.Time) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if now.Sub(p.windowStart) >= time.Second {
+		p.windowStart = now
+		p.sheds = 0
+	}
+	p.sheds++
+	step := p.perStep
+	if step < 1 {
+		step = 1
+	}
+	secs := p.base + p.sheds/step
+	if secs > p.max {
+		secs = p.max
+	}
+	return secs
 }
 
 // HealthHandler answers liveness probes with a tiny JSON body. Mount it at

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -153,6 +154,111 @@ func TestClientHonorsShedRetryAfter(t *testing.T) {
 	if s.Requests != 1 || s.Attempts != 2 || s.Retries != 1 {
 		t.Fatalf("stats = %+v, want 1 request, 2 attempts, 1 retry", s)
 	}
+}
+
+func TestShedPressureHint(t *testing.T) {
+	p := &shedPressure{base: 1, max: 3, perStep: 4}
+	now := time.Unix(100, 0)
+	want := []int{1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 3, 3, 3} // caps at max
+	for i, w := range want {
+		if got := p.hint(now); got != w {
+			t.Fatalf("shed %d: hint = %d, want %d", i+1, got, w)
+		}
+	}
+	// A fresh window forgets the stampede.
+	if got := p.hint(now.Add(2 * time.Second)); got != 1 {
+		t.Fatalf("hint after window rollover = %d, want 1", got)
+	}
+}
+
+// TestDynamicRetryAfterScalesWithShedRate pins the satellite contract: under
+// a sustained stampede the shed hint grows past the base, and the retrying
+// Client actually waits the grown hint out.
+func TestDynamicRetryAfterScalesWithShedRate(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	h := Harden(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+		fmt.Fprint(w, "ok")
+	}), ServerConfig{
+		MaxInFlight:       1,
+		RetryAfter:        time.Second,
+		DynamicRetryAfter: true,
+		MaxRetryAfter:     30 * time.Second,
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(srv.URL)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	<-started // the slot is taken
+
+	// A burst of sheds inside one window: with MaxInFlight=1 every shed is a
+	// full capacity's worth, so each one grows the hint by a second.
+	var last int
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("burst request %d returned %d, want 429", i, resp.StatusCode)
+		}
+		secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+		if err != nil {
+			t.Fatalf("burst request %d: Retry-After %q not an integer", i, resp.Header.Get("Retry-After"))
+		}
+		if secs < last {
+			t.Fatalf("hint shrank under sustained overload: %d after %d", secs, last)
+		}
+		last = secs
+	}
+	if last <= 1 {
+		t.Fatalf("hint never grew past the base: %d", last)
+	}
+
+	// The pooled client sees the grown hint and backs off by at least that
+	// much before its successful retry.
+	var slept []time.Duration
+	c := NewClient(srv.Client(),
+		WithPolicy(Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: time.Minute, Multiplier: 2}),
+		WithSleep(func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			close(release) // free the slot so the retry lands
+			return ctx.Err()
+		}),
+	)
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodGet, srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retry after release returned %d, want 200", resp.StatusCode)
+	}
+	wantAtLeast := time.Duration(last+1) * time.Second // the client's own shed grew the hint once more
+	if len(slept) != 1 || slept[0] < wantAtLeast {
+		t.Fatalf("client ignored the dynamic hint: slept %v, want >= %v", slept, wantAtLeast)
+	}
+	wg.Wait()
 }
 
 func TestHealthHandler(t *testing.T) {

@@ -1,0 +1,115 @@
+package ingest
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDecodeLineRoundTrip(t *testing.T) {
+	in := Envelope{ID: "wdc-live-000001", Region: "Washington DC", Elevations: []float64{1, 2.5, -3}}
+	line, err := EncodeLine(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EncodeLine terminates the line; DecodeLine sees scanner-stripped bytes.
+	out, err := DecodeLine(line[:len(line)-1], Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || out.Region != in.Region || len(out.Elevations) != len(in.Elevations) {
+		t.Fatalf("round trip mangled the envelope: %+v -> %+v", in, out)
+	}
+}
+
+func TestDecodeLineRejectsHostileInput(t *testing.T) {
+	lim := Limits{MaxLineBytes: 256, MaxProfileSamples: 4}
+	cases := []struct {
+		name string
+		line string
+	}{
+		{"malformed JSON", `{"id":"a","elevations":[1,2`},
+		{"truncated line", `{"id":"a","eleva`},
+		{"not an object", `[1,2,3]`},
+		{"empty id", `{"id":"","elevations":[1]}`},
+		{"missing id", `{"elevations":[1]}`},
+		{"missing elevations", `{"id":"a"}`},
+		{"empty elevations", `{"id":"a","elevations":[]}`},
+		{"oversized profile", `{"id":"a","elevations":[1,2,3,4,5]}`},
+		{"oversized id", `{"id":"` + strings.Repeat("x", maxIDBytes+1) + `","elevations":[1]}`},
+		{"unknown field", `{"id":"a","elevations":[1],"admin":true}`},
+		{"smuggled second doc", `{"id":"a","elevations":[1]}{"id":"b","elevations":[2]}`},
+		{"non-finite elevation", `{"id":"a","elevations":[1e999]}`},
+		{"wrong elevation type", `{"id":"a","elevations":["high"]}`},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeLine([]byte(tc.line), lim); err == nil {
+			t.Errorf("%s: decoded without error: %s", tc.name, tc.line)
+		}
+	}
+}
+
+func TestDecodeLineByteBound(t *testing.T) {
+	lim := Limits{MaxLineBytes: 64}
+	long := `{"id":"a","elevations":[` + strings.Repeat("1,", 40) + `1]}`
+	if len(long) <= lim.MaxLineBytes {
+		t.Fatalf("test line too short: %d bytes", len(long))
+	}
+	_, err := DecodeLine([]byte(long), lim)
+	if !errors.Is(err, ErrLineTooLong) {
+		t.Fatalf("oversized line: err = %v, want ErrLineTooLong", err)
+	}
+}
+
+func TestValidateRejectsNaN(t *testing.T) {
+	e := Envelope{ID: "a", Elevations: []float64{1, math.NaN()}}
+	if err := e.Validate(Limits{}); err == nil {
+		t.Fatal("NaN elevation validated")
+	}
+	e = Envelope{ID: "a", Elevations: []float64{math.Inf(1)}}
+	if err := e.Validate(Limits{}); err == nil {
+		t.Fatal("+Inf elevation validated")
+	}
+}
+
+// FuzzDecodeLine feeds the decoder hostile bytes: whatever happens, it must
+// not panic, must respect the byte bound, and anything it does accept must
+// itself validate and survive a re-encode/re-decode round trip.
+func FuzzDecodeLine(f *testing.F) {
+	f.Add([]byte(`{"id":"a","elevations":[1,2,3]}`))
+	f.Add([]byte(`{"id":"a","region":"NYC","elevations":[0.5]}`))
+	f.Add([]byte(`{"id":"a","elevations":[1,2`))
+	f.Add([]byte(`{"id":"","elevations":[]}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"id":"a","elevations":[1e999]}`))
+	f.Add([]byte(strings.Repeat(`{"id":"a","elevations":[1]}`, 3)))
+	f.Add([]byte("\x00\xff\xfe"))
+
+	lim := Limits{MaxLineBytes: 1 << 12, MaxProfileSamples: 64}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		env, err := DecodeLine(line, lim)
+		if err != nil {
+			return
+		}
+		if len(line) > lim.MaxLineBytes {
+			t.Fatalf("accepted a %d-byte line past the %d bound", len(line), lim.MaxLineBytes)
+		}
+		if err := env.Validate(lim); err != nil {
+			t.Fatalf("accepted envelope fails validation: %v", err)
+		}
+		re, err := EncodeLine(env)
+		if err != nil {
+			t.Fatalf("re-encoding accepted envelope: %v", err)
+		}
+		back, err := DecodeLine(re[:len(re)-1], lim)
+		if err != nil {
+			t.Fatalf("re-decoding %q: %v", re, err)
+		}
+		if back.ID != env.ID || back.Region != env.Region || len(back.Elevations) != len(env.Elevations) {
+			t.Fatalf("round trip mangled %+v into %+v", env, back)
+		}
+	})
+}

@@ -1,0 +1,71 @@
+package ingest
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// FaultConfig is the seeded fault-injection plan for the classifier stage.
+// Faults are drawn per batch from a deterministic stream, so a smoke run
+// that wants "the classifier stalls on roughly every third batch" gets the
+// same schedule on every run with the same seed.
+type FaultConfig struct {
+	// Seed fixes the fault schedule. Same seed, same batch order → same
+	// faults.
+	Seed int64
+	// StallProb is the per-batch probability of sleeping Stall before the
+	// real classify call — emulates a degraded model server without
+	// changing results.
+	StallProb float64
+	// Stall is how long a stalled batch sleeps.
+	Stall time.Duration
+	// FailProb is the per-batch probability of returning an injected error
+	// instead of classifying — the batch requeues and replays.
+	FailProb float64
+}
+
+// Enabled reports whether the plan injects anything at all.
+func (c FaultConfig) Enabled() bool { return c.StallProb > 0 || c.FailProb > 0 }
+
+// ErrInjected is the error a FailProb activation returns.
+var ErrInjected = fmt.Errorf("ingest: injected classifier fault")
+
+// faultClassifier wraps a real classifier with the seeded fault plan.
+type faultClassifier struct {
+	inner Classifier
+	cfg   FaultConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// WithFaults wraps cls with cfg's fault plan. A plan with no probabilities
+// set returns cls unchanged.
+func WithFaults(cls Classifier, cfg FaultConfig) Classifier {
+	if !cfg.Enabled() {
+		return cls
+	}
+	return &faultClassifier{
+		inner: cls,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+func (f *faultClassifier) ClassifyBatch(profiles [][]float64) ([]string, error) {
+	f.mu.Lock()
+	stall := f.rng.Float64() < f.cfg.StallProb
+	fail := f.rng.Float64() < f.cfg.FailProb
+	f.mu.Unlock()
+	if stall {
+		mFaults.Inc()
+		time.Sleep(f.cfg.Stall)
+	}
+	if fail {
+		mFaults.Inc()
+		return nil, ErrInjected
+	}
+	return f.inner.ClassifyBatch(profiles)
+}

@@ -40,8 +40,13 @@ type RunMeta struct {
 // OpenJournal opens the work journal <dir>/<name> ("" dir disables
 // checkpointing; the returned nil journal remembers nothing). Without
 // resume, any previous journal is discarded, so stale state from an
-// unrelated run can never leak in.
-func OpenJournal(dir, name string, resume bool) (*durable.Journal, error) {
+// unrelated run can never leak in. syncEvery sets the journal's fsync
+// batch (records per fsync; 1 = every record); zero or negative keeps
+// durable.DefaultSyncEvery. Mining checkpoints tolerate the loose default
+// — at worst a crash redoes a few profiles — while the ingest spill path
+// runs much tighter, because there the batch size bounds acknowledged-
+// but-lost activities.
+func OpenJournal(dir, name string, resume bool, syncEvery int) (*durable.Journal, error) {
 	if dir == "" {
 		return nil, nil
 	}
@@ -54,7 +59,14 @@ func OpenJournal(dir, name string, resume bool) (*durable.Journal, error) {
 			return nil, err
 		}
 	}
-	return durable.OpenJournal(path)
+	j, err := durable.OpenJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	if syncEvery > 0 {
+		j.SyncEvery = syncEvery
+	}
+	return j, nil
 }
 
 // SaveRunMeta snapshots run metadata to <dir>/<name> (atomic + checksummed).

@@ -81,13 +81,13 @@ func TestRestoreRunMetrics(t *testing.T) {
 }
 
 func TestOpenJournal(t *testing.T) {
-	j, err := OpenJournal("", "x.journal", false)
+	j, err := OpenJournal("", "x.journal", false, 0)
 	if err != nil || j != nil {
 		t.Fatalf("OpenJournal(\"\") = %v, %v; want nil, nil", j, err)
 	}
 
 	dir := filepath.Join(t.TempDir(), "nested") // MkdirAll territory
-	j1, err := OpenJournal(dir, "work.journal", false)
+	j1, err := OpenJournal(dir, "work.journal", false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestOpenJournal(t *testing.T) {
 	}
 
 	// resume keeps entries; fresh open discards them.
-	j2, err := OpenJournal(dir, "work.journal", true)
+	j2, err := OpenJournal(dir, "work.journal", true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,12 +107,24 @@ func TestOpenJournal(t *testing.T) {
 		t.Error("resume open lost the journal entry")
 	}
 	j2.Close()
-	j3, err := OpenJournal(dir, "work.journal", false)
+	j3, err := OpenJournal(dir, "work.journal", false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer j3.Close()
 	if j3.Has("k") {
 		t.Error("fresh open kept a stale journal entry")
+	}
+	if j3.SyncEvery != durable.DefaultSyncEvery {
+		t.Errorf("syncEvery 0 overrode the journal default: %d", j3.SyncEvery)
+	}
+
+	j4, err := OpenJournal(dir, "tight.journal", false, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j4.Close()
+	if j4.SyncEvery != 2 {
+		t.Errorf("SyncEvery = %d, want 2", j4.SyncEvery)
 	}
 }

@@ -96,6 +96,33 @@ func (f *PoolFlags) Options(service string) []httpx.PoolOption {
 	}
 }
 
+// JournalFlags holds the work-journal tuning knobs a durable CLI exposes;
+// populate via RegisterJournal, then pass SyncEvery to OpenJournal.
+type JournalFlags struct {
+	// SyncEvery is the journal's fsync batch: records appended per fsync
+	// (1 = fsync every record).
+	SyncEvery int
+}
+
+// RegisterJournal declares the journal flags on fs (the default flag set
+// when nil) with def as the -journal-sync-every default. The default
+// differs by workload on purpose: mining checkpoints pass
+// durable.DefaultSyncEvery (a crash redoes at most a few profiles), while
+// the ingest spill path passes a much tighter bound because its fsync
+// batch is the window of acknowledged-but-lost activities.
+func RegisterJournal(fs *flag.FlagSet, def int) *JournalFlags {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	if def <= 0 {
+		def = durable.DefaultSyncEvery
+	}
+	f := &JournalFlags{}
+	fs.IntVar(&f.SyncEvery, "journal-sync-every", def,
+		"journal fsync batch: records appended per fsync (1 = every record)")
+	return f
+}
+
 // Telemetry is the running telemetry plumbing behind the flags. Always call
 // Close — it is what flushes the trace file.
 type Telemetry struct {
