@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet staticcheck test test-short check bench bench-train bench-full experiments experiments-quick smoke-resume obs-smoke orch-smoke shard-smoke ingest-smoke clean
+.PHONY: all build vet staticcheck test test-short check bench bench-train bench-full experiments experiments-quick smoke-resume obs-smoke orch-smoke shard-smoke ingest-smoke fleet-smoke clean
 
 all: build vet test
 
@@ -80,6 +80,18 @@ shard-smoke:
 ## noisy); locally it is the sanity check after touching internal/ingest.
 ingest-smoke:
 	sh scripts/ingest_smoke.sh
+
+## fleet-smoke proves the fleet observability layer end to end: four traced
+## shard replicas plus the ingest server and a faulted mining sweep, all
+## federated by elevobs. The merged Chrome trace must hold parent-linked
+## spans from five processes, fleet counters must equal the sum of the
+## per-instance counters, and the injected-fault SLO breach must produce a
+## structured alert plus a captured pprof profile. CI runs it non-gating
+## (scrape/kill timing on shared runners is noisy); locally it is the
+## sanity check after touching internal/obs, internal/httpx propagation,
+## or internal/fleetobs.
+fleet-smoke:
+	sh scripts/fleet_smoke.sh
 
 ## bench runs every experiment benchmark at smoke scale plus the substrate
 ## micro-benchmarks, then the text-pipeline, training, serving-tier, and

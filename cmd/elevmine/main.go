@@ -103,6 +103,7 @@ func run() error {
 		elevAddrs = flag.String("elev-addrs", "", "comma-separated external elevation-service base URLs (skips in-process servers)")
 		shardIdx  = flag.Int("shard-index", 0, "this instance's shard index in -serve mode")
 		shardCnt  = flag.Int("shard-count", 0, "total shards in the tier in -serve mode (0 = unsharded)")
+		pprofOn   = flag.Bool("pprof", false, "mount /debug/pprof/ on both served services in -serve mode")
 		ckptDir   = flag.String("checkpoint", "", "directory for the crash-safe work journal (enables resumable sweeps)")
 		resume    = flag.Bool("resume", false, "reuse an existing checkpoint journal instead of starting fresh")
 		outPath   = flag.String("out", "", "write the mined dataset as JSON to this path (atomic: never observed torn)")
@@ -151,7 +152,7 @@ func run() error {
 		if *shardCnt > 0 && (*shardIdx < 0 || *shardIdx >= *shardCnt) {
 			return fmt.Errorf("-shard-index %d out of range for -shard-count %d", *shardIdx, *shardCnt)
 		}
-		return serveForever(*serve, store, source, *shardIdx, *shardCnt)
+		return serveForever(*serve, store, source, *shardIdx, *shardCnt, *pprofOn)
 	}
 	if (*segAddrs == "") != (*elevAddrs == "") {
 		return fmt.Errorf("-seg-addrs and -elev-addrs must be set together")
@@ -452,8 +453,10 @@ func (p *pacedDoer) Do(req *http.Request) (*http.Response, error) {
 // serveForever runs both services on fixed addresses until interrupted.
 // shardIdx/shardCnt tag the instance's identity inside a sharded tier
 // (every shard is a full replica, so the index only names the instance on
-// /healthz and /metrics).
-func serveForever(addrs string, store *segments.Store, source dem.Source, shardIdx, shardCnt int) error {
+// /healthz and /metrics). SIGINT/SIGTERM shuts both servers down gracefully
+// and returns nil, so the deferred telemetry Close still runs — that is
+// what flushes a shard's -trace-out file for the fleet merger.
+func serveForever(addrs string, store *segments.Store, source dem.Source, shardIdx, shardCnt int, pprofOn bool) error {
 	parts := strings.Split(addrs, ",")
 	if len(parts) != 2 {
 		return fmt.Errorf("-serve wants two comma-separated addresses, got %q", addrs)
@@ -461,12 +464,12 @@ func serveForever(addrs string, store *segments.Store, source dem.Source, shardI
 	errc := make(chan error, 2)
 	segSrv := &http.Server{
 		Addr:              parts[0],
-		Handler:           segments.NewServer(store, segments.WithShard(shardIdx, shardCnt)).Handler(),
+		Handler:           segments.NewServer(store, segments.WithShard(shardIdx, shardCnt), segments.WithPprof(pprofOn)).Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	elevSrv := &http.Server{
 		Addr:              parts[1],
-		Handler:           elevsvc.NewServer(source, elevsvc.WithShard(shardIdx, shardCnt)).Handler(),
+		Handler:           elevsvc.NewServer(source, elevsvc.WithShard(shardIdx, shardCnt), elevsvc.WithPprof(pprofOn)).Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go func() { errc <- segSrv.ListenAndServe() }()
@@ -477,5 +480,17 @@ func serveForever(addrs string, store *segments.Store, source dem.Source, shardI
 	} else {
 		fmt.Printf("segment service on %s, elevation service on %s\n", parts[0], parts[1])
 	}
-	return <-errc
+	shutdown := durable.NotifyShutdown(context.Background())
+	defer shutdown.Stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-shutdown.Draining:
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = segSrv.Shutdown(ctx)
+		_ = elevSrv.Shutdown(ctx)
+		fmt.Println("shutting down: both services drained")
+		return nil
+	}
 }

@@ -1,0 +1,224 @@
+// Command elevobs is the fleet observability daemon: the one process that
+// sees the whole deployment instead of one instance of it.
+//
+// It has two modes. Merge mode joins per-process Chrome trace files (each
+// written by a -trace-out flag somewhere in the fleet) into a single
+// cross-process trace with one lane per process and client→server spans
+// parent-linked across lanes:
+//
+//	elevobs -merge-traces fleet.json shard0.json shard1.json miner.json
+//
+// Scrape mode federates live instances: it polls every target's /healthz
+// (identity) and /metrics.json (the obs.Dump wire format — no Prometheus
+// text parser anywhere), maintains a merged registry with instance-labeled
+// series plus fleet-summed counters and histograms, and serves the fleet
+// view:
+//
+//	elevobs -targets 127.0.0.1:7080,127.0.0.1:7081 -listen :9090 \
+//	        -slo slo.json -alert-dir alerts -profile-seconds 2
+//
+//	/metrics       merged Prometheus exposition of the whole fleet
+//	/metrics.json  the same as an obs.Dump
+//	/fleet.json    snapshot: per-instance counters, fleet sums, rate deltas
+//	/alerts.json   every SLO alert fired so far
+//
+// With -slo, a declarative rule set (p99 latency, error/shed ratios, cache
+// hit rates) is evaluated over every scrape window with burn-rate
+// accounting; a sustained breach logs a structured alert, writes it to
+// -alert-dir, and captures a CPU profile from the offending instance.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"elevprivacy/internal/durable"
+	"elevprivacy/internal/fleetobs"
+	"elevprivacy/internal/httpx"
+	"elevprivacy/internal/obs"
+	"elevprivacy/internal/obsboot"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "elevobs:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		mergeOut    = flag.String("merge-traces", "", "merge the positional per-process trace files into this Chrome trace (merge mode)")
+		targets     = flag.String("targets", "", "comma-separated host:port scrape targets (scrape mode)")
+		listen      = flag.String("listen", ":9090", "serve the fleet view on this address")
+		interval    = flag.Duration("interval", time.Second, "scrape period")
+		rounds      = flag.Int("rounds", 0, "stop after this many scrape rounds (0 = run until interrupted)")
+		sloPath     = flag.String("slo", "", "SLO spec JSON; enables the watchdog")
+		alertDir    = flag.String("alert-dir", "", "directory for alert JSON and captured profiles (empty = in-memory alerts only)")
+		profileSecs = flag.Int("profile-seconds", 2, "CPU profile length captured from a breaching instance (0 = no capture)")
+	)
+	obsFlags := obsboot.Register(nil)
+	flag.Parse()
+
+	tel, err := obsFlags.Start("elevobs")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := tel.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "elevobs:", err)
+		}
+	}()
+
+	if *mergeOut != "" {
+		return mergeMode(*mergeOut, flag.Args())
+	}
+	if *targets == "" {
+		return fmt.Errorf("need -merge-traces or -targets; see -h")
+	}
+	return scrapeMode(splitTargets(*targets), *listen, *interval, *rounds, *sloPath, *alertDir, *profileSecs)
+}
+
+// mergeMode joins trace files and prints the merge summary as JSON.
+func mergeMode(out string, paths []string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("-merge-traces needs trace files as arguments")
+	}
+	var sum fleetobs.MergeSummary
+	err := durable.WriteFileAtomic(out, 0o644, func(w io.Writer) error {
+		var err error
+		sum, err = fleetobs.MergeTraces(w, paths)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	return enc.Encode(struct {
+		fleetobs.MergeSummary
+		Out string `json:"out"`
+	}{sum, out})
+}
+
+// scrapeMode runs the federation loop and serves the fleet view.
+func scrapeMode(targets []string, listen string, interval time.Duration, rounds int, sloPath, alertDir string, profileSecs int) error {
+	if len(targets) == 0 {
+		return fmt.Errorf("-targets is empty")
+	}
+	if interval <= 0 {
+		return fmt.Errorf("-interval must be positive, got %v", interval)
+	}
+	fed := fleetobs.NewFederator(targets, fleetobs.FederatorConfig{})
+
+	var dog *fleetobs.Watchdog
+	if sloPath != "" {
+		f, err := os.Open(sloPath)
+		if err != nil {
+			return err
+		}
+		spec, err := fleetobs.ParseSpec(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if alertDir != "" {
+			if err := os.MkdirAll(alertDir, 0o755); err != nil {
+				return err
+			}
+		}
+		dog = fleetobs.NewWatchdog(spec, fed)
+		dog.AlertDir = alertDir
+		dog.ProfileSeconds = profileSecs
+		obs.DefaultLogger().Info("SLO watchdog armed",
+			"rules", fmt.Sprint(len(spec.Rules)), "alert_dir", alertDir)
+	}
+
+	app := http.NewServeMux()
+	// The merged registry is rebuilt per scrape round, so every request
+	// fetches the current one instead of binding a handler to a stale
+	// registry at startup.
+	app.Handle("GET /metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fed.Merged().Handler().ServeHTTP(w, r)
+	}))
+	app.Handle("GET /metrics.json", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fed.Merged().JSONHandler().ServeHTTP(w, r)
+	}))
+	app.Handle("GET /fleet.json", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(fed.Snap())
+	}))
+	app.Handle("GET /alerts.json", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		alerts := []fleetobs.Alert{}
+		if dog != nil {
+			alerts = dog.Alerts()
+		}
+		_ = json.NewEncoder(w).Encode(alerts)
+	}))
+	// DisableMetrics keeps the mux's built-in /metrics off this port — the
+	// fleet endpoints above are the product here, not elevobs's own registry
+	// (that one is available via -metrics-addr like every other binary).
+	srv := &http.Server{
+		Addr:              listen,
+		Handler:           httpx.NewServeMux(app, httpx.MuxConfig{Service: "elevobs", DisableMetrics: true}),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	obs.DefaultLogger().Info("fleet view up", "addr", listen, "targets", strings.Join(targets, ","))
+
+	shutdown := durable.NotifyShutdown(context.Background())
+	defer shutdown.Stop()
+	ctx := shutdown.Context()
+
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	done := 0
+	for {
+		snap := fed.ScrapeOnce(ctx)
+		if dog != nil {
+			dog.Evaluate(snap.Time)
+		}
+		done++
+		if rounds > 0 && done >= rounds {
+			break
+		}
+		select {
+		case <-shutdown.Draining:
+			goto out
+		case err := <-errc:
+			return err
+		case <-ticker.C:
+		}
+	}
+out:
+	sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(sctx)
+	up := 0
+	for _, is := range fed.Snap().Instances {
+		if is.Up {
+			up++
+		}
+	}
+	fmt.Printf("elevobs: %d scrape rounds over %d targets (%d up at exit)\n", done, len(targets), up)
+	return nil
+}
+
+// splitTargets parses the -targets list, dropping empties.
+func splitTargets(s string) []string {
+	var out []string
+	for _, t := range strings.Split(s, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,419 @@
+package fleetobs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"elevprivacy/internal/obs"
+)
+
+// Identity is what an instance's /healthz reports about itself — the mux
+// (httpx.NewServeMux) stamps service, shard, pid, and process start time so
+// the federator can label instances without out-of-band configuration.
+type Identity struct {
+	Status    string `json:"status"`
+	Service   string `json:"service"`
+	Shard     int    `json:"shard"`
+	Shards    int    `json:"shards"`
+	PID       int    `json:"pid"`
+	StartUnix int64  `json:"start_unix"`
+}
+
+// instanceState is the federator's view of one scrape target: the latest
+// and previous dumps (the pair every delta — rates, SLO windows — is
+// computed from) plus identity and liveness.
+type instanceState struct {
+	target     string
+	id         Identity
+	up         bool
+	lastErr    string
+	dump       obs.Dump
+	prevDump   obs.Dump
+	lastScrape time.Time
+	prevScrape time.Time
+	scrapes    int
+}
+
+// InstanceSnapshot is one instance's slice of the fleet snapshot.
+type InstanceSnapshot struct {
+	Target     string             `json:"target"`
+	Service    string             `json:"service,omitempty"`
+	Shard      int                `json:"shard"`
+	Shards     int                `json:"shards"`
+	PID        int                `json:"pid,omitempty"`
+	StartUnix  int64              `json:"start_unix,omitempty"`
+	Up         bool               `json:"up"`
+	Error      string             `json:"error,omitempty"`
+	LastScrape time.Time          `json:"last_scrape"`
+	Counters   map[string]float64 `json:"counters,omitempty"`
+}
+
+// Snapshot is the JSON fleet view served at /fleet.json: per-instance
+// counters, fleet-wide sums, and per-second rate deltas over the last
+// scrape window.
+type Snapshot struct {
+	Time      time.Time          `json:"time"`
+	Instances []InstanceSnapshot `json:"instances"`
+	// Fleet sums each counter series (name without the instance label)
+	// across every up instance.
+	Fleet map[string]float64 `json:"fleet,omitempty"`
+	// Rates maps target → counter series → per-second increase over that
+	// instance's last scrape window.
+	Rates map[string]map[string]float64 `json:"rates,omitempty"`
+}
+
+// HistWindow is one histogram's activity inside a scrape window: bucket
+// count deltas against the same bounds.
+type HistWindow struct {
+	Bounds  []float64
+	Buckets []uint64
+	Count   uint64
+}
+
+// Window is everything the SLO watchdog needs about one instance's last
+// scrape interval: counter increases and histogram bucket increases, both
+// keyed by base metric name (labels summed away — a ratio rule over
+// elevpriv_pool_failures_total should not care which endpoint label the
+// failures carry).
+type Window struct {
+	Target   string
+	Identity Identity
+	Seconds  float64
+	Counters map[string]float64
+	Hists    map[string]HistWindow
+}
+
+// Federator scrapes a fixed set of instances and maintains the merged
+// fleet registry, the fleet snapshot, and per-instance scrape windows.
+type Federator struct {
+	targets []string
+	client  *http.Client
+	now     func() time.Time
+
+	mu        sync.Mutex
+	instances map[string]*instanceState
+	merged    *obs.Registry
+	snap      Snapshot
+}
+
+// FederatorConfig tunes NewFederator; zero values get sane defaults.
+type FederatorConfig struct {
+	// Client performs the scrapes; nil uses a 5 s-timeout client.
+	Client *http.Client
+	// Now is the clock; nil uses time.Now. Injectable so rate and window
+	// math is testable without sleeping.
+	Now func() time.Time
+}
+
+// NewFederator builds a federator over host:port scrape targets.
+func NewFederator(targets []string, cfg FederatorConfig) *Federator {
+	f := &Federator{
+		targets:   append([]string(nil), targets...),
+		client:    cfg.Client,
+		now:       cfg.Now,
+		instances: make(map[string]*instanceState),
+		merged:    obs.NewRegistry(),
+	}
+	if f.client == nil {
+		f.client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if f.now == nil {
+		f.now = time.Now
+	}
+	for _, t := range f.targets {
+		f.instances[t] = &instanceState{target: t}
+	}
+	return f
+}
+
+// scrapeResult is one target's fetch, before it is folded in under the lock.
+type scrapeResult struct {
+	target string
+	id     Identity
+	dump   obs.Dump
+	err    error
+}
+
+// ScrapeOnce fetches /healthz and /metrics.json from every target
+// concurrently, then rebuilds the merged registry and the fleet snapshot.
+// Per-target failures mark that instance down; they do not fail the round.
+func (f *Federator) ScrapeOnce(ctx context.Context) Snapshot {
+	results := make([]scrapeResult, len(f.targets))
+	var wg sync.WaitGroup
+	for i, target := range f.targets {
+		wg.Add(1)
+		go func(i int, target string) {
+			defer wg.Done()
+			results[i] = f.scrapeTarget(ctx, target)
+		}(i, target)
+	}
+	wg.Wait()
+
+	now := f.now()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, res := range results {
+		st := f.instances[res.target]
+		if res.err != nil {
+			st.up = false
+			st.lastErr = res.err.Error()
+			continue
+		}
+		st.up = true
+		st.lastErr = ""
+		st.id = res.id
+		st.prevDump, st.dump = st.dump, res.dump
+		st.prevScrape, st.lastScrape = st.lastScrape, now
+		st.scrapes++
+	}
+	f.rebuildLocked(now)
+	return f.snap
+}
+
+func (f *Federator) scrapeTarget(ctx context.Context, target string) scrapeResult {
+	res := scrapeResult{target: target}
+	if err := f.getJSON(ctx, target, "/healthz", &res.id); err != nil {
+		res.err = err
+		return res
+	}
+	if err := f.getJSON(ctx, target, "/metrics.json", &res.dump); err != nil {
+		res.err = err
+	}
+	return res
+}
+
+func (f *Federator) getJSON(ctx context.Context, target, path string, into any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+target+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleetobs: %s%s: status %d", target, path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+// rebuildLocked reconstructs the merged registry and snapshot from the
+// instance states. The registry is rebuilt from scratch every round —
+// counters in obs accumulate on Load, so reusing one across rounds would
+// double-count; a fresh registry per round costs a few allocations per
+// series and keeps the semantics trivially right.
+func (f *Federator) rebuildLocked(now time.Time) {
+	reg := obs.NewRegistry()
+	snap := Snapshot{
+		Time:  now,
+		Fleet: make(map[string]float64),
+		Rates: make(map[string]map[string]float64),
+	}
+	for _, target := range f.targets {
+		st := f.instances[target]
+		is := InstanceSnapshot{
+			Target:     target,
+			Service:    st.id.Service,
+			Shard:      st.id.Shard,
+			Shards:     st.id.Shards,
+			PID:        st.id.PID,
+			StartUnix:  st.id.StartUnix,
+			Up:         st.up,
+			Error:      st.lastErr,
+			LastScrape: st.lastScrape,
+		}
+		if st.up {
+			is.Counters = make(map[string]float64)
+			for _, m := range st.dump.Metrics {
+				// Instance-labeled copy of every series.
+				lm := m
+				lm.Name = withInstanceLabel(m.Name, target)
+				if err := reg.Load(obs.Dump{Metrics: []obs.DumpedMetric{lm}}); err != nil {
+					obs.DefaultLogger().Warn("fleetobs: skipping series", "target", target, "series", m.Name, "err", err.Error())
+					continue
+				}
+				// Fleet sum: Load adds counters and histograms, so loading
+				// every instance's series unchanged into the same registry
+				// *is* the fleet sum. Gauges are deliberately not fleet-
+				// merged — last-instance-wins would be arbitrary; their
+				// instance-labeled copies carry the per-instance values.
+				if m.Kind == "counter" || m.Kind == "histogram" {
+					if err := reg.Load(obs.Dump{Metrics: []obs.DumpedMetric{m}}); err != nil {
+						obs.DefaultLogger().Warn("fleetobs: skipping fleet sum", "target", target, "series", m.Name, "err", err.Error())
+					}
+				}
+				if m.Kind == "counter" {
+					is.Counters[m.Name] = m.Value
+					snap.Fleet[m.Name] += m.Value
+				}
+			}
+			if rates := counterRates(st); len(rates) > 0 {
+				snap.Rates[target] = rates
+			}
+		}
+		snap.Instances = append(snap.Instances, is)
+	}
+	f.merged = reg
+	f.snap = snap
+}
+
+// counterRates computes per-second counter increases over the instance's
+// last scrape window.
+func counterRates(st *instanceState) map[string]float64 {
+	if st.scrapes < 2 {
+		return nil
+	}
+	secs := st.lastScrape.Sub(st.prevScrape).Seconds()
+	if secs <= 0 {
+		return nil
+	}
+	prev := make(map[string]float64)
+	for _, m := range st.prevDump.Metrics {
+		if m.Kind == "counter" {
+			prev[m.Name] = m.Value
+		}
+	}
+	rates := make(map[string]float64)
+	for _, m := range st.dump.Metrics {
+		if m.Kind != "counter" {
+			continue
+		}
+		if d := m.Value - prev[m.Name]; d > 0 {
+			rates[m.Name] = d / secs
+		}
+	}
+	return rates
+}
+
+// Merged returns the current fleet registry (instance-labeled series plus
+// fleet-summed counters and histograms). Serve it at /metrics.
+func (f *Federator) Merged() *obs.Registry {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.merged
+}
+
+// Snap returns the latest fleet snapshot.
+func (f *Federator) Snap() Snapshot {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.snap
+}
+
+// InstanceDump returns the latest raw dump scraped from target, exactly as
+// the instance served it — the federation round-trip invariant (a federated
+// instance dump equals the instance's own obs.Dump) is tested against this.
+func (f *Federator) InstanceDump(target string) (obs.Dump, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st, ok := f.instances[target]
+	if !ok || !st.up {
+		return obs.Dump{}, false
+	}
+	return st.dump, true
+}
+
+// Windows returns one Window per instance that has a complete scrape pair,
+// with counter and histogram-bucket increases summed by base metric name.
+// This is the watchdog's input.
+func (f *Federator) Windows() []Window {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []Window
+	for _, target := range f.targets {
+		st := f.instances[target]
+		if !st.up || st.scrapes < 2 {
+			continue
+		}
+		w := Window{
+			Target:   target,
+			Identity: st.id,
+			Seconds:  st.lastScrape.Sub(st.prevScrape).Seconds(),
+			Counters: make(map[string]float64),
+			Hists:    make(map[string]HistWindow),
+		}
+		prevC := make(map[string]float64)
+		prevH := make(map[string]obs.DumpedMetric)
+		for _, m := range st.prevDump.Metrics {
+			switch m.Kind {
+			case "counter":
+				prevC[m.Name] = m.Value
+			case "histogram":
+				prevH[m.Name] = m
+			}
+		}
+		for _, m := range st.dump.Metrics {
+			base := baseName(m.Name)
+			switch m.Kind {
+			case "counter":
+				if d := m.Value - prevC[m.Name]; d > 0 {
+					w.Counters[base] += d
+				}
+			case "histogram":
+				hw := w.Hists[base]
+				if hw.Bounds == nil {
+					hw.Bounds = m.Bounds
+					hw.Buckets = make([]uint64, len(m.Buckets))
+				}
+				if len(hw.Buckets) != len(m.Buckets) || !boundsEqual(hw.Bounds, m.Bounds) {
+					continue // mismatched shapes under one base name; skip
+				}
+				p, had := prevH[m.Name]
+				for i, c := range m.Buckets {
+					var pc uint64
+					if had && i < len(p.Buckets) {
+						pc = p.Buckets[i]
+					}
+					if c > pc {
+						hw.Buckets[i] += c - pc
+						hw.Count += c - pc
+					}
+				}
+				w.Hists[base] = hw
+			}
+		}
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Target < out[j].Target })
+	return out
+}
+
+// withInstanceLabel injects instance="target" as the first label of a
+// series name, preserving existing labels.
+func withInstanceLabel(name, target string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + `{instance="` + target + `",` + name[i+1:]
+	}
+	return name + `{instance="` + target + `"}`
+}
+
+// baseName strips the label block from a series name.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+func boundsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,200 @@
+package fleetobs
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"elevprivacy/internal/httpx"
+	"elevprivacy/internal/obs"
+)
+
+// target strips the scheme off an httptest URL — the federator addresses
+// instances as host:port.
+func target(srv *httptest.Server) string {
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
+// newInstance serves a registry the way every real instance does: through
+// httpx.NewServeMux, so /healthz and /metrics.json are the production
+// handlers, not test doubles.
+func newInstance(t *testing.T, service string, reg *obs.Registry, shard, shards int) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(httpx.NewServeMux(nil, httpx.MuxConfig{
+		Service: service, Metrics: reg, ShardIndex: shard, ShardCount: shards,
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestFederatedDumpRoundTrip pins the federation wire format: the dump the
+// federator holds for an instance is exactly the dump that instance's own
+// registry produces — nothing lost, reordered, or rescaled in transit.
+func TestFederatedDumpRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter(`elevpriv_server_requests_total{service="segsvc"}`).Add(41)
+	reg.Counter("elevpriv_obs_spans_dropped_total").Add(7)
+	reg.Gauge(`elevpriv_server_in_flight{service="segsvc"}`).Set(3)
+	h := reg.Histogram(`elevpriv_server_request_seconds{service="segsvc"}`, nil)
+	for _, v := range []float64{0.001, 0.01, 0.2, 3.5} {
+		h.Observe(v)
+	}
+	srv := newInstance(t, "segsvc", reg, 0, 0)
+
+	fed := NewFederator([]string{target(srv)}, FederatorConfig{})
+	fed.ScrapeOnce(context.Background())
+
+	got, ok := fed.InstanceDump(target(srv))
+	if !ok {
+		t.Fatal("instance not scraped")
+	}
+	want := reg.Dump()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("federated dump differs from the instance's own obs.Dump:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestFleetSumsEqualInstanceSums: the merged registry's unlabeled series
+// must equal the sum of every instance's counters, and each instance's
+// series must appear with an instance label.
+func TestFleetSumsEqualInstanceSums(t *testing.T) {
+	const name = `elevpriv_server_requests_total{service="segsvc"}`
+	regA, regB := obs.NewRegistry(), obs.NewRegistry()
+	regA.Counter(name).Add(100)
+	regB.Counter(name).Add(23)
+	srvA := newInstance(t, "segsvc", regA, 0, 2)
+	srvB := newInstance(t, "segsvc", regB, 1, 2)
+
+	fed := NewFederator([]string{target(srvA), target(srvB)}, FederatorConfig{})
+	snap := fed.ScrapeOnce(context.Background())
+
+	if got := fed.Merged().Counter(name).Value(); got != 123 {
+		t.Fatalf("fleet sum = %d, want 123 (100 + 23)", got)
+	}
+	labeled := withInstanceLabel(name, target(srvA))
+	if got := fed.Merged().Counter(labeled).Value(); got != 100 {
+		t.Fatalf("instance-labeled series %s = %d, want 100", labeled, got)
+	}
+	if got := snap.Fleet[name]; got != 123 {
+		t.Fatalf("snapshot fleet sum = %g, want 123", got)
+	}
+	var shards []int
+	for _, is := range snap.Instances {
+		if !is.Up {
+			t.Fatalf("instance %s reported down: %s", is.Target, is.Error)
+		}
+		if is.Service != "segsvc" || is.Shards != 2 {
+			t.Fatalf("instance identity = %+v", is)
+		}
+		shards = append(shards, is.Shard)
+	}
+	if len(shards) != 2 || shards[0] == shards[1] {
+		t.Fatalf("shard identities = %v, want two distinct shards", shards)
+	}
+}
+
+// TestCounterRatesUseInjectedClock: rate deltas are (counter increase)/
+// (window seconds), computed against the injected clock, not wall time.
+func TestCounterRatesUseInjectedClock(t *testing.T) {
+	const name = "elevpriv_httpx_requests_total"
+	reg := obs.NewRegistry()
+	c := reg.Counter(name)
+	c.Add(10)
+	srv := newInstance(t, "miner", reg, 0, 0)
+
+	clock := time.Unix(1000, 0)
+	fed := NewFederator([]string{target(srv)}, FederatorConfig{
+		Now: func() time.Time { return clock },
+	})
+	fed.ScrapeOnce(context.Background())
+
+	c.Add(30)
+	clock = clock.Add(2 * time.Second)
+	snap := fed.ScrapeOnce(context.Background())
+
+	rates := snap.Rates[target(srv)]
+	if rates == nil {
+		t.Fatalf("no rates for %s in %+v", target(srv), snap.Rates)
+	}
+	if got := rates[name]; got != 15 {
+		t.Fatalf("rate = %g req/s, want 15 (30 over 2s)", got)
+	}
+}
+
+// TestDownInstanceDoesNotPoisonTheFleet: a dead target is marked down with
+// its error, while live instances keep federating.
+func TestDownInstanceDoesNotPoisonTheFleet(t *testing.T) {
+	const name = "elevpriv_server_requests_total"
+	reg := obs.NewRegistry()
+	reg.Counter(name).Add(5)
+	srv := newInstance(t, "segsvc", reg, 0, 0)
+
+	dead := httptest.NewServer(nil)
+	deadTarget := target(dead)
+	dead.Close()
+
+	fed := NewFederator([]string{target(srv), deadTarget}, FederatorConfig{})
+	snap := fed.ScrapeOnce(context.Background())
+
+	if got := snap.Fleet[name]; got != 5 {
+		t.Fatalf("fleet sum with one dead target = %g, want 5", got)
+	}
+	byTarget := map[string]InstanceSnapshot{}
+	for _, is := range snap.Instances {
+		byTarget[is.Target] = is
+	}
+	if is := byTarget[deadTarget]; is.Up || is.Error == "" {
+		t.Fatalf("dead instance snapshot = %+v, want down with error", is)
+	}
+	if is := byTarget[target(srv)]; !is.Up {
+		t.Fatalf("live instance marked down: %+v", is)
+	}
+}
+
+// TestWindowsSumDeltasByBaseName: the watchdog input sums counter and
+// histogram-bucket increases across label variants of the same base metric.
+func TestWindowsSumDeltasByBaseName(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := reg.Counter(`elevpriv_pool_failures_total{service="segments",endpoint="0"}`)
+	b := reg.Counter(`elevpriv_pool_failures_total{service="segments",endpoint="1"}`)
+	h := reg.Histogram("elevpriv_httpx_attempt_seconds", []float64{0.1, 1})
+	srv := newInstance(t, "miner", reg, 0, 0)
+
+	clock := time.Unix(2000, 0)
+	fed := NewFederator([]string{target(srv)}, FederatorConfig{
+		Now: func() time.Time { return clock },
+	})
+	fed.ScrapeOnce(context.Background())
+	if got := fed.Windows(); len(got) != 0 {
+		t.Fatalf("windows after one scrape = %d, want 0 (no pair yet)", len(got))
+	}
+
+	a.Add(3)
+	b.Add(4)
+	h.Observe(0.05)
+	h.Observe(5) // +Inf bucket
+	clock = clock.Add(time.Second)
+	fed.ScrapeOnce(context.Background())
+
+	wins := fed.Windows()
+	if len(wins) != 1 {
+		t.Fatalf("windows = %d, want 1", len(wins))
+	}
+	w := wins[0]
+	if w.Seconds != 1 {
+		t.Fatalf("window seconds = %g, want 1", w.Seconds)
+	}
+	if got := w.Counters["elevpriv_pool_failures_total"]; got != 7 {
+		t.Fatalf("summed counter delta = %g, want 7 (3 + 4 across endpoints)", got)
+	}
+	hw, ok := w.Hists["elevpriv_httpx_attempt_seconds"]
+	if !ok {
+		t.Fatal("histogram window missing")
+	}
+	if hw.Count != 2 || hw.Buckets[0] != 1 || hw.Buckets[2] != 1 {
+		t.Fatalf("histogram window = %+v, want 2 observations in buckets 0 and +Inf", hw)
+	}
+}

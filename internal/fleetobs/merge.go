@@ -1,0 +1,175 @@
+// Package fleetobs turns the per-process observability of internal/obs into
+// fleet-level observability: it merges per-process Chrome trace files into
+// one cross-process trace (merge.go), scrape-federates every instance's
+// /metrics.json dump into an instance-labeled fleet registry with summed
+// fleet counters and per-instance rate deltas (federate.go), and evaluates
+// declarative SLO rules over scrape windows with burn-rate accounting,
+// capturing a pprof profile from the offending instance on breach (slo.go).
+// cmd/elevobs is the thin daemon over this package.
+package fleetobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// event mirrors obs's chrome trace_event entry; Args stay a string map so
+// span_id/parent_id/trace_id survive the round trip bit for bit.
+type event struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// traceFile is one per-process trace as written by obs.WriteChromeTrace.
+type traceFile struct {
+	TraceEvents     []event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+	EpochMicros     int64   `json:"epochMicros"`
+	ProcessName     string  `json:"processName"`
+}
+
+// mergedTrace is the fleet-wide output: every process on its own pid lane,
+// timestamps rebased onto the earliest process's epoch.
+type mergedTrace struct {
+	TraceEvents     []event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+	EpochMicros     int64   `json:"epochMicros,omitempty"`
+}
+
+// MergeSummary reports what the merge found — the fleet smoke asserts on
+// these numbers.
+type MergeSummary struct {
+	// Files is how many trace files were read.
+	Files int `json:"files"`
+	// Processes counts files that contributed at least one span.
+	Processes int `json:"processes"`
+	// Spans is the total span count across all lanes.
+	Spans int `json:"spans"`
+	// CrossLinks counts spans whose parent lives in a different process —
+	// the client→server links trace propagation exists to create.
+	CrossLinks int `json:"cross_links"`
+	// Traces is the number of distinct trace IDs seen.
+	Traces int `json:"traces"`
+	// CrossProcessTraces is how many of those span more than one process.
+	CrossProcessTraces int `json:"cross_process_traces"`
+}
+
+// MergeTraces joins per-process Chrome trace files into one fleet trace on
+// w: each input file becomes its own pid lane (named by the file's
+// processName, falling back to the file basename), timestamps are rebased
+// from per-file relative microseconds onto the earliest file's epoch, and
+// spans whose parent_id resolves into a different lane are annotated
+// cross_process="true". Files written before epochs existed merge at offset
+// zero.
+func MergeTraces(w io.Writer, paths []string) (MergeSummary, error) {
+	var sum MergeSummary
+	files := make([]traceFile, 0, len(paths))
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			return sum, fmt.Errorf("fleetobs: reading trace: %w", err)
+		}
+		var tf traceFile
+		if err := json.Unmarshal(raw, &tf); err != nil {
+			return sum, fmt.Errorf("fleetobs: parsing trace %s: %w", p, err)
+		}
+		if tf.ProcessName == "" {
+			tf.ProcessName = filepath.Base(p)
+		}
+		files = append(files, tf)
+	}
+	sum.Files = len(files)
+
+	// Shared timeline: rebase every file onto the earliest known epoch.
+	var minEpoch int64
+	for _, tf := range files {
+		if tf.EpochMicros > 0 && (minEpoch == 0 || tf.EpochMicros < minEpoch) {
+			minEpoch = tf.EpochMicros
+		}
+	}
+
+	// First pass: which lane does each span live on?
+	spanLane := make(map[string]int)
+	for i, tf := range files {
+		for _, ev := range tf.TraceEvents {
+			if id := ev.Args["span_id"]; id != "" {
+				spanLane[id] = i
+			}
+		}
+	}
+
+	merged := mergedTrace{DisplayTimeUnit: "ms", EpochMicros: minEpoch}
+	traceLanes := make(map[string]map[int]bool)
+	for i, tf := range files {
+		pid := i + 1
+		if len(tf.TraceEvents) > 0 {
+			sum.Processes++
+		}
+		merged.TraceEvents = append(merged.TraceEvents, event{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]string{"name": tf.ProcessName},
+		})
+		var offset float64
+		if tf.EpochMicros > 0 && minEpoch > 0 {
+			offset = float64(tf.EpochMicros - minEpoch)
+		}
+		for _, ev := range tf.TraceEvents {
+			ev.Pid = pid
+			ev.Tid = 1
+			ev.Ts += offset
+			sum.Spans++
+			if tid := ev.Args["trace_id"]; tid != "" {
+				if traceLanes[tid] == nil {
+					traceLanes[tid] = make(map[int]bool)
+				}
+				traceLanes[tid][i] = true
+			}
+			if parent := ev.Args["parent_id"]; parent != "" {
+				if lane, ok := spanLane[parent]; ok && lane != i {
+					sum.CrossLinks++
+					// Copy-on-annotate: Args may be shared with the decoded
+					// file slice.
+					args := make(map[string]string, len(ev.Args)+1)
+					for k, v := range ev.Args {
+						args[k] = v
+					}
+					args["cross_process"] = "true"
+					ev.Args = args
+				}
+			}
+			merged.TraceEvents = append(merged.TraceEvents, ev)
+		}
+	}
+	sum.Traces = len(traceLanes)
+	for _, lanes := range traceLanes {
+		if len(lanes) > 1 {
+			sum.CrossProcessTraces++
+		}
+	}
+
+	// Stable output: metadata first per lane is already guaranteed by
+	// construction; sort span events by rebased start so the merged file is
+	// deterministic given the same inputs.
+	sort.SliceStable(merged.TraceEvents, func(a, b int) bool {
+		ea, eb := merged.TraceEvents[a], merged.TraceEvents[b]
+		if (ea.Ph == "M") != (eb.Ph == "M") {
+			return ea.Ph == "M"
+		}
+		return ea.Ts < eb.Ts
+	})
+
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(merged); err != nil {
+		return sum, fmt.Errorf("fleetobs: writing merged trace: %w", err)
+	}
+	return sum, nil
+}

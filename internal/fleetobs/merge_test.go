@@ -1,0 +1,152 @@
+package fleetobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"elevprivacy/internal/obs"
+)
+
+// writeTrace exports a tracer to a file the way obsboot does at Close.
+func writeTrace(t *testing.T, dir, name string, tr *obs.Tracer) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestMergeTracesLinksAcrossProcesses: two tracers stand in for a client
+// process and a server process; the merged trace must put each on its own
+// lane, keep the cross-process parent link, and count it.
+func TestMergeTracesLinksAcrossProcesses(t *testing.T) {
+	client := obs.NewTracer(64)
+	client.SetName("miner")
+	server := obs.NewTracer(64)
+	server.SetName("segsvc")
+
+	ctx, cs := client.StartSpan(context.Background(), "sweep/explore")
+	remote := cs.SpanContext()
+	_, ss := server.StartSpan(obs.ContextWithRemoteSpan(context.Background(), remote), "srv/segsvc")
+	ss.End()
+	cs.End()
+	_ = ctx
+
+	// A second, purely local trace on the client side must not become a
+	// cross-process link.
+	_, solo := client.StartSpan(context.Background(), "local/only")
+	solo.End()
+
+	dir := t.TempDir()
+	paths := []string{
+		writeTrace(t, dir, "miner.json", client),
+		writeTrace(t, dir, "segsvc.json", server),
+	}
+
+	var out bytes.Buffer
+	sum, err := MergeTraces(&out, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Files != 2 || sum.Processes != 2 {
+		t.Fatalf("summary = %+v, want 2 files and 2 processes with spans", sum)
+	}
+	if sum.Spans != 3 {
+		t.Fatalf("spans = %d, want 3", sum.Spans)
+	}
+	if sum.CrossLinks != 1 {
+		t.Fatalf("cross links = %d, want exactly 1", sum.CrossLinks)
+	}
+	if sum.Traces != 2 || sum.CrossProcessTraces != 1 {
+		t.Fatalf("traces = %d / cross-process = %d, want 2 / 1", sum.Traces, sum.CrossProcessTraces)
+	}
+
+	var merged struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Pid  int               `json:"pid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &merged); err != nil {
+		t.Fatal(err)
+	}
+	lanes := map[string]int{}     // process name → pid
+	spanLanes := map[string]int{} // span name → pid
+	var crossAnnotated bool
+	for _, ev := range merged.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			lanes[ev.Args["name"]] = ev.Pid
+			continue
+		}
+		spanLanes[ev.Name] = ev.Pid
+		if ev.Name == "srv/segsvc" && ev.Args["cross_process"] == "true" {
+			crossAnnotated = true
+		}
+	}
+	if lanes["miner"] == 0 || lanes["segsvc"] == 0 || lanes["miner"] == lanes["segsvc"] {
+		t.Fatalf("process lanes = %v, want two distinct named lanes", lanes)
+	}
+	if spanLanes["sweep/explore"] != lanes["miner"] || spanLanes["srv/segsvc"] != lanes["segsvc"] {
+		t.Fatalf("spans not on their process's lane: %v vs %v", spanLanes, lanes)
+	}
+	if !crossAnnotated {
+		t.Fatal("cross-process server span not annotated cross_process=true")
+	}
+}
+
+// TestMergeTracesRebasesEpochs: files with different epochs land on one
+// shared timeline — a span that started later in wall time must not start
+// earlier in the merged trace just because its file's relative clock is
+// smaller.
+func TestMergeTracesRebasesEpochs(t *testing.T) {
+	early := []byte(`{"traceEvents":[{"name":"a","ph":"X","ts":0,"dur":10,"pid":1,"tid":1,"args":{"span_id":"1"}}],"displayTimeUnit":"ms","epochMicros":1000000}`)
+	late := []byte(`{"traceEvents":[{"name":"b","ph":"X","ts":0,"dur":10,"pid":1,"tid":1,"args":{"span_id":"2"}}],"displayTimeUnit":"ms","epochMicros":1500000}`)
+	dir := t.TempDir()
+	pe := filepath.Join(dir, "early.json")
+	pl := filepath.Join(dir, "late.json")
+	if err := os.WriteFile(pe, early, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(pl, late, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if _, err := MergeTraces(&out, []string{pl, pe}); err != nil {
+		t.Fatal(err)
+	}
+	var merged struct {
+		EpochMicros int64 `json:"epochMicros"`
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &merged); err != nil {
+		t.Fatal(err)
+	}
+	if merged.EpochMicros != 1000000 {
+		t.Fatalf("merged epoch = %d, want the earliest file's 1000000", merged.EpochMicros)
+	}
+	ts := map[string]float64{}
+	for _, ev := range merged.TraceEvents {
+		if ev.Ph != "M" {
+			ts[ev.Name] = ev.Ts
+		}
+	}
+	if ts["a"] != 0 || ts["b"] != 500000 {
+		t.Fatalf("rebased timestamps = %v, want a=0 b=500000", ts)
+	}
+}

@@ -1,0 +1,317 @@
+package fleetobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"elevprivacy/internal/durable"
+	"elevprivacy/internal/obs"
+)
+
+// The SLO layer: a declarative spec of fleet health rules evaluated once per
+// scrape window, with burn-rate accounting — a rule must breach for
+// BurnWindows consecutive windows before it fires, so a single slow scrape
+// does not page anyone. When a rule fires, the watchdog emits a structured
+// alert log, writes the alert as JSON, and captures a CPU profile from the
+// offending instance through the atomic writer, so the evidence of *why*
+// the SLO burned is on disk before the incident fades.
+
+// Rule is one SLO: either a latency quantile bound over a histogram
+// ("p99") or a bound on a ratio of counter increases ("ratio"). Metric
+// names are base names — labels are summed away before evaluation.
+type Rule struct {
+	// Name identifies the rule in alerts and logs.
+	Name string `json:"name"`
+	// Kind is "p99" or "ratio".
+	Kind string `json:"kind"`
+	// Metric is the histogram base name a p99 rule bounds.
+	Metric string `json:"metric,omitempty"`
+	// Num and Den are the counter base names of a ratio rule's numerator
+	// and denominator; each side sums its listed metrics' window increases.
+	Num []string `json:"num,omitempty"`
+	Den []string `json:"den,omitempty"`
+	// Max breaches when the value exceeds it (error rate, shed rate, p99
+	// seconds). Min breaches when the value falls below it (cache hit
+	// rate). Zero means that bound is unset; at least one must be set.
+	Max float64 `json:"max,omitempty"`
+	Min float64 `json:"min,omitempty"`
+	// MinEvents is the denominator (or histogram count) a window must reach
+	// before the rule is evaluated — below it the window is ignored, so an
+	// idle instance neither breaches nor heals. Default 1.
+	MinEvents float64 `json:"min_events,omitempty"`
+	// BurnWindows is how many consecutive breaching windows fire the alert.
+	// Default 2.
+	BurnWindows int `json:"burn_windows,omitempty"`
+	// Services restricts the rule to instances whose /healthz service name
+	// is listed; empty applies everywhere the metrics exist.
+	Services []string `json:"services,omitempty"`
+}
+
+// Spec is a watchdog configuration: the JSON document -slo points at.
+type Spec struct {
+	Rules []Rule `json:"rules"`
+}
+
+// ParseSpec decodes and validates a spec.
+func ParseSpec(r io.Reader) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("fleetobs: parsing SLO spec: %w", err)
+	}
+	if len(s.Rules) == 0 {
+		return Spec{}, fmt.Errorf("fleetobs: SLO spec has no rules")
+	}
+	for i := range s.Rules {
+		r := &s.Rules[i]
+		if r.Name == "" {
+			return Spec{}, fmt.Errorf("fleetobs: SLO rule %d has no name", i)
+		}
+		switch r.Kind {
+		case "p99":
+			if r.Metric == "" {
+				return Spec{}, fmt.Errorf("fleetobs: p99 rule %q needs a metric", r.Name)
+			}
+		case "ratio":
+			if len(r.Num) == 0 || len(r.Den) == 0 {
+				return Spec{}, fmt.Errorf("fleetobs: ratio rule %q needs num and den", r.Name)
+			}
+		default:
+			return Spec{}, fmt.Errorf("fleetobs: rule %q has unknown kind %q", r.Name, r.Kind)
+		}
+		if r.Max == 0 && r.Min == 0 {
+			return Spec{}, fmt.Errorf("fleetobs: rule %q sets neither max nor min", r.Name)
+		}
+		if r.MinEvents <= 0 {
+			r.MinEvents = 1
+		}
+		if r.BurnWindows <= 0 {
+			r.BurnWindows = 2
+		}
+	}
+	return s, nil
+}
+
+// Alert is one fired SLO breach, written to the alert directory as
+// alert-<seq>.json and served at /alerts.json.
+type Alert struct {
+	Rule     string    `json:"rule"`
+	Instance string    `json:"instance"`
+	Service  string    `json:"service,omitempty"`
+	Value    float64   `json:"value"`
+	Max      float64   `json:"max,omitempty"`
+	Min      float64   `json:"min,omitempty"`
+	Burn     int       `json:"burn_windows"`
+	Time     time.Time `json:"time"`
+	// Profile is the path of the pprof CPU profile captured from the
+	// offending instance, empty when capture failed.
+	Profile string `json:"profile,omitempty"`
+}
+
+// Watchdog evaluates a Spec against a Federator's scrape windows.
+type Watchdog struct {
+	spec Spec
+	fed  *Federator
+	// AlertDir receives alert-<seq>.json and profile-<seq>.pprof files;
+	// empty disables writing (alerts still accumulate in memory).
+	AlertDir string
+	// ProfileSeconds is the CPU profile length captured on breach; 0
+	// disables capture.
+	ProfileSeconds int
+	// Client fetches the profile; nil uses a client sized to the profile
+	// length.
+	Client *http.Client
+
+	burning map[string]int // rule|target → consecutive breaching windows
+	seq     int
+
+	mu     sync.Mutex // guards alerts: Evaluate appends, /alerts.json reads
+	alerts []Alert
+}
+
+// NewWatchdog builds a watchdog over fed.
+func NewWatchdog(spec Spec, fed *Federator) *Watchdog {
+	return &Watchdog{spec: spec, fed: fed, burning: make(map[string]int)}
+}
+
+// Alerts returns every alert fired so far, oldest first. Safe to call
+// concurrently with Evaluate.
+func (w *Watchdog) Alerts() []Alert {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]Alert(nil), w.alerts...)
+}
+
+// Evaluate scores every rule against every instance's latest scrape window
+// and returns the alerts fired by this evaluation (already logged, written,
+// and profiled). Call it once per scrape round, after ScrapeOnce; it is not
+// safe for concurrent use with itself.
+func (w *Watchdog) Evaluate(now time.Time) []Alert {
+	var fired []Alert
+	windows := w.fed.Windows()
+	for _, rule := range w.spec.Rules {
+		for _, win := range windows {
+			if !rule.applies(win.Identity.Service) {
+				continue
+			}
+			value, ok := rule.value(win)
+			if !ok {
+				continue // not enough events: neither breach nor heal
+			}
+			key := rule.Name + "|" + win.Target
+			if rule.breached(value) {
+				w.burning[key]++
+				// Fire exactly once per sustained burn: at the threshold,
+				// not on every window past it. Recovery resets, so a new
+				// burn fires again.
+				if w.burning[key] == rule.BurnWindows {
+					fired = append(fired, w.fire(rule, win, value, now))
+				}
+			} else {
+				w.burning[key] = 0
+			}
+		}
+	}
+	return fired
+}
+
+func (r *Rule) applies(service string) bool {
+	if len(r.Services) == 0 {
+		return true
+	}
+	for _, s := range r.Services {
+		if s == service {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Rule) breached(v float64) bool {
+	if r.Max != 0 && v > r.Max {
+		return true
+	}
+	if r.Min != 0 && v < r.Min {
+		return true
+	}
+	return false
+}
+
+// value computes the rule's value over one window; ok is false when the
+// window has too little data to judge.
+func (r *Rule) value(win Window) (float64, bool) {
+	switch r.Kind {
+	case "p99":
+		h, exists := win.Hists[r.Metric]
+		if !exists || float64(h.Count) < r.MinEvents {
+			return 0, false
+		}
+		return bucketQuantile(h, 0.99), true
+	case "ratio":
+		var num, den float64
+		for _, m := range r.Num {
+			num += win.Counters[m]
+		}
+		for _, m := range r.Den {
+			den += win.Counters[m]
+		}
+		if den < r.MinEvents {
+			return 0, false
+		}
+		return num / den, true
+	}
+	return 0, false
+}
+
+// bucketQuantile returns the smallest bucket upper bound covering quantile
+// q of the window's observations — the standard conservative estimate from
+// cumulative bucket counts. Observations past the last bound report +Inf.
+func bucketQuantile(h HistWindow, q float64) float64 {
+	need := uint64(math.Ceil(q * float64(h.Count)))
+	var cum uint64
+	for i, c := range h.Buckets {
+		cum += c
+		if cum >= need {
+			if i < len(h.Bounds) {
+				return h.Bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// fire records the breach: structured alert log, alert JSON on disk, and a
+// CPU profile captured from the offending instance.
+func (w *Watchdog) fire(rule Rule, win Window, value float64, now time.Time) Alert {
+	w.seq++
+	a := Alert{
+		Rule:     rule.Name,
+		Instance: win.Target,
+		Service:  win.Identity.Service,
+		Value:    value,
+		Max:      rule.Max,
+		Min:      rule.Min,
+		Burn:     rule.BurnWindows,
+		Time:     now,
+	}
+	if w.AlertDir != "" && w.ProfileSeconds > 0 {
+		path := filepath.Join(w.AlertDir, fmt.Sprintf("profile-%d.pprof", w.seq))
+		if err := w.captureProfile(win.Target, path); err != nil {
+			obs.DefaultLogger().Warn("slo: profile capture failed",
+				"rule", rule.Name, "instance", win.Target, "err", err.Error())
+		} else {
+			a.Profile = path
+		}
+	}
+	obs.DefaultLogger().Error("SLO breach",
+		"rule", rule.Name, "instance", win.Target, "service", win.Identity.Service,
+		"value", fmt.Sprintf("%g", value), "max", fmt.Sprintf("%g", rule.Max),
+		"min", fmt.Sprintf("%g", rule.Min), "burn_windows", fmt.Sprint(rule.BurnWindows),
+		"profile", a.Profile)
+	if w.AlertDir != "" {
+		path := filepath.Join(w.AlertDir, fmt.Sprintf("alert-%d.json", w.seq))
+		err := durable.WriteFileAtomic(path, 0o644, func(out io.Writer) error {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			return enc.Encode(a)
+		})
+		if err != nil {
+			obs.DefaultLogger().Warn("slo: writing alert", "path", path, "err", err.Error())
+		}
+	}
+	w.mu.Lock()
+	w.alerts = append(w.alerts, a)
+	w.mu.Unlock()
+	return a
+}
+
+// captureProfile pulls /debug/pprof/profile from the instance and lands it
+// atomically — the file either exists complete or not at all, never torn.
+func (w *Watchdog) captureProfile(target, path string) error {
+	client := w.Client
+	if client == nil {
+		client = &http.Client{Timeout: time.Duration(w.ProfileSeconds+10) * time.Second}
+	}
+	url := fmt.Sprintf("http://%s/debug/pprof/profile?seconds=%d", target, w.ProfileSeconds)
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("fleetobs: profile from %s: status %d", target, resp.StatusCode)
+	}
+	return durable.WriteFileAtomic(path, 0o644, func(out io.Writer) error {
+		_, err := io.Copy(out, resp.Body)
+		return err
+	})
+}

@@ -1,0 +1,230 @@
+package fleetobs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSpecValidates(t *testing.T) {
+	good := `{"rules":[
+		{"name":"pool-error-rate","kind":"ratio",
+		 "num":["elevpriv_pool_failures_total"],"den":["elevpriv_pool_requests_total"],
+		 "max":0.1,"min_events":10,"burn_windows":3},
+		{"name":"attempt-p99","kind":"p99","metric":"elevpriv_httpx_attempt_seconds","max":0.5}
+	]}`
+	spec, err := ParseSpec(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Rules) != 2 {
+		t.Fatalf("rules = %d", len(spec.Rules))
+	}
+	// Defaults fill in.
+	if spec.Rules[1].BurnWindows != 2 || spec.Rules[1].MinEvents != 1 {
+		t.Fatalf("defaults not applied: %+v", spec.Rules[1])
+	}
+
+	bad := []string{
+		`{}`,
+		`{"rules":[{"name":"x","kind":"p99","max":1}]}`,                          // p99 without metric
+		`{"rules":[{"name":"x","kind":"ratio","num":["a"],"max":1}]}`,            // ratio without den
+		`{"rules":[{"name":"x","kind":"quantile","metric":"m","max":1}]}`,        // unknown kind
+		`{"rules":[{"kind":"p99","metric":"m","max":1}]}`,                        // no name
+		`{"rules":[{"name":"x","kind":"p99","metric":"m"}]}`,                     // no bound
+		`{"rules":[{"name":"x","kind":"p99","metric":"m","max":1,"typo":true}]}`, // unknown field
+	}
+	for _, s := range bad {
+		if _, err := ParseSpec(strings.NewReader(s)); err == nil {
+			t.Errorf("ParseSpec accepted %s", s)
+		}
+	}
+}
+
+func TestBucketQuantile(t *testing.T) {
+	h := HistWindow{
+		Bounds:  []float64{0.1, 0.5, 1},
+		Buckets: []uint64{90, 8, 1, 1}, // 100 observations, 1 past the last bound
+		Count:   100,
+	}
+	if got := bucketQuantile(h, 0.5); got != 0.1 {
+		t.Fatalf("p50 = %g, want 0.1", got)
+	}
+	if got := bucketQuantile(h, 0.99); got != 1 {
+		t.Fatalf("p99 = %g, want 1", got)
+	}
+	if got := bucketQuantile(h, 1); !math.IsInf(got, 1) {
+		t.Fatalf("p100 = %g, want +Inf", got)
+	}
+}
+
+func TestRuleBreached(t *testing.T) {
+	maxRule := Rule{Max: 0.1}
+	if maxRule.breached(0.05) || !maxRule.breached(0.2) {
+		t.Fatal("max bound misjudged")
+	}
+	minRule := Rule{Min: 0.9} // e.g. cache hit rate
+	if minRule.breached(0.95) || !minRule.breached(0.5) {
+		t.Fatal("min bound misjudged")
+	}
+}
+
+// sloInstance is a controllable scrape target: the test moves its counters
+// between rounds and its /debug/pprof/profile returns a recognizable blob.
+func sloInstance(t *testing.T) (*httptest.Server, map[string]float64) {
+	t.Helper()
+	counters := map[string]float64{
+		"elevpriv_pool_requests_total": 0,
+		"elevpriv_pool_failures_total": 0,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"status":"ok","service":"miner","pid":42,"start_unix":1}`)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		type m struct {
+			Name  string  `json:"name"`
+			Kind  string  `json:"kind"`
+			Value float64 `json:"value"`
+		}
+		var ms []m
+		for name, v := range counters {
+			ms = append(ms, m{Name: name, Kind: "counter", Value: v})
+		}
+		json.NewEncoder(w).Encode(map[string]any{"metrics": ms})
+	})
+	mux.HandleFunc("/debug/pprof/profile", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("fake-pprof-profile"))
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, counters
+}
+
+// TestWatchdogFiresAfterBurnWindows walks a breach through the burn-rate
+// accounting: a healthy window, then BurnWindows consecutive breaching
+// windows; the alert fires exactly once, with the alert JSON and the
+// captured profile on disk.
+func TestWatchdogFiresAfterBurnWindows(t *testing.T) {
+	srv, counters := sloInstance(t)
+	tgt := strings.TrimPrefix(srv.URL, "http://")
+
+	clock := time.Unix(3000, 0)
+	fed := NewFederator([]string{tgt}, FederatorConfig{
+		Now: func() time.Time { return clock },
+	})
+	spec, err := ParseSpec(strings.NewReader(`{"rules":[
+		{"name":"pool-error-rate","kind":"ratio",
+		 "num":["elevpriv_pool_failures_total"],"den":["elevpriv_pool_requests_total"],
+		 "max":0.1,"min_events":10,"burn_windows":2}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	dog := NewWatchdog(spec, fed)
+	dog.AlertDir = dir
+	dog.ProfileSeconds = 1
+	dog.Client = srv.Client() // the fake profile endpoint answers instantly
+
+	step := func(requests, failures float64) []Alert {
+		counters["elevpriv_pool_requests_total"] += requests
+		counters["elevpriv_pool_failures_total"] += failures
+		clock = clock.Add(time.Second)
+		fed.ScrapeOnce(context.Background())
+		return dog.Evaluate(clock)
+	}
+
+	fed.ScrapeOnce(context.Background())        // baseline
+	if fired := step(100, 2); len(fired) != 0 { // 2% — healthy
+		t.Fatalf("healthy window fired %+v", fired)
+	}
+	if fired := step(100, 50); len(fired) != 0 { // 50% — burning 1 of 2
+		t.Fatalf("first breaching window fired early: %+v", fired)
+	}
+	fired := step(100, 60) // 60% — burning 2 of 2: fire
+	if len(fired) != 1 {
+		t.Fatalf("fired = %+v, want exactly 1 alert", fired)
+	}
+	a := fired[0]
+	if a.Rule != "pool-error-rate" || a.Instance != tgt || a.Service != "miner" {
+		t.Fatalf("alert = %+v", a)
+	}
+	if a.Value <= 0.1 {
+		t.Fatalf("alert value = %g, want the breaching ratio", a.Value)
+	}
+	if a.Profile == "" {
+		t.Fatal("no profile captured")
+	}
+	blob, err := os.ReadFile(a.Profile)
+	if err != nil || string(blob) != "fake-pprof-profile" {
+		t.Fatalf("captured profile = %q, %v", blob, err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "alert-1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onDisk Alert
+	if err := json.Unmarshal(raw, &onDisk); err != nil {
+		t.Fatal(err)
+	}
+	if onDisk.Rule != a.Rule || onDisk.Profile != a.Profile {
+		t.Fatalf("alert on disk = %+v, want %+v", onDisk, a)
+	}
+
+	// Still breaching: no re-fire while the burn continues.
+	if fired := step(100, 70); len(fired) != 0 {
+		t.Fatalf("sustained burn re-fired: %+v", fired)
+	}
+	// Recovery resets; a fresh burn fires again.
+	if fired := step(100, 0); len(fired) != 0 {
+		t.Fatalf("recovery fired: %+v", fired)
+	}
+	step(100, 90)
+	if fired := step(100, 90); len(fired) != 1 {
+		t.Fatalf("second burn fired %d alerts, want 1", len(fired))
+	}
+	if got := len(dog.Alerts()); got != 2 {
+		t.Fatalf("total alerts = %d, want 2", got)
+	}
+}
+
+// TestWatchdogIgnoresQuietWindows: below min_events the rule neither
+// breaches nor heals — an idle instance cannot page anyone.
+func TestWatchdogIgnoresQuietWindows(t *testing.T) {
+	srv, counters := sloInstance(t)
+	tgt := strings.TrimPrefix(srv.URL, "http://")
+	clock := time.Unix(4000, 0)
+	fed := NewFederator([]string{tgt}, FederatorConfig{
+		Now: func() time.Time { return clock },
+	})
+	spec, _ := ParseSpec(strings.NewReader(`{"rules":[
+		{"name":"pool-error-rate","kind":"ratio",
+		 "num":["elevpriv_pool_failures_total"],"den":["elevpriv_pool_requests_total"],
+		 "max":0.1,"min_events":50,"burn_windows":2}
+	]}`))
+	dog := NewWatchdog(spec, fed)
+
+	fed.ScrapeOnce(context.Background())
+	// 5 requests, all failures: 100% error rate, but under min_events.
+	counters["elevpriv_pool_requests_total"] += 5
+	counters["elevpriv_pool_failures_total"] += 5
+	clock = clock.Add(time.Second)
+	fed.ScrapeOnce(context.Background())
+	if fired := dog.Evaluate(clock); len(fired) != 0 {
+		t.Fatalf("quiet window fired %+v", fired)
+	}
+	clock = clock.Add(time.Second)
+	fed.ScrapeOnce(context.Background())
+	if fired := dog.Evaluate(clock); len(fired) != 0 {
+		t.Fatalf("second quiet window fired %+v", fired)
+	}
+}

@@ -23,6 +23,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"elevprivacy/internal/obs"
 )
 
 // Doer is the slice of *http.Client the service clients need. Both
@@ -281,6 +283,11 @@ func (c *Client) attempt(req *http.Request) (*http.Response, error) {
 		ctx, cancel = context.WithTimeout(ctx, c.policy.PerAttemptTimeout)
 	}
 	r2 := req.Clone(ctx)
+	// Propagate the caller's span identity so the server can open a
+	// parent-linked span: injected per attempt, so every retry's server-side
+	// span links back to the same client span. Free when tracing is off (no
+	// span in the context means no header).
+	obs.InjectTraceHeader(ctx, r2.Header)
 	if req.GetBody != nil && req.Body != nil {
 		body, err := req.GetBody()
 		if err != nil {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"strconv"
 	"time"
 
 	"elevprivacy/internal/obs"
@@ -15,14 +17,21 @@ import (
 // call this, so /healthz, /metrics, pprof, and the Harden wrapper behave
 // identically everywhere:
 //
-//	/healthz       liveness, outside Harden so probes bypass load shedding
+//	/healthz       liveness plus instance identity (service, shard, pid,
+//	               process start time — everything cmd/elevobs needs to
+//	               label the instance without out-of-band config), outside
+//	               Harden so probes bypass load shedding
 //	/metrics       Prometheus exposition of the obs registry, outside Harden
 //	               so a shedding server can still be observed (that is
 //	               exactly when telemetry matters most)
+//	/metrics.json  the same registry as an obs.Dump — the federation wire
+//	               format cmd/elevobs scrapes (no text-format parser needed)
 //	/debug/pprof/  opt-in profiling, panic-recovered but outside the request
 //	               timeout — TimeoutHandler would cut off a 30 s CPU profile
 //	/              the app handler under Harden (panic recovery, request
-//	               timeout, max-in-flight shedding)
+//	               timeout, max-in-flight shedding), with trace-context
+//	               extraction: a request carrying a traceparent header opens
+//	               a parent-linked server span when tracing is enabled
 //
 // The app handler is additionally wrapped with per-service request metrics
 // (outermost, so shed requests are counted too):
@@ -70,6 +79,7 @@ func NewServeMux(app http.Handler, cfg MuxConfig) http.Handler {
 	}
 	if !cfg.DisableMetrics {
 		root.Handle("GET /metrics", reg.Handler())
+		root.Handle("GET /metrics.json", reg.JSONHandler())
 	}
 	if cfg.Pprof {
 		pp := http.NewServeMux()
@@ -82,6 +92,7 @@ func NewServeMux(app http.Handler, cfg MuxConfig) http.Handler {
 	}
 	if app != nil {
 		h := Harden(app, cfg.Harden)
+		h = traceHandler(h, cfg.Service)
 		if !cfg.DisableMetrics {
 			h = instrumentHandler(h, reg, cfg.Service)
 		}
@@ -92,12 +103,37 @@ func NewServeMux(app http.Handler, cfg MuxConfig) http.Handler {
 
 // shardHealthHandler is HealthHandler plus the instance's shard identity.
 func shardHealthHandler(name string, index, count int) http.Handler {
-	body := []byte(fmt.Sprintf("{\"status\":\"ok\",\"service\":%q,\"shard\":%d,\"shards\":%d}\n",
-		name, index, count))
+	body := []byte(fmt.Sprintf("{\"status\":\"ok\",\"service\":%q,\"shard\":%d,\"shards\":%d,\"pid\":%d,\"start_unix\":%d}\n",
+		name, index, count, os.Getpid(), processStart.Unix()))
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write(body)
+	})
+}
+
+// traceHandler extracts an incoming traceparent header and opens a server
+// span parent-linked to the remote client span, so the per-process trace
+// rings can be joined into one cross-process trace. Requests without the
+// header — or processes without tracing enabled — pass straight through:
+// the cost when disabled is one header lookup.
+func traceHandler(h http.Handler, service string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sc, ok := obs.ExtractTraceHeader(r.Header)
+		t := obs.DefaultTracer()
+		if !ok || t == nil {
+			h.ServeHTTP(w, r)
+			return
+		}
+		ctx, span := t.StartSpan(obs.ContextWithRemoteSpan(r.Context(), sc), "srv/"+service)
+		span.SetAttr("method", r.Method)
+		span.SetAttr("path", r.URL.Path)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			span.SetAttr("status", strconv.Itoa(sw.code))
+			span.End()
+		}()
+		h.ServeHTTP(sw, r.WithContext(ctx))
 	})
 }
 

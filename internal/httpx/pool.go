@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"elevprivacy/internal/obs"
 )
 
 // Multi-endpoint serving: a sharded tier runs N identical instances of a
@@ -407,6 +409,9 @@ func (p *Pool) attempt(ctx context.Context, ep *Endpoint, idx int, pathAndQuery 
 		cancel()
 		return nil, fmt.Errorf("httpx: pool: building request: %w", err)
 	}
+	// Same propagation as Client.Do: every pooled attempt (including
+	// failovers to another shard) carries the caller's span identity.
+	obs.InjectTraceHeader(ctx, req.Header)
 	ep.requests.Add(1)
 	ep.inFlight.Add(1)
 	if p.metrics != nil {

@@ -3,11 +3,17 @@ package httpx
 import (
 	"fmt"
 	"net/http"
+	"os"
 	"runtime/debug"
 	"strconv"
 	"sync"
 	"time"
 )
+
+// processStart stamps /healthz with when this process came up, so a fleet
+// scraper can tell a restarted instance from a long-lived one without any
+// out-of-band configuration.
+var processStart = time.Now()
 
 // Server-side resilience: the elevation and segment services (and the DEM
 // tile mirror) sit under sweeps that fan thousands of requests at them, so
@@ -151,10 +157,13 @@ func (p *shedPressure) hint(now time.Time) int {
 	return secs
 }
 
-// HealthHandler answers liveness probes with a tiny JSON body. Mount it at
-// /healthz outside Harden so probes bypass load shedding.
+// HealthHandler answers liveness probes with a tiny JSON body carrying the
+// instance's identity: service name, pid, and process start time (sharded
+// instances add shard/shards; see shardHealthHandler). Mount it at /healthz
+// outside Harden so probes bypass load shedding.
 func HealthHandler(name string) http.Handler {
-	body := []byte(fmt.Sprintf("{\"status\":\"ok\",\"service\":%q}\n", name))
+	body := []byte(fmt.Sprintf("{\"status\":\"ok\",\"service\":%q,\"pid\":%d,\"start_unix\":%d}\n",
+		name, os.Getpid(), processStart.Unix()))
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)

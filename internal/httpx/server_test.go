@@ -2,10 +2,12 @@ package httpx
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -273,8 +275,23 @@ func TestHealthHandler(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz = %d", resp.StatusCode)
 	}
-	if string(body) != "{\"status\":\"ok\",\"service\":\"test-svc\"}\n" {
+	var hz struct {
+		Status    string `json:"status"`
+		Service   string `json:"service"`
+		PID       int    `json:"pid"`
+		StartUnix int64  `json:"start_unix"`
+	}
+	if err := json.Unmarshal(body, &hz); err != nil {
+		t.Fatalf("healthz body %q not JSON: %v", body, err)
+	}
+	if hz.Status != "ok" || hz.Service != "test-svc" {
 		t.Fatalf("healthz body = %q", body)
+	}
+	if hz.PID != os.Getpid() {
+		t.Errorf("healthz pid = %d, want %d", hz.PID, os.Getpid())
+	}
+	if hz.StartUnix <= 0 || hz.StartUnix > time.Now().Unix() {
+		t.Errorf("healthz start_unix = %d not a plausible process start", hz.StartUnix)
 	}
 }
 

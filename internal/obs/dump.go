@@ -1,6 +1,10 @@
 package obs
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
 
 // Metrics dumps make a resumed run's telemetry cumulative: the CLIs embed
 // Registry.Dump() in their checkpoint metadata snapshot, and on -resume
@@ -105,4 +109,17 @@ func (r *Registry) loadOne(m DumpedMetric) (err error) {
 		return fmt.Errorf("obs: loading dump: series %q has unknown kind %q", m.Name, m.Kind)
 	}
 	return nil
+}
+
+// JSONHandler serves the registry as a Dump in JSON — mount it at
+// /metrics.json. This is the federation wire format: cmd/elevobs scrapes it
+// and reloads the dump into its fleet registry, so no Prometheus text-format
+// parser exists anywhere in the repo.
+func (r *Registry) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(r.Dump()); err != nil {
+			DefaultLogger().Errorf("obs: rendering /metrics.json: %v", err)
+		}
+	})
 }

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+)
+
+// Cross-process trace propagation: a span's identity (trace ID + span ID)
+// serializes into a W3C traceparent-style header, so a client span in one
+// process and the server spans it caused in N other processes share a trace
+// ID and carry real parent links. The httpx client injects the header on
+// every attempt; httpx.NewServeMux extracts it and opens a parent-linked
+// server span. cmd/elevobs joins the per-process trace rings back into one
+// fleet-wide Chrome trace using exactly these IDs.
+//
+// IDs are 64-bit and process-unique by construction: every tracer draws a
+// random base at creation and finalizes `base + counter` through the
+// splitmix64 mixer (a bijection, so IDs never collide within a process, and
+// the random base makes cross-process collisions a 2^-64-per-pair event).
+
+// TraceHeader is the propagation header name. The value follows the W3C
+// traceparent shape (version-traceid-spanid-flags) with the 64-bit trace ID
+// zero-padded into the 128-bit field.
+const TraceHeader = "Traceparent"
+
+// SpanContext is the serializable identity of a span: which trace it belongs
+// to and which span it is. The zero value is "no span".
+type SpanContext struct {
+	Trace uint64
+	Span  uint64
+}
+
+// Valid reports whether the context names a real span.
+func (sc SpanContext) Valid() bool { return sc.Trace != 0 && sc.Span != 0 }
+
+// String renders the traceparent header value:
+// 00-<032x trace>-<016x span>-01.
+func (sc SpanContext) String() string {
+	return fmt.Sprintf("00-%032x-%016x-01", sc.Trace, sc.Span)
+}
+
+// ParseTraceParent parses a traceparent-style value back into a SpanContext.
+// It is lenient about the version and flags fields and takes the low 64 bits
+// of the 128-bit trace field; ok is false for anything malformed or zero.
+func ParseTraceParent(v string) (sc SpanContext, ok bool) {
+	// version(2)-traceid(32)-spanid(16)-flags(2)
+	if len(v) != 55 || v[2] != '-' || v[35] != '-' || v[52] != '-' {
+		return SpanContext{}, false
+	}
+	trace, ok1 := parseHex64(v[19:35]) // low 64 bits of the 128-bit field
+	span, ok2 := parseHex64(v[36:52])
+	if !ok1 || !ok2 {
+		return SpanContext{}, false
+	}
+	sc = SpanContext{Trace: trace, Span: span}
+	return sc, sc.Valid()
+}
+
+// parseHex64 decodes exactly 16 lowercase/uppercase hex digits.
+func parseHex64(s string) (uint64, bool) {
+	var out uint64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0, false
+		}
+		out = out<<4 | d
+	}
+	return out, true
+}
+
+// SpanContext returns the span's serializable identity; the zero SpanContext
+// on a nil span.
+func (s *Span) SpanContext() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: s.rec.Trace, Span: s.rec.ID}
+}
+
+// remoteCtxKey carries a SpanContext extracted from an incoming request —
+// the parent lives in another process, so there is no *Span to hold.
+type remoteCtxKey struct{}
+
+// ContextWithRemoteSpan returns a context carrying a remote parent: the next
+// StartSpan under it joins the remote trace and links to the remote span.
+func ContextWithRemoteSpan(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteCtxKey{}, sc)
+}
+
+// SpanContextFrom returns the identity of the span the context carries: the
+// in-process span when one is live, else a remote parent put there by
+// ContextWithRemoteSpan, else the zero SpanContext.
+func SpanContextFrom(ctx context.Context) SpanContext {
+	if p, ok := ctx.Value(spanCtxKey{}).(*Span); ok && p != nil {
+		return p.SpanContext()
+	}
+	if sc, ok := ctx.Value(remoteCtxKey{}).(SpanContext); ok {
+		return sc
+	}
+	return SpanContext{}
+}
+
+// InjectTraceHeader writes the context's span identity into h. A context
+// with no span (tracing off, or an uninstrumented caller) leaves h
+// untouched, so propagation costs two context lookups when disabled.
+func InjectTraceHeader(ctx context.Context, h http.Header) {
+	if sc := SpanContextFrom(ctx); sc.Valid() {
+		h.Set(TraceHeader, sc.String())
+	}
+}
+
+// ExtractTraceHeader parses the propagation header out of h; ok is false
+// when absent or malformed.
+func ExtractTraceHeader(h http.Header) (SpanContext, bool) {
+	v := h.Get(TraceHeader)
+	if v == "" {
+		return SpanContext{}, false
+	}
+	return ParseTraceParent(v)
+}
+
+// randomIDBase seeds a tracer's ID space: crypto randomness when available,
+// clock-and-pid entropy as the fallback (the mixer spreads either).
+func randomIDBase() uint64 {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err == nil {
+		return binary.LittleEndian.Uint64(b[:])
+	}
+	return uint64(time.Now().UnixNano()) ^ uint64(os.Getpid())<<32
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche over uint64, the
+// same mixer shardring.go uses to de-skew FNV.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

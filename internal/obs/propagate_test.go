@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestSpanContextHeaderRoundTrip(t *testing.T) {
+	sc := SpanContext{Trace: 0xdeadbeefcafef00d, Span: 0x0123456789abcdef}
+	v := sc.String()
+	if len(v) != 55 || !strings.HasPrefix(v, "00-") || !strings.HasSuffix(v, "-01") {
+		t.Fatalf("traceparent value %q not in version-traceid-spanid-flags shape", v)
+	}
+	got, ok := ParseTraceParent(v)
+	if !ok || got != sc {
+		t.Fatalf("round trip: %q -> %+v (ok=%v), want %+v", v, got, ok, sc)
+	}
+}
+
+func TestParseTraceParentRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"00-abc-def-01",
+		strings.Repeat("0", 55), // right length, no dashes
+		"00-0000000000000000ffffffffffffffff-0000000000000000-01",        // zero span ID
+		"00-00000000000000000000000000000000-1111111111111111-01",        // zero trace ID
+		"00-0000000000000000fffffffffffffffg-1111111111111111-01",        // bad hex in the low 64 bits
+		"00-0000000000000000ffffffffffffffff-111111111111111g-01",        // bad hex span ID
+		"00-0000000000000000ffffffffffffffff-1111111111111111-01-extras", // too long
+	}
+	for _, v := range cases {
+		if sc, ok := ParseTraceParent(v); ok {
+			t.Errorf("ParseTraceParent(%q) accepted as %+v", v, sc)
+		}
+	}
+}
+
+func TestParseTraceParentIsLenientAboutVersionAndFlags(t *testing.T) {
+	// Unknown versions and flag bits from other tracers should not break
+	// extraction: only the ID fields matter.
+	sc, ok := ParseTraceParent("ff-000000000000000000000000000000aa-00000000000000bb-00")
+	if !ok || sc.Trace != 0xaa || sc.Span != 0xbb {
+		t.Fatalf("lenient parse = %+v (ok=%v)", sc, ok)
+	}
+}
+
+func TestInjectExtractTraceHeader(t *testing.T) {
+	tr := NewTracer(16)
+	ctx, span := tr.StartSpan(context.Background(), "client")
+	defer span.End()
+
+	h := http.Header{}
+	InjectTraceHeader(ctx, h)
+	got, ok := ExtractTraceHeader(h)
+	if !ok || got != span.SpanContext() {
+		t.Fatalf("extract = %+v (ok=%v), want %+v", got, ok, span.SpanContext())
+	}
+
+	// A context with no span must not inject anything.
+	h2 := http.Header{}
+	InjectTraceHeader(context.Background(), h2)
+	if v := h2.Get(TraceHeader); v != "" {
+		t.Fatalf("spanless context injected %q", v)
+	}
+	if _, ok := ExtractTraceHeader(h2); ok {
+		t.Fatal("extract on empty header reported ok")
+	}
+}
+
+func TestRemoteParentLinksTraceAcrossProcesses(t *testing.T) {
+	// Two tracers stand in for two processes. A span started under a remote
+	// context must join the remote trace and link to the remote span.
+	client := NewTracer(16)
+	server := NewTracer(16)
+
+	_, cs := client.StartSpan(context.Background(), "client")
+	remote := cs.SpanContext()
+	cs.End()
+
+	ctx := ContextWithRemoteSpan(context.Background(), remote)
+	_, ss := server.StartSpan(ctx, "server")
+	ss.End()
+
+	rec := server.Snapshot()[0]
+	if rec.Trace != remote.Trace {
+		t.Fatalf("server span trace %016x, want remote trace %016x", rec.Trace, remote.Trace)
+	}
+	if rec.Parent != remote.Span {
+		t.Fatalf("server span parent %d, want remote span %d", rec.Parent, remote.Span)
+	}
+	if rec.ID == remote.Span {
+		t.Fatal("server span reused the remote span's ID")
+	}
+}
+
+// BenchmarkPropagationPerAttempt is the full extra work one traced HTTP
+// attempt pays for cross-process propagation: format + inject the header on
+// the client, extract + parse it on the server, and start the
+// remote-parented server span. EXPERIMENTS.md divides this by the measured
+// loopback attempt latency to budget the overhead.
+func BenchmarkPropagationPerAttempt(b *testing.B) {
+	tr := NewTracer(1024)
+	ctx, span := tr.StartSpan(context.Background(), "client")
+	defer span.End()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := http.Header{}
+		InjectTraceHeader(ctx, h)
+		remote, ok := ExtractTraceHeader(h)
+		if !ok {
+			b.Fatal("header did not round-trip")
+		}
+		sctx := ContextWithRemoteSpan(context.Background(), remote)
+		_, ss := tr.StartSpan(sctx, "srv")
+		ss.End()
+	}
+}
+
+func TestRootSpanAllocatesTrace(t *testing.T) {
+	tr := NewTracer(16)
+	_, root := tr.StartSpan(context.Background(), "root")
+	sc := root.SpanContext()
+	root.End()
+	if !sc.Valid() {
+		t.Fatalf("root span context %+v not valid", sc)
+	}
+	// An invalid remote context is ignored: the span becomes a fresh root.
+	ctx := ContextWithRemoteSpan(context.Background(), SpanContext{})
+	_, s2 := tr.StartSpan(ctx, "root2")
+	rec2 := s2.SpanContext()
+	s2.End()
+	if rec2.Trace == sc.Trace {
+		t.Fatal("two roots shared a trace ID")
+	}
+	spans := tr.Snapshot()
+	for _, r := range spans {
+		if r.Name == "root2" && r.Parent != 0 {
+			t.Fatalf("root2 has parent %d, want 0", r.Parent)
+		}
+	}
+}

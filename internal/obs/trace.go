@@ -24,9 +24,15 @@ import (
 
 // SpanRecord is one finished span as stored in the ring.
 type SpanRecord struct {
-	// ID and Parent link the span tree; Parent is 0 for roots.
+	// ID and Parent link the span tree; Parent is 0 for roots. IDs are
+	// process-unique (random tracer base through a bijective mixer), so
+	// rings from different processes can be joined without collisions.
 	ID     uint64
 	Parent uint64
+	// Trace groups every span of one logical request tree, across
+	// processes: a root span allocates it, children (local or remote via
+	// ContextWithRemoteSpan) inherit it bit for bit.
+	Trace uint64
 	// Name is the span's path-like label.
 	Name string
 	// Start and End bound the span's wall-clock interval.
@@ -43,13 +49,20 @@ func (s SpanRecord) Duration() time.Duration { return s.End.Sub(s.Start) }
 // is full the oldest spans are overwritten, bounding memory for arbitrarily
 // long runs. All methods are safe for concurrent use.
 type Tracer struct {
-	ids atomic.Uint64
+	ids    atomic.Uint64
+	idBase uint64
 
-	mu      sync.Mutex
-	ring    []SpanRecord
-	next    int
-	wrapped bool
-	dropped uint64
+	// droppedC mirrors the ring's overwrite count into the process metrics
+	// registry (elevpriv_obs_spans_dropped_total), so silent span loss shows
+	// up on /metrics and in fleet federation instead of only in Dropped().
+	droppedC *Counter
+
+	mu       sync.Mutex
+	ring     []SpanRecord
+	next     int
+	wrapped  bool
+	dropped  uint64
+	procName string
 }
 
 // DefaultTraceCapacity is the ring size EnableTracing uses when given 0 —
@@ -62,7 +75,31 @@ func NewTracer(capacity int) *Tracer {
 	if capacity < 1 {
 		capacity = DefaultTraceCapacity
 	}
-	return &Tracer{ring: make([]SpanRecord, capacity)}
+	return &Tracer{
+		ring:     make([]SpanRecord, capacity),
+		idBase:   randomIDBase(),
+		droppedC: defaultRegistry.Counter("elevpriv_obs_spans_dropped_total"),
+	}
+}
+
+// newID returns the next process-unique 64-bit ID: the bijective mixer over
+// base+counter never collides within a tracer, and the random base makes
+// cross-process collisions negligible. Zero is reserved for "no ID".
+func (t *Tracer) newID() uint64 {
+	for {
+		if id := mix64(t.idBase + t.ids.Add(1)); id != 0 {
+			return id
+		}
+	}
+}
+
+// SetName labels the trace export with the process's service name
+// (processName in the Chrome JSON), which the fleet trace merger uses to
+// name the per-process lane.
+func (t *Tracer) SetName(name string) {
+	t.mu.Lock()
+	t.procName = name
+	t.mu.Unlock()
 }
 
 var defaultTracer atomic.Pointer[Tracer]
@@ -78,6 +115,11 @@ func EnableTracing(capacity int) *Tracer {
 
 // DefaultTracer returns the process-wide tracer, nil when tracing is off.
 func DefaultTracer() *Tracer { return defaultTracer.Load() }
+
+// DisableTracing removes the process-wide tracer, restoring the default-off
+// state. Tests that EnableTracing use this so tracing does not leak into
+// the rest of the package's tests.
+func DisableTracing() { defaultTracer.Store(nil) }
 
 // Span is an in-flight traced operation. A nil *Span (tracing disabled) is
 // valid: SetAttr and End are no-ops, so instrumentation sites never branch.
@@ -105,15 +147,23 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 // StartSpan begins a span under this tracer; see the package-level
 // StartSpan.
 func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
-	var parent uint64
+	var parent, trace uint64
 	if p, ok := ctx.Value(spanCtxKey{}).(*Span); ok && p != nil {
-		parent = p.rec.ID
+		parent, trace = p.rec.ID, p.rec.Trace
+	} else if rc, ok := ctx.Value(remoteCtxKey{}).(SpanContext); ok && rc.Valid() {
+		// The parent span lives in another process (extracted from an
+		// incoming request): link to it and join its trace.
+		parent, trace = rc.Span, rc.Trace
+	}
+	if trace == 0 {
+		trace = t.newID()
 	}
 	s := &Span{
 		tracer: t,
 		rec: SpanRecord{
-			ID:     t.ids.Add(1),
+			ID:     t.newID(),
 			Parent: parent,
+			Trace:  trace,
 			Name:   name,
 			Start:  time.Now(),
 		},
@@ -155,6 +205,7 @@ func (t *Tracer) record(rec SpanRecord) {
 	t.mu.Lock()
 	if t.wrapped {
 		t.dropped++
+		t.droppedC.Inc()
 	}
 	t.ring[t.next] = rec
 	t.next++
@@ -213,6 +264,13 @@ type chromeEvent struct {
 type chromeTrace struct {
 	TraceEvents     []chromeEvent `json:"traceEvents"`
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	// EpochMicros anchors the relative timestamps to the wall clock (unix
+	// microseconds of the earliest span's start; 0 when the ring is empty).
+	// Chrome/Perfetto ignore the extra key; the fleet trace merger uses it
+	// to rebase per-process traces onto one shared timeline.
+	EpochMicros int64 `json:"epochMicros,omitempty"`
+	// ProcessName labels the ring's process (see Tracer.SetName).
+	ProcessName string `json:"processName,omitempty"`
 }
 
 // WriteChromeTrace exports the ring as Chrome trace_event JSON. Timestamps
@@ -222,10 +280,18 @@ type chromeTrace struct {
 //	durable.WriteFileAtomic(path, 0o644, tracer.WriteChromeTrace)
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	spans := t.Snapshot()
-	trace := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(spans)), DisplayTimeUnit: "ms"}
+	t.mu.Lock()
+	procName := t.procName
+	t.mu.Unlock()
+	trace := chromeTrace{
+		TraceEvents:     make([]chromeEvent, 0, len(spans)),
+		DisplayTimeUnit: "ms",
+		ProcessName:     procName,
+	}
 	var epoch time.Time
 	if len(spans) > 0 {
 		epoch = spans[0].Start
+		trace.EpochMicros = epoch.UnixMicro()
 	}
 	for _, s := range spans {
 		args := map[string]string{
@@ -233,6 +299,9 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		}
 		if s.Parent != 0 {
 			args["parent_id"] = fmt.Sprintf("%d", s.Parent)
+		}
+		if s.Trace != 0 {
+			args["trace_id"] = fmt.Sprintf("%016x", s.Trace)
 		}
 		for _, kv := range s.Attrs {
 			args[kv[0]] = kv[1]

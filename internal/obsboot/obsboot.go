@@ -187,7 +187,10 @@ func (f *Flags) Start(service string) (*Telemetry, error) {
 
 	t := &Telemetry{traceOut: f.TraceOut}
 	if f.TraceOut != "" {
-		obs.EnableTracing(obs.DefaultTraceCapacity)
+		// The service name rides along in the trace file (processName), so
+		// the fleet merger can label this process's lane without guessing
+		// from file names.
+		obs.EnableTracing(obs.DefaultTraceCapacity).SetName(service)
 	}
 	if f.MetricsAddr != "" {
 		admin, err := ServeAdmin(f.MetricsAddr, service, nil)
@@ -214,6 +217,14 @@ func (t *Telemetry) Close() error {
 			})
 			if err != nil {
 				return fmt.Errorf("obsboot: writing trace: %w", err)
+			}
+			// The ring bounds memory by overwriting the oldest spans; that
+			// loss is silent at record time, so surface it where the user
+			// will look — next to the file they are about to open.
+			if dropped := tracer.Dropped(); dropped > 0 {
+				obs.DefaultLogger().Warn("trace ring overflowed; oldest spans were overwritten",
+					"path", t.traceOut, "dropped", fmt.Sprint(dropped),
+					"capacity", fmt.Sprint(tracer.Len()))
 			}
 			obs.DefaultLogger().Info("trace written", "path", t.traceOut, "spans", fmt.Sprint(tracer.Len()))
 		}

@@ -1,0 +1,260 @@
+#!/bin/sh
+# Fleet observability smoke test: the cross-process tracing + federation +
+# SLO watchdog contract end to end, over real processes and real sockets.
+#
+# Topology: 4 elevmine -serve shard replicas (each tracing to its own
+# -trace-out file), one elevingest server, one elevobs daemon federating
+# all six instances (4 shards + ingest + the miner's admin endpoint), and a
+# rate-paced mining sweep with -faultrate injecting transient 503s at the
+# pool transport. Requires:
+#
+#   - the merged Chrome trace (elevobs -merge-traces) contains spans from
+#     >= 5 processes, with client->server parent links across lanes,
+#   - fleet counters on /fleet.json equal the sum of the per-instance
+#     counters, and the federated per-instance dump matches what the
+#     instance itself serves on /metrics.json,
+#   - the injected-fault SLO breach (pool error rate over max for
+#     burn_windows consecutive windows) produces a structured alert and a
+#     captured pprof profile from the offending instance (the miner).
+#
+# Exercised non-gating by CI (scrape/kill timing on shared runners is
+# noisy) and locally via `make fleet-smoke`. The deterministic equivalents
+# run under make check (internal/fleetobs merge/federation/SLO tests,
+# internal/httpx propagation tests, internal/obs traceparent tests).
+set -eu
+
+workdir=$(mktemp -d)
+pids=""
+cleanup() {
+    for p in $pids; do kill -9 "$p" 2>/dev/null || true; done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "==> building elevmine, elevobs, elevattack, elevingest"
+go build -o "$workdir/elevmine" ./cmd/elevmine
+go build -o "$workdir/elevobs" ./cmd/elevobs
+go build -o "$workdir/elevattack" ./cmd/elevattack
+go build -o "$workdir/elevingest" ./cmd/elevingest
+mine="$workdir/elevmine"
+obsd="$workdir/elevobs"
+
+common="-segments 80 -grid 6 -samples 50 -seed 7"
+
+echo "==> starting 4 shard replicas (tracing on)"
+seg_addrs=""
+elev_addrs=""
+targets=""
+for i in 0 1 2 3; do
+    seg_port=$((19601 + i))
+    elev_port=$((19611 + i))
+    # shellcheck disable=SC2086
+    "$mine" $common -serve "127.0.0.1:$seg_port,127.0.0.1:$elev_port" \
+        -shard-index "$i" -shard-count 4 \
+        -trace-out "$workdir/trace_shard$i.json" \
+        >"$workdir/shard$i.log" 2>&1 &
+    eval "shard${i}_pid=$!"
+    pids="$pids $!"
+    seg_addrs="$seg_addrs,http://127.0.0.1:$seg_port"
+    elev_addrs="$elev_addrs,http://127.0.0.1:$elev_port"
+    targets="$targets,127.0.0.1:$seg_port"
+done
+seg_addrs=${seg_addrs#,}
+elev_addrs=${elev_addrs#,}
+
+echo "==> training the attack model and starting elevingest (tracing on)"
+"$workdir/elevattack" -tm 1 -scale 0.05 -classifier mlp -folds 2 -seed 5 \
+    -save "$workdir/attack.bin" >"$workdir/train.log" 2>&1
+ingest_addr="127.0.0.1:19620"
+"$workdir/elevingest" -addr "$ingest_addr" -dir "$workdir/state" \
+    -attack "$workdir/attack.bin" -trace-out "$workdir/trace_ingest.json" \
+    >"$workdir/ingest.log" 2>&1 &
+ingest_pid=$!
+pids="$pids $ingest_pid"
+targets="$targets,$ingest_addr"
+
+miner_admin="127.0.0.1:19629"
+targets="$targets,$miner_admin"
+targets=${targets#,}
+
+for i in 0 1 2 3; do
+    port=$((19601 + i))
+    up=0
+    for _ in $(seq 1 50); do
+        if curl -sf "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; then
+            up=1
+            break
+        fi
+        sleep 0.2
+    done
+    if [ "$up" != 1 ]; then
+        echo "FAIL: shard $i never answered /healthz" >&2
+        cat "$workdir/shard$i.log" >&2 || true
+        exit 1
+    fi
+done
+echo "    shards and ingest up"
+
+echo "==> starting elevobs: federation + SLO watchdog over 6 targets"
+cat >"$workdir/slo.json" <<'EOF'
+{
+  "rules": [
+    {
+      "name": "pool-error-rate",
+      "kind": "ratio",
+      "num": ["elevpriv_pool_failures_total"],
+      "den": ["elevpriv_pool_requests_total"],
+      "max": 0.05,
+      "min_events": 20,
+      "burn_windows": 2
+    }
+  ]
+}
+EOF
+fleet_addr="127.0.0.1:19630"
+"$obsd" -targets "$targets" -listen "$fleet_addr" -interval 500ms \
+    -slo "$workdir/slo.json" -alert-dir "$workdir/alerts" -profile-seconds 1 \
+    >"$workdir/elevobs.log" 2>&1 &
+obs_pid=$!
+pids="$pids $obs_pid"
+up=0
+for _ in $(seq 1 50); do
+    if curl -sf "http://$fleet_addr/fleet.json" >/dev/null 2>&1; then
+        up=1
+        break
+    fi
+    sleep 0.2
+done
+if [ "$up" != 1 ]; then
+    echo "FAIL: elevobs never served /fleet.json" >&2
+    cat "$workdir/elevobs.log" >&2 || true
+    exit 1
+fi
+
+echo "==> paced sweep through the pools with fault injection (tracing on)"
+# shellcheck disable=SC2086
+"$mine" $common -rps 200 -faultrate 0.25 \
+    -seg-addrs "$seg_addrs" -elev-addrs "$elev_addrs" \
+    -metrics-addr "$miner_admin" -trace-out "$workdir/trace_miner.json" \
+    -out "$workdir/mined.json" >"$workdir/miner.log" 2>&1 &
+miner_pid=$!
+pids="$pids $miner_pid"
+
+echo "==> waiting for the SLO breach alert (injected 25% fault rate vs 5% max)"
+alerted=0
+for _ in $(seq 1 120); do
+    if curl -sf "http://$fleet_addr/alerts.json" 2>/dev/null | grep -q 'pool-error-rate'; then
+        alerted=1
+        break
+    fi
+    if ! kill -0 "$miner_pid" 2>/dev/null; then
+        break
+    fi
+    sleep 0.5
+done
+# One more look after the sweep ends (the breach can land on the last windows).
+if [ "$alerted" != 1 ]; then
+    sleep 2
+    curl -sf "http://$fleet_addr/alerts.json" 2>/dev/null | grep -q 'pool-error-rate' && alerted=1
+fi
+if [ "$alerted" != 1 ]; then
+    echo "FAIL: watchdog never fired the pool-error-rate alert" >&2
+    curl -sf "http://$fleet_addr/fleet.json" >&2 || true
+    cat "$workdir/elevobs.log" >&2 || true
+    exit 1
+fi
+echo "    alert fired"
+
+if ! wait "$miner_pid"; then
+    echo "FAIL: faulted sweep exited nonzero" >&2
+    cat "$workdir/miner.log" >&2 || true
+    exit 1
+fi
+grep -E "total mined" "$workdir/miner.log" || true
+
+echo "==> alert JSON + captured pprof profile on disk"
+python3 - "$workdir/alerts" <<'EOF'
+import glob, json, os, sys
+alert_dir = sys.argv[1]
+alerts = sorted(glob.glob(os.path.join(alert_dir, "alert-*.json")))
+assert alerts, f"no alert files in {alert_dir}"
+a = json.load(open(alerts[0]))
+assert a["rule"] == "pool-error-rate", a
+assert a["value"] > 0.05, f"alert value {a['value']} not over the 0.05 max"
+assert a.get("profile"), f"alert carries no captured profile: {a}"
+assert os.path.getsize(a["profile"]) > 0, "captured profile is empty"
+print(f"    {os.path.basename(alerts[0])}: value {a['value']:.3f} on {a['instance']}, "
+      f"profile {os.path.getsize(a['profile'])} bytes")
+EOF
+
+echo "==> fleet counters equal the sum of per-instance counters"
+sleep 2  # let a quiet scrape round settle so counters are static
+curl -sf "http://$fleet_addr/fleet.json" >"$workdir/fleet.json"
+shard0_target="127.0.0.1:19601"
+curl -sf "http://$shard0_target/metrics.json" >"$workdir/shard0_dump.json"
+python3 - "$workdir/fleet.json" "$workdir/shard0_dump.json" "$shard0_target" <<'EOF'
+import json, sys
+fleet = json.load(open(sys.argv[1]))
+dump = json.load(open(sys.argv[2]))
+shard0 = sys.argv[3]
+
+# Every fleet series must equal the sum of the per-instance counters.
+sums = {}
+for inst in fleet["instances"]:
+    for name, v in (inst.get("counters") or {}).items():
+        sums[name] = sums.get(name, 0.0) + v
+nonzero = 0
+for name, total in fleet["fleet"].items():
+    assert abs(total - sums.get(name, 0.0)) < 1e-6, \
+        f"{name}: fleet {total} != instance sum {sums.get(name)}"
+    if total > 0:
+        nonzero += 1
+assert nonzero >= 5, f"only {nonzero} nonzero fleet series"
+
+# Round trip: the federated view of shard 0 matches the instance's own dump.
+inst = next(i for i in fleet["instances"] if i["target"] == shard0)
+assert inst["up"], inst
+own = {m["name"]: m.get("value", 0.0) for m in dump["metrics"] if m["kind"] == "counter"}
+for name, v in inst["counters"].items():
+    assert abs(own.get(name, 0.0) - v) < 1e-6, \
+        f"{name}: federated {v} != instance-served {own.get(name)}"
+served = sum(1 for i in fleet['instances'] if i['up'])
+print(f"    {len(fleet['fleet'])} fleet series consistent over {served} live instances")
+EOF
+
+echo "==> draining shards and ingest so their trace rings flush"
+for i in 0 1 2 3; do
+    eval "kill -TERM \$shard${i}_pid"
+done
+kill -TERM "$ingest_pid"
+for i in 0 1 2 3; do
+    eval "wait \$shard${i}_pid" || true
+done
+wait "$ingest_pid" || true
+for i in 0 1 2 3; do
+    if [ ! -s "$workdir/trace_shard$i.json" ]; then
+        echo "FAIL: shard $i wrote no trace file on drain" >&2
+        cat "$workdir/shard$i.log" >&2 || true
+        exit 1
+    fi
+done
+
+echo "==> merging per-process traces into one fleet trace"
+"$obsd" -merge-traces "$workdir/fleet_trace.json" \
+    "$workdir/trace_miner.json" \
+    "$workdir/trace_shard0.json" "$workdir/trace_shard1.json" \
+    "$workdir/trace_shard2.json" "$workdir/trace_shard3.json" \
+    "$workdir/trace_ingest.json" >"$workdir/merge_summary.json"
+python3 - "$workdir/merge_summary.json" <<'EOF'
+import json, sys
+s = json.load(open(sys.argv[1]))
+assert s["processes"] >= 5, f"spans from only {s['processes']} processes, want >= 5"
+assert s["cross_links"] > 0, "no client->server parent links across process lanes"
+assert s["cross_process_traces"] > 0, "no trace spans more than one process"
+print(f"    {s['spans']} spans across {s['processes']} processes, "
+      f"{s['cross_links']} cross-process links, "
+      f"{s['cross_process_traces']}/{s['traces']} traces span processes")
+EOF
+test -s "$workdir/fleet_trace.json"
+
+echo "OK: fleet trace merged, federation consistent, SLO breach alerted with profile"
